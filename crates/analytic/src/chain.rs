@@ -1,0 +1,183 @@
+//! The buffer-occupancy birth–death chain.
+//!
+//! Entries arrive at rate `lambda` (allocations per cycle, Poisson
+//! approximation) and are retired at rate `mu = 1 / write_time`, but only
+//! while occupancy is at or above the high-water mark `hw` (the
+//! occupancy-based retirement policies of paper §2.2). States below
+//! `hw - 1` have no outflow balancing them, so at steady state all
+//! probability mass sits in `hw - 1 ..= depth`:
+//!
+//! ```text
+//! p[hw-1+k] ∝ rho^k,   rho = lambda / mu,   k = 0 ..= depth - hw + 1
+//! ```
+//!
+//! which is a truncated geometric — the M/M/1/K solution with the queue
+//! re-based at the high-water mark.
+
+/// Steady-state occupancy distribution for a buffer of `depth` entries,
+/// high-water mark `hw`, arrival rate `lambda` (entries/cycle) and service
+/// rate `mu` (retirements/cycle). Index `i` of the result is the
+/// probability of occupancy `i`.
+///
+/// Degenerate cases: `lambda <= 0` puts all mass at `hw - 1` (the resting
+/// occupancy); `mu <= 0` puts all mass at `depth` (the buffer can only
+/// fill).
+#[must_use]
+pub fn occupancy_distribution(depth: usize, hw: usize, lambda: f64, mu: f64) -> Vec<f64> {
+    let hw = hw.clamp(1, depth);
+    let mut p = vec![0.0; depth + 1];
+    if lambda <= 0.0 {
+        p[hw - 1] = 1.0;
+        return p;
+    }
+    if mu <= 0.0 {
+        p[depth] = 1.0;
+        return p;
+    }
+    let rho = lambda / mu;
+    let base = hw - 1;
+    let mut weight = 1.0;
+    let mut total = 0.0;
+    for slot in p.iter_mut().take(depth + 1).skip(base) {
+        *slot = weight;
+        total += weight;
+        weight *= rho;
+    }
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+/// Mean of an occupancy distribution.
+#[must_use]
+pub fn mean_occupancy(p: &[f64]) -> f64 {
+    p.iter().enumerate().map(|(i, q)| i as f64 * q).sum()
+}
+
+/// Probability the buffer is full.
+#[must_use]
+pub fn p_full(p: &[f64]) -> f64 {
+    p.last().copied().unwrap_or(0.0)
+}
+
+/// Probability the buffer has fewer than `batch` free entries — the
+/// overflow probability seen by a *batch* of `batch` back-to-back
+/// allocations (store bursts arrive faster than retirement can respond).
+#[must_use]
+pub fn p_tail(p: &[f64], batch: usize) -> f64 {
+    let batch = batch.max(1).min(p.len());
+    p.iter().rev().take(batch).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let p = occupancy_distribution(12, 2, 0.05, 1.0 / 6.0);
+        assert!(close(p.iter().sum::<f64>(), 1.0));
+        assert_eq!(p.len(), 13);
+        assert!(close(p[0], 0.0), "no mass below hw-1");
+    }
+
+    #[test]
+    fn light_load_sits_at_the_high_water_mark() {
+        let p = occupancy_distribution(12, 4, 1e-6, 1.0 / 6.0);
+        assert!(p[3] > 0.999, "resting occupancy is hw-1");
+        assert!(p_full(&p) < 1e-6);
+    }
+
+    #[test]
+    fn saturation_fills_the_buffer() {
+        // rho = 3: arrivals swamp retirement.
+        let p = occupancy_distribution(4, 2, 0.5, 1.0 / 6.0);
+        assert!(p_full(&p) > 0.6);
+        let lazy = occupancy_distribution(4, 4, 0.5, 1.0 / 6.0);
+        assert!(
+            p_full(&lazy) > p_full(&p),
+            "less headroom → more often full"
+        );
+    }
+
+    #[test]
+    fn deeper_buffers_are_full_less_often() {
+        let shallow = occupancy_distribution(2, 2, 0.1, 1.0 / 6.0);
+        let deep = occupancy_distribution(12, 2, 0.1, 1.0 / 6.0);
+        assert!(p_full(&deep) < p_full(&shallow));
+    }
+
+    #[test]
+    fn mean_occupancy_rises_with_load_and_laziness() {
+        let eager = occupancy_distribution(12, 2, 0.05, 1.0 / 6.0);
+        let lazy = occupancy_distribution(12, 10, 0.05, 1.0 / 6.0);
+        assert!(mean_occupancy(&lazy) > mean_occupancy(&eager));
+        let light = occupancy_distribution(12, 2, 0.01, 1.0 / 6.0);
+        assert!(mean_occupancy(&eager) > mean_occupancy(&light));
+    }
+
+    #[test]
+    fn tail_probability_grows_with_batch() {
+        let p = occupancy_distribution(8, 2, 0.1, 1.0 / 6.0);
+        let t1 = p_tail(&p, 1);
+        let t3 = p_tail(&p, 3);
+        assert!(close(t1, p_full(&p)));
+        assert!(t3 > t1);
+        assert!(p_tail(&p, 100) <= 1.0 + 1e-9);
+    }
+
+    /// A discrete-event Monte-Carlo of the same birth–death process must
+    /// agree with the closed form (validates the algebra, not the
+    /// modeling assumptions).
+    #[test]
+    fn closed_form_matches_monte_carlo() {
+        let (depth, hw, lambda, mu) = (6usize, 2usize, 0.08f64, 1.0 / 6.0);
+        let p = occupancy_distribution(depth, hw, lambda, mu);
+
+        // xorshift RNG; exponential races approximated by per-step
+        // probabilities over small time steps.
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let dt = 0.05;
+        let mut occ = hw - 1;
+        let mut hist = vec![0u64; depth + 1];
+        for _ in 0..4_000_000 {
+            let r = rand();
+            if r < lambda * dt {
+                if occ < depth {
+                    occ += 1;
+                }
+            } else if r < lambda * dt + mu * dt && occ >= hw {
+                occ -= 1;
+            }
+            hist[occ] += 1;
+        }
+        let total: u64 = hist.iter().sum();
+        for i in 0..=depth {
+            let sim = hist[i] as f64 / total as f64;
+            assert!(
+                (sim - p[i]).abs() < 0.02,
+                "state {i}: closed-form {:.4} vs monte-carlo {sim:.4}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_rates() {
+        let p = occupancy_distribution(8, 3, 0.0, 0.2);
+        assert!(close(p[2], 1.0));
+        let p = occupancy_distribution(8, 3, 0.1, 0.0);
+        assert!(close(p[8], 1.0));
+    }
+}

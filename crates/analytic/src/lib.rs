@@ -1,0 +1,46 @@
+//! A first-order analytic model of write-buffer stalls.
+//!
+//! Smith characterized write-through update traffic with a queueing model
+//! (*Characterizing the storage process and its effect on the update of
+//! main memory by write through*, JACM 26(1), 1979 — the paper's reference
+//! \[24\]). This crate provides the modern equivalent for the paper's
+//! machine: closed-form estimates of the three stall categories from a
+//! handful of per-workload rates, solved with a birth–death occupancy
+//! chain for the buffer.
+//!
+//! The model is deliberately first-order — Poisson arrivals, no burst
+//! correlation, residual-service approximations — and is validated against
+//! the cycle-accurate simulator in this workspace's tests: it ranks
+//! workloads correctly and lands within a small factor of simulation,
+//! which is what such models are for (quick design-space pruning before
+//! committing to simulation).
+//!
+//! # Example
+//!
+//! ```
+//! use wbsim_analytic::{AnalyticInputs, predict};
+//! use wbsim_types::config::MachineConfig;
+//!
+//! let inputs = AnalyticInputs {
+//!     load_rate: 0.25,
+//!     store_rate: 0.10,
+//!     l1_miss_rate: 0.10,
+//!     wb_hit_rate: 0.40,
+//!     hazard_load_frac: 0.01,
+//!     store_batch: 1.5,
+//!     store_group_frac: [0.0; 17],
+//!     l2_miss_rate: 0.0,
+//! };
+//! let p = predict(&inputs, &MachineConfig::baseline());
+//! assert!(p.total_pct() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod from_trace;
+pub mod model;
+
+pub use from_trace::inputs_from_trace;
+pub use model::{predict, AnalyticInputs, Prediction};

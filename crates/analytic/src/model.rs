@@ -1,0 +1,315 @@
+//! Closed-form stall estimates from per-workload rates.
+//!
+//! All rates are per instruction; the model converts them to per-cycle
+//! quantities with a base CPI estimate and solves the occupancy chain of
+//! [`crate::chain`]. Approximations, stated plainly:
+//!
+//! * entry arrivals are Poisson (bursts are the main unmodeled reality —
+//!   the simulator's burst-heavy workloads overflow more than predicted);
+//! * a load miss that finds the port busy with a write waits half a write
+//!   time on average (residual-service approximation);
+//! * a hazard flush costs the mean occupancy times one write time under
+//!   flush-full, one write under flush-item-only, half the span under
+//!   flush-partial, and nothing under read-from-WB.
+
+use wbsim_types::config::MachineConfig;
+use wbsim_types::policy::{LoadHazardPolicy, RetirementPolicy};
+
+use crate::chain;
+
+/// Per-workload rates the model consumes (all per instruction except the
+/// two ratios).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticInputs {
+    /// Loads per instruction (paper Table 4, as a fraction).
+    pub load_rate: f64,
+    /// Stores per instruction.
+    pub store_rate: f64,
+    /// L1 load miss ratio (1 − Table 5 hit rate).
+    pub l1_miss_rate: f64,
+    /// Write-buffer store hit (merge) ratio (Table 5).
+    pub wb_hit_rate: f64,
+    /// Fraction of loads that touch a recently stored line (the hazard
+    /// candidates; `TraceStats::pct_loads_to_recent_stores / 100`).
+    pub hazard_load_frac: f64,
+    /// Mean entry-allocation batch size: consecutive stores arrive faster
+    /// than retirement can drain, so a burst of `b` allocations overflows
+    /// a buffer with fewer than `b` free entries
+    /// (`TraceStats::mean_store_group × (1 − wb_hit_rate)`, at least 1).
+    pub store_batch: f64,
+    /// Normalized store-group length distribution (index `g` = fraction of
+    /// groups with exactly `g` consecutive stores; index 16 aggregates
+    /// ≥16; index 0 unused). All zeros disables the burst-tail refinement
+    /// and falls back to the mean-batch estimate.
+    pub store_group_frac: [f64; 17],
+    /// L2 read miss ratio (0 for the paper's perfect L2). Misses lengthen
+    /// the base CPI by the main-memory latency, diluting the stall
+    /// percentages — the §4.2 effect.
+    pub l2_miss_rate: f64,
+}
+
+/// The model's output, in the paper's units (percent of execution time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Buffer-full stall estimate.
+    pub f_pct: f64,
+    /// L2-read-access stall estimate.
+    pub r_pct: f64,
+    /// Load-hazard stall estimate.
+    pub l_pct: f64,
+    /// Predicted mean buffer occupancy.
+    pub mean_occupancy: f64,
+    /// Predicted probability the buffer is full.
+    pub p_full: f64,
+}
+
+impl Prediction {
+    /// Total predicted write-buffer stall percentage.
+    #[must_use]
+    pub fn total_pct(&self) -> f64 {
+        self.f_pct + self.r_pct + self.l_pct
+    }
+}
+
+/// Predicts the three stall categories for `inputs` on `machine`.
+#[must_use]
+pub fn predict(inputs: &AnalyticInputs, machine: &MachineConfig) -> Prediction {
+    let wb = &machine.write_buffer;
+    let write_time = machine.l2.latency() as f64 * wb.datapath.transactions_per_line() as f64;
+    let read_time = machine.l2.latency() as f64;
+    let hw = match wb.retirement {
+        RetirementPolicy::RetireAt(n) => n,
+        // A fixed-rate policy has no high-water mark; treat it as hw = 1
+        // with service rate 1/interval.
+        RetirementPolicy::FixedRate(_) => 1,
+    };
+    let mu = match wb.retirement {
+        RetirementPolicy::RetireAt(_) => 1.0 / write_time,
+        RetirementPolicy::FixedRate(interval) => 1.0 / interval as f64,
+    };
+
+    // Base CPI without write-buffer stalls: 1 + load misses × (read time
+    // + main-memory time for the L2-miss fraction).
+    let mm_latency = match machine.l2 {
+        wbsim_types::config::L2Config::Perfect { .. } => 0.0,
+        wbsim_types::config::L2Config::Real { mm_latency, .. } => mm_latency as f64,
+    };
+    let base_cpi = 1.0
+        + inputs.load_rate * inputs.l1_miss_rate * (read_time + inputs.l2_miss_rate * mm_latency);
+
+    // Entry allocations per cycle.
+    let lambda = inputs.store_rate * (1.0 - inputs.wb_hit_rate) / base_cpi;
+    let occupancy = chain::occupancy_distribution(wb.depth, hw, lambda, mu);
+    let p_full = chain::p_full(&occupancy);
+    let mean_occ = chain::mean_occupancy(&occupancy);
+
+    // Buffer-full. Two estimates, take the larger (they cover different
+    // regimes and never both dominate):
+    //  * steady-state: an arrival finds the buffer full with the chain's
+    //    tail probability and waits out half a write;
+    //  * burst-tail: a group of g back-to-back stores allocates
+    //    g·(1−h) entries against `free = depth − mean occupancy` free
+    //    slots; each excess allocation waits a full retirement.
+    let batch = inputs.store_batch.max(1.0);
+    let p_overflow = chain::p_tail(&occupancy, batch.round() as usize);
+    let steady_f =
+        inputs.store_rate * (1.0 - inputs.wb_hit_rate) * p_overflow * (write_time / 2.0) * batch;
+    let hist_total: f64 = inputs.store_group_frac.iter().sum();
+    let burst_f = if hist_total > 0.0 {
+        let mean_group: f64 = inputs
+            .store_group_frac
+            .iter()
+            .enumerate()
+            .map(|(g, frac)| g as f64 * frac)
+            .sum::<f64>()
+            / hist_total;
+        let groups_per_instr = if mean_group > 0.0 {
+            inputs.store_rate / mean_group
+        } else {
+            0.0
+        };
+        let free = (wb.depth as f64 - mean_occ).max(0.0);
+        inputs
+            .store_group_frac
+            .iter()
+            .enumerate()
+            .map(|(g, frac)| {
+                let allocs = g as f64 * (1.0 - inputs.wb_hit_rate);
+                let excess = (allocs - free).max(0.0);
+                groups_per_instr * (frac / hist_total) * excess * write_time
+            })
+            .sum()
+    } else {
+        0.0
+    };
+    let f_cycles_per_instr = steady_f.max(burst_f);
+
+    // L2-read-access: write port utilization × load misses × residual.
+    let write_traffic_per_cycle = lambda; // every allocation eventually retires
+    let port_write_util = (write_traffic_per_cycle * write_time).min(1.0);
+    let r_cycles_per_instr =
+        inputs.load_rate * inputs.l1_miss_rate * port_write_util * (write_time / 2.0);
+
+    // Load-hazard: a hazard fires when a load misses L1 *and* its line is
+    // still buffered. The chance the line is still present scales with the
+    // buffer's mean occupancy over its reuse window; use mean_occ / depth
+    // as the survival proxy.
+    let survival = (mean_occ / wb.depth.max(1) as f64).clamp(0.0, 1.0);
+    let hazards_per_instr =
+        inputs.load_rate * inputs.hazard_load_frac * inputs.l1_miss_rate.max(0.2) * survival;
+    let flush_cost = match wb.hazard {
+        LoadHazardPolicy::FlushFull => mean_occ * write_time,
+        LoadHazardPolicy::FlushPartial => 0.5 * mean_occ * write_time,
+        LoadHazardPolicy::FlushItemOnly => write_time,
+        LoadHazardPolicy::ReadFromWb => 0.0,
+    };
+    let l_cycles_per_instr = hazards_per_instr * flush_cost;
+
+    let total_cpi = base_cpi + f_cycles_per_instr + r_cycles_per_instr + l_cycles_per_instr;
+    let pct = |c: f64| 100.0 * c / total_cpi;
+    Prediction {
+        f_pct: pct(f_cycles_per_instr),
+        r_pct: pct(r_cycles_per_instr),
+        l_pct: pct(l_cycles_per_instr),
+        mean_occupancy: mean_occ,
+        p_full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsim_types::config::WriteBufferConfig;
+
+    fn inputs() -> AnalyticInputs {
+        AnalyticInputs {
+            load_rate: 0.25,
+            store_rate: 0.10,
+            l1_miss_rate: 0.15,
+            wb_hit_rate: 0.40,
+            hazard_load_frac: 0.02,
+            store_batch: 1.5,
+            store_group_frac: [0.0; 17],
+            l2_miss_rate: 0.0,
+        }
+    }
+
+    fn with_wb(wb: WriteBufferConfig) -> MachineConfig {
+        MachineConfig {
+            write_buffer: wb,
+            ..MachineConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn depth_reduces_predicted_buffer_full() {
+        let shallow = predict(&inputs(), &with_wb(WriteBufferConfig::baseline()));
+        let deep = predict(
+            &inputs(),
+            &with_wb(WriteBufferConfig {
+                depth: 12,
+                ..WriteBufferConfig::baseline()
+            }),
+        );
+        assert!(deep.f_pct < shallow.f_pct);
+        assert!(deep.p_full < shallow.p_full);
+    }
+
+    #[test]
+    fn laziness_trades_r_for_l_under_flush_full() {
+        let mk = |hw| {
+            with_wb(WriteBufferConfig {
+                depth: 12,
+                retirement: RetirementPolicy::RetireAt(hw),
+                ..WriteBufferConfig::baseline()
+            })
+        };
+        let eager = predict(&inputs(), &mk(2));
+        let lazy = predict(&inputs(), &mk(10));
+        assert!(
+            lazy.l_pct > eager.l_pct,
+            "lazy hazards {:.3} vs eager {:.3}",
+            lazy.l_pct,
+            eager.l_pct
+        );
+        assert!(lazy.mean_occupancy > eager.mean_occupancy);
+    }
+
+    #[test]
+    fn read_from_wb_predicts_zero_hazard_stalls() {
+        let p = predict(
+            &inputs(),
+            &with_wb(WriteBufferConfig {
+                depth: 12,
+                retirement: RetirementPolicy::RetireAt(8),
+                hazard: LoadHazardPolicy::ReadFromWb,
+                ..WriteBufferConfig::baseline()
+            }),
+        );
+        assert_eq!(p.l_pct, 0.0);
+    }
+
+    #[test]
+    fn l2_latency_scales_all_categories() {
+        let fast = predict(
+            &inputs(),
+            &MachineConfig {
+                l2: wbsim_types::config::L2Config::Perfect { latency: 3 },
+                ..MachineConfig::baseline()
+            },
+        );
+        let slow = predict(
+            &inputs(),
+            &MachineConfig {
+                l2: wbsim_types::config::L2Config::Perfect { latency: 10 },
+                ..MachineConfig::baseline()
+            },
+        );
+        assert!(slow.total_pct() > 2.0 * fast.total_pct());
+    }
+
+    #[test]
+    fn l2_misses_dilute_stall_percentages() {
+        // §4.2's "surprising decrease": added main-memory time shrinks the
+        // write buffer's *percentage* contribution.
+        let cfg = MachineConfig {
+            l2: wbsim_types::config::L2Config::real_with_size(128 * 1024),
+            ..MachineConfig::baseline()
+        };
+        let mut hot = inputs();
+        hot.l2_miss_rate = 0.0;
+        let mut cold = inputs();
+        cold.l2_miss_rate = 0.4;
+        let p_hot = predict(&hot, &cfg);
+        let p_cold = predict(&cold, &cfg);
+        assert!(p_cold.total_pct() < p_hot.total_pct());
+    }
+
+    #[test]
+    fn burst_tails_raise_predicted_overflow() {
+        let mut smooth = inputs();
+        smooth.store_group_frac[1] = 1.0;
+        let mut bursty = inputs();
+        bursty.store_group_frac[1] = 0.8;
+        bursty.store_group_frac[8] = 0.2;
+        let cfg = with_wb(WriteBufferConfig::baseline());
+        let ps = predict(&smooth, &cfg);
+        let pb = predict(&bursty, &cfg);
+        assert!(
+            pb.f_pct > 2.0 * ps.f_pct.max(0.01),
+            "bursty {:.3}% vs smooth {:.3}%",
+            pb.f_pct,
+            ps.f_pct
+        );
+    }
+
+    #[test]
+    fn coalescing_reduces_pressure() {
+        let mut poor = inputs();
+        poor.wb_hit_rate = 0.0;
+        let good = predict(&inputs(), &with_wb(WriteBufferConfig::baseline()));
+        let bad = predict(&poor, &with_wb(WriteBufferConfig::baseline()));
+        assert!(bad.f_pct > good.f_pct);
+        assert!(bad.r_pct > good.r_pct);
+    }
+}

@@ -1,0 +1,121 @@
+//! Validation of the analytic model against the cycle-accurate simulator:
+//! correct *rankings* and same-ballpark magnitudes, which is what a
+//! first-order queueing model is for.
+
+use wbsim_analytic::{inputs_from_trace, predict};
+use wbsim_sim::Machine;
+use wbsim_trace::bench_models::BenchmarkModel;
+use wbsim_types::config::{MachineConfig, WriteBufferConfig};
+use wbsim_types::policy::RetirementPolicy;
+
+const N: u64 = 120_000;
+
+fn sim_total(bench: BenchmarkModel, cfg: &MachineConfig) -> f64 {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    Machine::new(cfg)
+        .unwrap()
+        .run(bench.stream(7, N))
+        .total_stall_pct()
+}
+
+fn model_total(bench: BenchmarkModel, cfg: &MachineConfig) -> f64 {
+    let inputs = inputs_from_trace(&bench.stream(7, N), cfg);
+    predict(&inputs, cfg).total_pct()
+}
+
+#[test]
+fn model_ranks_light_vs_heavy_workloads() {
+    let cfg = MachineConfig::baseline();
+    // espresso is the suite's lightest staller, fft among the heaviest.
+    let light_m = model_total(BenchmarkModel::Espresso, &cfg);
+    let heavy_m = model_total(BenchmarkModel::Fft, &cfg);
+    assert!(
+        heavy_m > 2.0 * light_m,
+        "model: fft {heavy_m:.2}% vs espresso {light_m:.2}%"
+    );
+    let light_s = sim_total(BenchmarkModel::Espresso, &cfg);
+    let heavy_s = sim_total(BenchmarkModel::Fft, &cfg);
+    assert!(heavy_s > light_s, "the simulator agrees on the ordering");
+}
+
+#[test]
+fn model_tracks_depth_direction() {
+    let mk = |d| MachineConfig {
+        write_buffer: WriteBufferConfig {
+            depth: d,
+            ..WriteBufferConfig::baseline()
+        },
+        ..MachineConfig::baseline()
+    };
+    for bench in [BenchmarkModel::Wave5, BenchmarkModel::Mdljdp2] {
+        let m2 = model_total(bench, &mk(2));
+        let m8 = model_total(bench, &mk(8));
+        let s2 = sim_total(bench, &mk(2));
+        let s8 = sim_total(bench, &mk(8));
+        assert!(m8 < m2, "{}: model must prefer depth", bench.name());
+        assert!(s8 < s2, "{}: sim prefers depth too", bench.name());
+    }
+}
+
+#[test]
+fn model_tracks_l2_latency_sensitivity() {
+    let mk = |lat| MachineConfig {
+        l2: wbsim_types::config::L2Config::Perfect { latency: lat },
+        ..MachineConfig::baseline()
+    };
+    let bench = BenchmarkModel::Su2cor;
+    let m3 = model_total(bench, &mk(3));
+    let m10 = model_total(bench, &mk(10));
+    let s3 = sim_total(bench, &mk(3));
+    let s10 = sim_total(bench, &mk(10));
+    assert!(m10 > 2.0 * m3, "model: {m3:.2}% → {m10:.2}%");
+    assert!(s10 > 2.0 * s3, "sim: {s3:.2}% → {s10:.2}%");
+}
+
+#[test]
+fn magnitudes_land_within_a_small_factor() {
+    // First-order model vs cycle-accurate simulation: demand agreement
+    // within 4x (when both are non-negligible) across a diverse subset.
+    let cfg = MachineConfig::baseline();
+    for bench in [
+        BenchmarkModel::Compress,
+        BenchmarkModel::Hydro2d,
+        BenchmarkModel::Su2cor,
+        BenchmarkModel::Fft,
+    ] {
+        let m = model_total(bench, &cfg);
+        let s = sim_total(bench, &cfg);
+        assert!(
+            m < 4.0 * s + 0.5 && s < 4.0 * m + 0.5,
+            "{}: model {m:.2}% vs sim {s:.2}% diverge beyond 4x",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn model_and_sim_agree_on_occupancy_direction() {
+    let bench = BenchmarkModel::Sc;
+    let mk = |hw| MachineConfig {
+        write_buffer: WriteBufferConfig {
+            depth: 12,
+            retirement: RetirementPolicy::RetireAt(hw),
+            ..WriteBufferConfig::baseline()
+        },
+        ..MachineConfig::baseline()
+    };
+    let inputs = inputs_from_trace(&bench.stream(7, N), &mk(2));
+    let eager = predict(&inputs, &mk(2));
+    let lazy = predict(&inputs, &mk(10));
+    assert!(lazy.mean_occupancy > eager.mean_occupancy);
+
+    let sim_eager = Machine::new(mk(2)).unwrap().run(bench.stream(7, N));
+    let sim_lazy = Machine::new(mk(10)).unwrap().run(bench.stream(7, N));
+    assert!(
+        sim_lazy.wb_detail.mean_occupancy() > sim_eager.wb_detail.mean_occupancy(),
+        "sim occupancy: lazy {:.2} vs eager {:.2}",
+        sim_lazy.wb_detail.mean_occupancy(),
+        sim_eager.wb_detail.mean_occupancy()
+    );
+}

@@ -1,0 +1,52 @@
+//! One Criterion bench per ablation experiment (A1–A8; see
+//! `wbsim_experiments::ablations` and DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbsim_bench::bench_harness;
+use wbsim_experiments::ablations;
+
+macro_rules! ablation_bench {
+    ($fn_name:ident, $id:literal, $runner:path) => {
+        fn $fn_name(c: &mut Criterion) {
+            let h = bench_harness();
+            c.bench_function($id, |b| {
+                b.iter(|| {
+                    let fig = $runner(&h);
+                    criterion::black_box(fig.mean_total_pct(0))
+                })
+            });
+        }
+    };
+}
+
+ablation_bench!(
+    a1,
+    "ablation_a1_retirement",
+    ablations::retirement_mechanism
+);
+ablation_bench!(a2, "ablation_a2_max_age", ablations::max_age);
+ablation_bench!(a3, "ablation_a3_coalescing", ablations::coalescing);
+ablation_bench!(a4, "ablation_a4_write_cache", ablations::write_cache);
+ablation_bench!(a5, "ablation_a5_priority", ablations::l2_priority);
+ablation_bench!(a6, "ablation_a6_datapath", ablations::datapath);
+ablation_bench!(a7, "ablation_a7_icache", ablations::icache);
+ablation_bench!(a8, "ablation_a8_lazy_rfwb", ablations::lazy_read_from_wb);
+ablation_bench!(a9, "ablation_a9_issue_width", ablations::issue_width);
+ablation_bench!(a10, "ablation_a10_barriers", ablations::barriers);
+ablation_bench!(a11, "ablation_a11_non_blocking", ablations::non_blocking);
+ablation_bench!(
+    a12,
+    "ablation_a12_l1_write_policy",
+    ablations::l1_write_policy
+);
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = ablations_group;
+    config = config();
+    targets = a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12
+}
+criterion_main!(ablations_group);

@@ -1,0 +1,45 @@
+//! One Criterion bench per paper figure (Figures 3–13): each iteration
+//! regenerates the figure's full benchmark × configuration grid at reduced
+//! scale. `wbsim figure <n>` produces the published full-scale output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbsim_bench::bench_harness;
+use wbsim_experiments::figures;
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $id:literal, $runner:path) => {
+        fn $fn_name(c: &mut Criterion) {
+            let h = bench_harness();
+            c.bench_function($id, |b| {
+                b.iter(|| {
+                    let fig = $runner(&h);
+                    criterion::black_box(fig.mean_total_pct(0))
+                })
+            });
+        }
+    };
+}
+
+figure_bench!(fig03, "fig03_baseline", figures::fig3);
+figure_bench!(fig04, "fig04_depth", figures::fig4);
+figure_bench!(fig05, "fig05_retirement", figures::fig5);
+figure_bench!(fig06, "fig06_hazard_lazy", figures::fig6);
+figure_bench!(fig07, "fig07_hazard_eager", figures::fig7);
+figure_bench!(fig08, "fig08_partial", figures::fig8);
+figure_bench!(fig09, "fig09_item_only", figures::fig9);
+figure_bench!(fig10, "fig10_l1_size", figures::fig10);
+figure_bench!(fig11, "fig11_l2_latency", figures::fig11);
+figure_bench!(fig12, "fig12_l2_size", figures::fig12);
+figure_bench!(fig13, "fig13_mm_latency", figures::fig13);
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures_group;
+    config = config();
+    targets = fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
+              fig12, fig13
+}
+criterion_main!(figures_group);

@@ -1,0 +1,66 @@
+//! One Criterion bench per paper table (Tables 1–7). The static tables
+//! (1–3) measure rendering; Tables 4–7 measure the measurement itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbsim_bench::bench_harness;
+use wbsim_experiments::{render, tables};
+use wbsim_types::config::MachineConfig;
+
+fn tab01(c: &mut Criterion) {
+    let cfg = MachineConfig::baseline();
+    c.bench_function("tab01_machine_model", |b| {
+        b.iter(|| criterion::black_box(render::render_table(&tables::table1(&cfg))))
+    });
+}
+
+fn tab02(c: &mut Criterion) {
+    let cfg = MachineConfig::baseline();
+    c.bench_function("tab02_wb_model", |b| {
+        b.iter(|| criterion::black_box(render::render_table(&tables::table2(&cfg))))
+    });
+}
+
+fn tab03(c: &mut Criterion) {
+    c.bench_function("tab03_stall_taxonomy", |b| {
+        b.iter(|| criterion::black_box(render::render_table(&tables::table3())))
+    });
+}
+
+fn tab04(c: &mut Criterion) {
+    let h = bench_harness();
+    c.bench_function("tab04_densities", |b| {
+        b.iter(|| criterion::black_box(tables::table4(&h)))
+    });
+}
+
+fn tab05(c: &mut Criterion) {
+    let h = bench_harness();
+    c.bench_function("tab05_hit_rates", |b| {
+        b.iter(|| criterion::black_box(tables::table5_rows(&h)))
+    });
+}
+
+fn tab06(c: &mut Criterion) {
+    let h = bench_harness();
+    c.bench_function("tab06_transforms", |b| {
+        b.iter(|| criterion::black_box(tables::table6(&h)))
+    });
+}
+
+fn tab07(c: &mut Criterion) {
+    let h = bench_harness();
+    c.bench_function("tab07_l2_hit_rates", |b| {
+        b.iter(|| criterion::black_box(tables::table7_rows(&h)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = tables_group;
+    config = config();
+    targets = tab01, tab02, tab03, tab04, tab05, tab06, tab07
+}
+criterion_main!(tables_group);

@@ -1,0 +1,24 @@
+//! Shared scale settings for the `wbsim` Criterion benches.
+//!
+//! Each bench target regenerates one table or figure of the paper at a
+//! reduced scale (Criterion needs many iterations). The *published*
+//! regeneration — full scale, with the rendered rows and bars — is
+//! `wbsim figure all` / `wbsim table all`; these benches track the cost of
+//! that machinery and of the simulator's hot paths, and guard against
+//! performance regressions.
+
+use wbsim_experiments::harness::Harness;
+
+/// Instructions per benchmark per configuration inside a bench iteration.
+pub const BENCH_INSTRUCTIONS: u64 = 8_000;
+
+/// The harness every figure/table bench runs under.
+#[must_use]
+pub fn bench_harness() -> Harness {
+    Harness {
+        instructions: BENCH_INSTRUCTIONS,
+        warmup: 2_000,
+        seed: 42,
+        check_data: false,
+    }
+}

@@ -1,0 +1,937 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use wbsim_experiments::harness::Harness;
+use wbsim_experiments::{ablations, figures, render, tables};
+use wbsim_sim::Machine;
+use wbsim_trace::bench_models::BenchmarkModel;
+use wbsim_trace::file as trace_file;
+use wbsim_trace::stats::TraceStats;
+use wbsim_types::config::{L1Config, L2Config, MachineConfig, WriteBufferConfig};
+use wbsim_types::policy::{LoadHazardPolicy, RetirementPolicy};
+use wbsim_types::stall::StallKind;
+
+use crate::args::{parse, ArgError, Parsed};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Top-level dispatch.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    let p = parse(argv)?;
+    match p.positionals.first().map(String::as_str) {
+        None | Some("help") | Some("--help") => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some("figure") => cmd_figure(&p),
+        Some("table") => cmd_table(&p),
+        Some("ablation") => cmd_ablation(&p),
+        Some("run") => cmd_run(&p),
+        Some("predict") => cmd_predict(&p),
+        Some("sweep") => cmd_sweep(&p),
+        Some("grid") => cmd_grid(&p),
+        Some("report") => cmd_report(&p),
+        Some("trace") => cmd_trace(&p),
+        Some("list") => cmd_list(),
+        Some(other) => Err(ArgError(format!("unknown command {other:?}")).into()),
+    }
+}
+
+fn usage() -> String {
+    "\
+wbsim — reproduction of 'Design Issues and Tradeoffs for Write Buffers' (HPCA 1997)
+
+USAGE:
+  wbsim figure <3..13|all> [--instructions N] [--seed S] [--csv] [--svg DIR]
+  wbsim table <1..7|all>   [--instructions N] [--seed S]
+  wbsim ablation <a1..a10|all> [--instructions N] [--seed S]
+  wbsim run --bench NAME [--seeds N] [--config FILE.wbcfg] [--depth N] [--retire-at N] [--hazard P]
+            [--l1-kb N] [--l2-latency N] [--l2-kb N] [--mm N] [--issue W]
+            [--mshrs N (non-blocking loads)] [--barrier-every N]
+            [--instructions N] [--warmup N] [--seed S] [--check-data] [--ideal]
+  wbsim predict --bench NAME [config flags as for run]
+  wbsim sweep --bench NAME --param KEY=V1,V2,... [config flags as for run]
+  wbsim grid  --bench NAME --x KEY=V1,V2,... --y KEY=V1,V2,... [config flags]
+        (KEYs: depth, retire-at, hazard, l1-kb, l2-latency, l2-kb, mm, issue)
+  wbsim report [--out FILE.md] [--instructions N] [--seed S]
+  wbsim trace gen --bench NAME --out FILE [--instructions N] [--seed S] [--binary]
+  wbsim trace synth --out FILE [--loads F] [--stores F] [--hot F] [--stream F]
+        [--seq F] [--burst N] [--revisit F] [--hazard-loads F] [--region-kb N]
+        [--instructions N] [--seed S] [--binary]
+  wbsim trace stats <FILE>
+  wbsim trace run <FILE> [--depth N] [--retire-at N] [--hazard P] [--check-data]
+  wbsim list
+
+HAZARD POLICIES: flush-full | flush-partial | flush-item-only | read-from-wb
+ABLATIONS: a1 retirement, a2 max-age, a3 coalescing, a4 write-cache,
+           a5 priority, a6 datapath, a7 icache, a8 lazy-rfwb,
+           a9 issue-width, a10 barriers, a11 non-blocking, a12 l1-write-policy
+"
+    .to_string()
+}
+
+fn harness(p: &Parsed) -> Result<Harness, ArgError> {
+    let instructions = p.get_or("instructions", 1_000_000u64)?;
+    Ok(Harness {
+        instructions,
+        warmup: p.get_or("warmup", instructions / 3)?,
+        seed: p.get_or("seed", 42u64)?,
+        check_data: p.has_flag("check-data"),
+    })
+}
+
+fn cmd_figure(p: &Parsed) -> CmdResult {
+    let which = p
+        .positionals
+        .get(1)
+        .ok_or_else(|| ArgError("figure: which one? (3..13 or all)".into()))?;
+    let h = harness(p)?;
+    let figs = match which.as_str() {
+        "all" => figures::all(&h),
+        n => {
+            let f = match n {
+                "3" => figures::fig3(&h),
+                "4" => figures::fig4(&h),
+                "5" => figures::fig5(&h),
+                "6" => figures::fig6(&h),
+                "7" => figures::fig7(&h),
+                "8" => figures::fig8(&h),
+                "9" => figures::fig9(&h),
+                "10" => figures::fig10(&h),
+                "11" => figures::fig11(&h),
+                "12" => figures::fig12(&h),
+                "13" => figures::fig13(&h),
+                _ => return Err(ArgError(format!("no figure {n} (the paper has 3..13)")).into()),
+            };
+            vec![f]
+        }
+    };
+    let svg_dir = p.options.get("svg").cloned();
+    for f in figs {
+        if let Some(dir) = &svg_dir {
+            std::fs::create_dir_all(dir)?;
+            let name = f.id.to_ascii_lowercase().replace(' ', "_");
+            let path = std::path::Path::new(dir).join(format!("{name}.svg"));
+            std::fs::write(&path, render::svg_figure(&f))?;
+            println!("wrote {}", path.display());
+        } else if p.has_flag("csv") {
+            print!("{}", render::figure_csv(&f));
+        } else {
+            println!("{}", render::render_figure(&f));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_table(p: &Parsed) -> CmdResult {
+    let which = p
+        .positionals
+        .get(1)
+        .ok_or_else(|| ArgError("table: which one? (1..7 or all)".into()))?;
+    let h = harness(p)?;
+    let cfg = MachineConfig::baseline();
+    let one = |n: &str| -> Result<tables::TableResult, ArgError> {
+        Ok(match n {
+            "1" => tables::table1(&cfg),
+            "2" => tables::table2(&cfg),
+            "3" => tables::table3(),
+            "4" => tables::table4(&h),
+            "5" => tables::table5(&h),
+            "6" => tables::table6(&h),
+            "7" => tables::table7(&h),
+            _ => return Err(ArgError(format!("no table {n} (the paper has 1..7)"))),
+        })
+    };
+    let list = if which == "all" {
+        ["1", "2", "3", "4", "5", "6", "7"]
+            .iter()
+            .map(|n| one(n))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        vec![one(which)?]
+    };
+    for t in list {
+        println!("{}", render::render_table(&t));
+    }
+    Ok(())
+}
+
+fn cmd_ablation(p: &Parsed) -> CmdResult {
+    let which = p
+        .positionals
+        .get(1)
+        .ok_or_else(|| ArgError("ablation: which one? (a1..a10 or all)".into()))?;
+    let h = harness(p)?;
+    let figs = if which == "all" {
+        ablations::all(&h)
+    } else {
+        vec![ablations::by_name(&h, which)
+            .ok_or_else(|| ArgError(format!("no ablation {which:?} (a1..a10)")))?]
+    };
+    for f in figs {
+        println!("{}", render::render_figure(&f));
+    }
+    Ok(())
+}
+
+fn hazard_from(name: &str) -> Result<LoadHazardPolicy, ArgError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "flush-full" => LoadHazardPolicy::FlushFull,
+        "flush-partial" => LoadHazardPolicy::FlushPartial,
+        "flush-item-only" => LoadHazardPolicy::FlushItemOnly,
+        "read-from-wb" => LoadHazardPolicy::ReadFromWb,
+        other => return Err(ArgError(format!("unknown hazard policy {other:?}"))),
+    })
+}
+
+fn machine_from(p: &Parsed) -> Result<MachineConfig, Box<dyn Error>> {
+    // A --config file provides the base; explicit flags override it.
+    let mut cfg = match p.options.get("config") {
+        Some(path) => std::fs::read_to_string(path)?.parse::<MachineConfig>()?,
+        None => MachineConfig::baseline(),
+    };
+    if p.options.contains_key("config") {
+        // Flags below override file values only when given explicitly.
+        if let Some(v) = p.options.get("depth") {
+            cfg.write_buffer.depth = v
+                .parse()
+                .map_err(|_| ArgError(format!("bad --depth {v:?}")))?;
+        }
+        if let Some(v) = p.options.get("retire-at") {
+            cfg.write_buffer.retirement = RetirementPolicy::RetireAt(
+                v.parse()
+                    .map_err(|_| ArgError(format!("bad --retire-at {v:?}")))?,
+            );
+        }
+        if let Some(v) = p.options.get("hazard") {
+            cfg.write_buffer.hazard = hazard_from(v)?;
+        }
+        cfg.check_data = p.has_flag("check-data");
+        cfg.validate()?;
+        return Ok(cfg);
+    }
+    cfg.write_buffer = WriteBufferConfig {
+        depth: p.get_or("depth", 4usize)?,
+        retirement: RetirementPolicy::RetireAt(p.get_or("retire-at", 2usize)?),
+        hazard: hazard_from(
+            &p.options
+                .get("hazard")
+                .cloned()
+                .unwrap_or_else(|| "flush-full".into()),
+        )?,
+        ..WriteBufferConfig::baseline()
+    };
+    cfg.issue_width = p.get_or("issue", 1u32)?;
+    cfg.l1 = L1Config::with_size(p.get_or("l1-kb", 8u32)? * 1024);
+    let latency = p.get_or("l2-latency", 6u64)?;
+    cfg.l2 = match p.options.get("l2-kb") {
+        None => L2Config::Perfect { latency },
+        Some(_) => L2Config::Real {
+            size_bytes: p.get_or("l2-kb", 1024u32)? * 1024,
+            assoc: 1,
+            latency,
+            mm_latency: p.get_or("mm", 25u64)?,
+        },
+    };
+    cfg.check_data = p.has_flag("check-data");
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn print_stats(stats: &wbsim_types::stats::SimStats) {
+    println!("{stats}");
+}
+
+fn cmd_run(p: &Parsed) -> CmdResult {
+    let bench_name = p
+        .options
+        .get("bench")
+        .ok_or_else(|| ArgError("run: --bench NAME is required (see `wbsim list`)".into()))?;
+    let bench = BenchmarkModel::from_name(bench_name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark {bench_name:?}")))?;
+    let h = harness(p)?;
+    let cfg = machine_from(p)?;
+    let n_seeds = p.get_or("seeds", 1u64)?;
+    if n_seeds > 1 {
+        let summary = h.run_seeds(bench, cfg, n_seeds);
+        println!(
+            "benchmark: {}  ({} seeds, mean ± sd, % of execution time)",
+            bench.name(),
+            summary.seeds
+        );
+        for (name, (m, sd)) in [
+            ("L2-read-access", summary.r),
+            ("buffer-full", summary.f),
+            ("load-hazard", summary.l),
+            ("total", summary.total),
+        ] {
+            println!("{name:<16} {m:>7.3} ± {sd:.3}");
+        }
+        return Ok(());
+    }
+    let mut ops = bench.stream(h.seed, h.instructions + h.warmup);
+    let barrier_every = p.get_or("barrier-every", 0u64)?;
+    if barrier_every > 0 {
+        ops = wbsim_trace::transform::with_barriers(&ops, barrier_every);
+    }
+    let mshrs = p.get_or("mshrs", 0usize)?;
+    let stats = if mshrs > 0 {
+        wbsim_sim::NonBlockingMachine::new(cfg, mshrs)?.run(ops)
+    } else {
+        let machine = Machine::new(cfg)?;
+        if p.has_flag("ideal") {
+            machine.run_ideal_with_warmup(ops, h.warmup)
+        } else {
+            machine.run_with_warmup(ops, h.warmup)
+        }
+    };
+    println!("benchmark: {}", bench.name());
+    print_stats(&stats);
+    Ok(())
+}
+
+fn cmd_predict(p: &Parsed) -> CmdResult {
+    let bench_name = p
+        .options
+        .get("bench")
+        .ok_or_else(|| ArgError("predict: --bench NAME is required".into()))?;
+    let bench = BenchmarkModel::from_name(bench_name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark {bench_name:?}")))?;
+    let h = harness(p)?;
+    let cfg = machine_from(p)?;
+    let ops = bench.stream(h.seed, h.instructions);
+    let inputs = wbsim_analytic::inputs_from_trace(&ops, &cfg);
+    let pred = wbsim_analytic::predict(&inputs, &cfg);
+    let sim = Machine::new(cfg)?.run(ops);
+    println!(
+        "benchmark: {}  (analytic model vs simulation)",
+        bench.name()
+    );
+    println!(
+        "model inputs: loads {:.1}%  stores {:.1}%  L1 miss {:.1}%  WB hit {:.1}%  hazard {:.2}%",
+        inputs.load_rate * 100.0,
+        inputs.store_rate * 100.0,
+        inputs.l1_miss_rate * 100.0,
+        inputs.wb_hit_rate * 100.0,
+        inputs.hazard_load_frac * 100.0
+    );
+    println!("{:<18} {:>10} {:>10}", "", "model", "simulated");
+    println!(
+        "{:<18} {:>9.3}% {:>9.3}%",
+        "buffer-full",
+        pred.f_pct,
+        sim.stall_pct(StallKind::BufferFull)
+    );
+    println!(
+        "{:<18} {:>9.3}% {:>9.3}%",
+        "L2-read-access",
+        pred.r_pct,
+        sim.stall_pct(StallKind::L2ReadAccess)
+    );
+    println!(
+        "{:<18} {:>9.3}% {:>9.3}%",
+        "load-hazard",
+        pred.l_pct,
+        sim.stall_pct(StallKind::LoadHazard)
+    );
+    println!(
+        "{:<18} {:>9.3}% {:>9.3}%",
+        "total",
+        pred.total_pct(),
+        sim.total_stall_pct()
+    );
+    println!(
+        "{:<18} {:>10.3} {:>10.3}",
+        "mean occupancy",
+        pred.mean_occupancy,
+        sim.wb_detail.mean_occupancy()
+    );
+    Ok(())
+}
+
+fn cmd_sweep(p: &Parsed) -> CmdResult {
+    let bench_name = p
+        .options
+        .get("bench")
+        .ok_or_else(|| ArgError("sweep: --bench NAME is required".into()))?;
+    let bench = BenchmarkModel::from_name(bench_name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark {bench_name:?}")))?;
+    let param = p
+        .options
+        .get("param")
+        .ok_or_else(|| ArgError("sweep: --param KEY=V1,V2,... is required".into()))?;
+    let (key, values) = param
+        .split_once('=')
+        .ok_or_else(|| ArgError(format!("--param must look like KEY=V1,V2, got {param:?}")))?;
+    const KEYS: &[&str] = &[
+        "depth",
+        "retire-at",
+        "hazard",
+        "l1-kb",
+        "l2-latency",
+        "l2-kb",
+        "mm",
+        "issue",
+    ];
+    if !KEYS.contains(&key) {
+        return Err(ArgError(format!("--param key must be one of {KEYS:?}, got {key:?}")).into());
+    }
+    let h = harness(p)?;
+    let ops = bench.stream(h.seed, h.instructions + h.warmup);
+    println!(
+        "{} sweeping {key} over {} instructions
+",
+        bench.name(),
+        h.instructions
+    );
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        key, "R %", "F %", "L %", "total %", "CPI", "occupancy"
+    );
+    println!("{}", "-".repeat(74));
+    for v in values.split(',') {
+        let v = v.trim();
+        // Rebuild the config with this value substituted for the key.
+        let mut sub = Parsed {
+            options: p.options.clone(),
+            flags: p.flags.clone(),
+            ..Parsed::default()
+        };
+        sub.options.insert(key.to_string(), v.to_string());
+        let cfg = machine_from(&sub)?;
+        let stats = Machine::new(cfg)?.run_with_warmup(ops.iter().copied(), h.warmup);
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3}",
+            v,
+            stats.stall_pct(StallKind::L2ReadAccess),
+            stats.stall_pct(StallKind::BufferFull),
+            stats.stall_pct(StallKind::LoadHazard),
+            stats.total_stall_pct(),
+            stats.cpi(),
+            stats.wb_detail.mean_occupancy()
+        );
+    }
+    Ok(())
+}
+
+fn parse_param(arg: &str) -> Result<(String, Vec<String>), ArgError> {
+    let (key, values) = arg
+        .split_once('=')
+        .ok_or_else(|| ArgError(format!("expected KEY=V1,V2,..., got {arg:?}")))?;
+    const KEYS: &[&str] = &[
+        "depth",
+        "retire-at",
+        "hazard",
+        "l1-kb",
+        "l2-latency",
+        "l2-kb",
+        "mm",
+        "issue",
+    ];
+    if !KEYS.contains(&key) {
+        return Err(ArgError(format!(
+            "key must be one of {KEYS:?}, got {key:?}"
+        )));
+    }
+    Ok((
+        key.to_string(),
+        values.split(',').map(|v| v.trim().to_string()).collect(),
+    ))
+}
+
+fn cmd_grid(p: &Parsed) -> CmdResult {
+    let bench_name = p
+        .options
+        .get("bench")
+        .ok_or_else(|| ArgError("grid: --bench NAME is required".into()))?;
+    let bench = BenchmarkModel::from_name(bench_name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark {bench_name:?}")))?;
+    let (xk, xs) = parse_param(
+        p.options
+            .get("x")
+            .ok_or_else(|| ArgError("grid: --x KEY=V1,V2,... is required".into()))?,
+    )?;
+    let (yk, ys) = parse_param(
+        p.options
+            .get("y")
+            .ok_or_else(|| ArgError("grid: --y KEY=V1,V2,... is required".into()))?,
+    )?;
+    if xk == yk {
+        return Err(ArgError("grid: --x and --y must differ".into()).into());
+    }
+    let h = harness(p)?;
+    let ops = bench.stream(h.seed, h.instructions + h.warmup);
+    println!(
+        "{}: total write-buffer stall %% over {} instructions ({yk} down, {xk} across)
+",
+        bench.name(),
+        h.instructions
+    );
+    print!("{:<14}", format!("{yk} \\ {xk}"));
+    for x in &xs {
+        print!("{x:>9}");
+    }
+    println!();
+    println!("{}", "-".repeat(14 + 9 * xs.len()));
+    let mut best: Option<(f64, String, String)> = None;
+    for yv in &ys {
+        print!("{yv:<14}");
+        for xv in &xs {
+            let mut sub = Parsed {
+                options: p.options.clone(),
+                flags: p.flags.clone(),
+                ..Parsed::default()
+            };
+            sub.options.insert(xk.clone(), xv.clone());
+            sub.options.insert(yk.clone(), yv.clone());
+            match machine_from(&sub) {
+                Ok(cfg) => {
+                    let stats = Machine::new(cfg)?.run_with_warmup(ops.iter().copied(), h.warmup);
+                    let t = stats.total_stall_pct();
+                    print!("{t:>9.3}");
+                    if best.as_ref().is_none_or(|(b, _, _)| t < *b) {
+                        best = Some((t, xv.clone(), yv.clone()));
+                    }
+                }
+                Err(_) => print!("{:>9}", "-"), // invalid cell (e.g. hw > depth)
+            }
+        }
+        println!();
+    }
+    if let Some((t, xv, yv)) = best {
+        println!(
+            "
+best: {xk}={xv}, {yk}={yv} ({t:.3}%)"
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(p: &Parsed) -> CmdResult {
+    use std::fmt::Write as _;
+    let h = harness(p)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# wbsim reproduction report
+
+         Machine-generated by `wbsim report` — every table and figure of
+         Skadron & Clark, *Design Issues and Tradeoffs for Write Buffers*
+         (HPCA 1997), at {} measured instructions per benchmark per
+         configuration (seed {}, {} warmup instructions).
+",
+        h.instructions, h.seed, h.warmup
+    );
+    out.push_str(
+        "## Tables
+
+",
+    );
+    let cfg = MachineConfig::baseline();
+    for t in [
+        tables::table1(&cfg),
+        tables::table2(&cfg),
+        tables::table3(),
+        tables::table4(&h),
+        tables::table5(&h),
+        tables::table6(&h),
+        tables::table7(&h),
+    ] {
+        out.push_str(&render::table_markdown(&t));
+    }
+    out.push_str(
+        "## Figures
+
+",
+    );
+    for f in figures::all(&h) {
+        out.push_str(&render::figure_markdown(&f));
+    }
+    out.push_str(
+        "## Ablations
+
+",
+    );
+    for f in ablations::all(&h) {
+        out.push_str(&render::figure_markdown(&f));
+    }
+    match p.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out)?;
+            println!("wrote {path} ({} bytes)", out.len());
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+fn cmd_trace(p: &Parsed) -> CmdResult {
+    let sub = p
+        .positionals
+        .get(1)
+        .ok_or_else(|| ArgError("trace: gen | stats | run".into()))?;
+    match sub.as_str() {
+        "gen" => {
+            let bench_name = p
+                .options
+                .get("bench")
+                .ok_or_else(|| ArgError("trace gen: --bench NAME required".into()))?;
+            let bench = BenchmarkModel::from_name(bench_name)
+                .ok_or_else(|| ArgError(format!("unknown benchmark {bench_name:?}")))?;
+            let out = p
+                .options
+                .get("out")
+                .ok_or_else(|| ArgError("trace gen: --out FILE required".into()))?;
+            let h = harness(p)?;
+            let ops = bench.stream(h.seed, h.instructions);
+            let f = BufWriter::new(File::create(out)?);
+            if p.has_flag("binary") {
+                trace_file::write_binary(f, &ops)?;
+            } else {
+                trace_file::write_text(f, &ops)?;
+            }
+            println!("wrote {} events to {out}", ops.len());
+            Ok(())
+        }
+        "synth" => {
+            let out = p
+                .options
+                .get("out")
+                .ok_or_else(|| ArgError("trace synth: --out FILE required".into()))?;
+            let w = wbsim_trace::stream::MixedWorkload {
+                pct_loads: p.get_or("loads", 0.25f64)?,
+                pct_stores: p.get_or("stores", 0.10f64)?,
+                hazard_load_frac: p.get_or("hazard-loads", 0.01f64)?,
+                hot_load_frac: p.get_or("hot", 0.80f64)?,
+                stream_load_frac: p.get_or("stream", 0.10f64)?,
+                seq_store_frac: p.get_or("seq", 0.50f64)?,
+                seq_run_words: p.get_or("run-words", 8u32)?,
+                store_burst: p.get_or("burst", 1u32)?,
+                revisit_store_frac: p.get_or("revisit", 0.40f64)?,
+                hot_bytes: 2 * 1024,
+                region_bytes: p.get_or("region-kb", 64u64)? * 1024,
+            };
+            let h = harness(p)?;
+            let ops = w.generate(h.seed, h.instructions);
+            let f = BufWriter::new(File::create(out)?);
+            if p.has_flag("binary") {
+                trace_file::write_binary(f, &ops)?;
+            } else {
+                trace_file::write_text(f, &ops)?;
+            }
+            let t = TraceStats::measure(&ops);
+            println!(
+                "wrote {} events to {out}  (loads {:.1}%, stores {:.1}%, mean store group {:.2})",
+                ops.len(),
+                t.pct_loads,
+                t.pct_stores,
+                t.mean_store_group
+            );
+            Ok(())
+        }
+        "stats" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| ArgError("trace stats: FILE required".into()))?;
+            let ops = load_trace(path)?;
+            let t = TraceStats::measure(&ops);
+            println!("instructions        {:>14}", t.instructions);
+            println!("loads               {:>14}  ({:.2}%)", t.loads, t.pct_loads);
+            println!(
+                "stores              {:>14}  ({:.2}%)",
+                t.stores, t.pct_stores
+            );
+            println!("distinct lines      {:>14}", t.distinct_lines);
+            println!("distinct store lines{:>14}", t.distinct_store_lines);
+            println!("mean seq store run  {:>14.2}", t.mean_seq_store_run);
+            println!("same-line stores    {:>13.2}%", t.pct_store_same_line);
+            Ok(())
+        }
+        "run" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| ArgError("trace run: FILE required".into()))?;
+            let ops = load_trace(path)?;
+            let cfg = machine_from(p)?;
+            let stats = Machine::new(cfg)?.run(ops);
+            print_stats(&stats);
+            Ok(())
+        }
+        other => Err(ArgError(format!("trace: unknown subcommand {other:?}")).into()),
+    }
+}
+
+fn load_trace(path: &str) -> Result<Vec<wbsim_types::op::Op>, Box<dyn Error>> {
+    // Sniff the magic to pick the codec.
+    let mut head = [0u8; 4];
+    use std::io::Read as _;
+    let mut f = File::open(path)?;
+    let n = f.read(&mut head)?;
+    drop(f);
+    let ops = if n == 4 && &head == trace_file::BINARY_MAGIC {
+        trace_file::read_binary(BufReader::new(File::open(path)?))?
+    } else {
+        trace_file::read_text(BufReader::new(File::open(path)?))?
+    };
+    Ok(ops)
+}
+
+fn cmd_list() -> CmdResult {
+    println!("benchmark models (paper Table 4):");
+    for m in BenchmarkModel::ALL {
+        let p = m.paper();
+        println!(
+            "  {:<12} loads {:>5.1}%  stores {:>5.1}%  L1 {:>6.2}%  WB {:>6.2}%",
+            m.name(),
+            p.pct_loads,
+            p.pct_stores,
+            p.l1_hit,
+            p.wb_hit
+        );
+    }
+    println!("transformed kernels (paper Table 6): cholsky-T, gmtry-T");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_list_work() {
+        assert!(dispatch(&v(&["help"])).is_ok());
+        assert!(dispatch(&v(&[])).is_ok());
+        assert!(dispatch(&v(&["list"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(dispatch(&v(&["frobnicate"])).is_err());
+        assert!(dispatch(&v(&["figure", "99"])).is_err());
+        assert!(dispatch(&v(&["table", "0"])).is_err());
+        assert!(dispatch(&v(&["ablation", "a99"])).is_err());
+    }
+
+    #[test]
+    fn run_requires_known_benchmark() {
+        assert!(dispatch(&v(&["run"])).is_err());
+        assert!(dispatch(&v(&["run", "--bench", "nosuch"])).is_err());
+    }
+
+    #[test]
+    fn small_run_works() {
+        assert!(dispatch(&v(&[
+            "run",
+            "--bench",
+            "espresso",
+            "--instructions",
+            "2000",
+            "--check-data"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn predict_works() {
+        assert!(dispatch(&v(&[
+            "predict",
+            "--bench",
+            "compress",
+            "--instructions",
+            "3000"
+        ]))
+        .is_ok());
+        assert!(dispatch(&v(&["predict"])).is_err());
+    }
+
+    #[test]
+    fn multi_seed_run_works() {
+        assert!(dispatch(&v(&[
+            "run",
+            "--bench",
+            "doduc",
+            "--seeds",
+            "3",
+            "--instructions",
+            "2000",
+            "--check-data"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn small_figure_works() {
+        assert!(dispatch(&v(&["figure", "3", "--instructions", "1500", "--csv"])).is_ok());
+    }
+
+    #[test]
+    fn hazard_parsing() {
+        assert!(hazard_from("read-from-wb").is_ok());
+        assert!(hazard_from("FLUSH-PARTIAL").is_ok());
+        assert!(hazard_from("whatever").is_err());
+    }
+
+    #[test]
+    fn sweep_works() {
+        assert!(dispatch(&v(&[
+            "sweep",
+            "--bench",
+            "li",
+            "--param",
+            "depth=2,4",
+            "--instructions",
+            "2000"
+        ]))
+        .is_ok());
+        assert!(dispatch(&v(&["sweep", "--bench", "li"])).is_err());
+        assert!(dispatch(&v(&["sweep", "--bench", "li", "--param", "bogus=1,2"])).is_err());
+    }
+
+    #[test]
+    fn grid_works_and_skips_invalid_cells() {
+        assert!(dispatch(&v(&[
+            "grid",
+            "--bench",
+            "sc",
+            "--x",
+            "depth=2,8",
+            "--y",
+            "retire-at=2,4",
+            "--instructions",
+            "2000"
+        ]))
+        .is_ok());
+        assert!(dispatch(&v(&["grid", "--bench", "sc", "--x", "depth=2"])).is_err());
+        assert!(dispatch(&v(&[
+            "grid", "--bench", "sc", "--x", "depth=2", "--y", "depth=4"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn report_writes_markdown() {
+        let dir = std::env::temp_dir().join("wbsim-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.md");
+        assert!(dispatch(&v(&[
+            "report",
+            "--out",
+            path.to_str().unwrap(),
+            "--instructions",
+            "1200",
+            "--warmup",
+            "200"
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# wbsim reproduction report"));
+        assert!(text.contains("### Figure 13"));
+        assert!(text.contains("### Ablation A12"));
+    }
+
+    #[test]
+    fn config_file_via_cli() {
+        let dir = std::env::temp_dir().join("wbsim-cfg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.wbcfg");
+        std::fs::write(
+            &path,
+            "wb.depth = 12
+wb.retirement = retire-at-8
+",
+        )
+        .unwrap();
+        assert!(dispatch(&v(&[
+            "run",
+            "--bench",
+            "sc",
+            "--config",
+            path.to_str().unwrap(),
+            "--instructions",
+            "2000"
+        ]))
+        .is_ok());
+        std::fs::write(
+            &path,
+            "garbage here
+",
+        )
+        .unwrap();
+        assert!(dispatch(&v(&[
+            "run",
+            "--bench",
+            "sc",
+            "--config",
+            path.to_str().unwrap()
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_synth_works() {
+        let dir = std::env::temp_dir().join("wbsim-synth-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.trace");
+        let path_s = path.to_str().unwrap();
+        assert!(dispatch(&v(&[
+            "trace",
+            "synth",
+            "--out",
+            path_s,
+            "--loads",
+            "0.3",
+            "--burst",
+            "4",
+            "--instructions",
+            "3000"
+        ]))
+        .is_ok());
+        assert!(dispatch(&v(&["trace", "run", path_s, "--check-data"])).is_ok());
+        assert!(dispatch(&v(&["trace", "synth"])).is_err());
+    }
+
+    #[test]
+    fn trace_roundtrip_via_cli() {
+        let dir = std::env::temp_dir().join("wbsim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.to_str().unwrap();
+        assert!(dispatch(&v(&[
+            "trace",
+            "gen",
+            "--bench",
+            "li",
+            "--out",
+            path_s,
+            "--instructions",
+            "1000"
+        ]))
+        .is_ok());
+        assert!(dispatch(&v(&["trace", "stats", path_s])).is_ok());
+        assert!(dispatch(&v(&["trace", "run", path_s, "--check-data"])).is_ok());
+        let bin = dir.join("t.bin");
+        let bin_s = bin.to_str().unwrap();
+        assert!(dispatch(&v(&[
+            "trace",
+            "gen",
+            "--bench",
+            "li",
+            "--out",
+            bin_s,
+            "--instructions",
+            "1000",
+            "--binary"
+        ]))
+        .is_ok());
+        assert!(dispatch(&v(&["trace", "run", bin_s, "--check-data"])).is_ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! `wbsim` — command-line front end for the write-buffer study.
+//!
+//! ```text
+//! wbsim figure <3..13|all>      regenerate a paper figure
+//! wbsim table <1..7|all>        regenerate a paper table
+//! wbsim ablation <a1..a8|all>   run an ablation experiment
+//! wbsim run --bench NAME ...    run one benchmark / configuration
+//! wbsim trace ...               generate, inspect, or replay trace files
+//! wbsim list                    list benchmark models
+//! ```
+//!
+//! Run `wbsim help` for the full option reference.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wbsim: {e}");
+            eprintln!("run `wbsim help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Preset write-buffer configurations for the hardware and related designs
+//! the paper discusses.
+//!
+//! These are convenience constructors over [`WriteBufferConfig`]; each
+//! documents its source in the paper.
+
+use wbsim_types::config::WriteBufferConfig;
+use wbsim_types::policy::{L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy};
+
+/// The DEC Alpha 21064's buffer: 4-deep, retire-at-2, flush-full, with the
+/// 256-cycle old-entry timer (paper §2.2). The paper's *baseline* is this
+/// minus the timer — use [`WriteBufferConfig::baseline`] for that.
+#[must_use]
+pub fn alpha_21064() -> WriteBufferConfig {
+    WriteBufferConfig {
+        max_age: Some(256),
+        ..WriteBufferConfig::baseline()
+    }
+}
+
+/// The DEC Alpha 21164's buffer: 6-deep, retire-at-2, flush-partial, with a
+/// 64-cycle old-entry timer (paper §2.2).
+#[must_use]
+pub fn alpha_21164() -> WriteBufferConfig {
+    WriteBufferConfig {
+        depth: 6,
+        hazard: LoadHazardPolicy::FlushPartial,
+        max_age: Some(64),
+        ..WriteBufferConfig::baseline()
+    }
+}
+
+/// An UltraSPARC-I-style buffer: read-bypassing "until the buffer becomes
+/// too full, at which point the write buffer gets priority for L2"
+/// (paper §2.2). The threshold here is depth − 1.
+#[must_use]
+pub fn ultrasparc_style(depth: usize) -> WriteBufferConfig {
+    WriteBufferConfig {
+        depth,
+        priority: L2Priority::WritePriorityAbove(depth.saturating_sub(1).max(1)),
+        ..WriteBufferConfig::baseline()
+    }
+}
+
+/// A non-coalescing buffer: entries one word wide (paper Table 2's
+/// "1 for non-coalescing buffers").
+#[must_use]
+pub fn non_coalescing(depth: usize) -> WriteBufferConfig {
+    WriteBufferConfig {
+        depth,
+        width_words: 1,
+        ..WriteBufferConfig::baseline()
+    }
+}
+
+/// Jouppi's *write cache*: "a write buffer organized as a small, fully
+/// associative cache with LRU replacement … the write cache waits until it
+/// must evict one of its entries before writing that data to the next
+/// level" (paper §1). Modeled as an LRU-ordered buffer that only retires
+/// when full (retire-at-depth), reading loads directly from the cache.
+#[must_use]
+pub fn write_cache(depth: usize) -> WriteBufferConfig {
+    WriteBufferConfig {
+        depth,
+        order: RetirementOrder::Lru,
+        retirement: RetirementPolicy::RetireAt(depth),
+        hazard: LoadHazardPolicy::ReadFromWb,
+        ..WriteBufferConfig::baseline()
+    }
+}
+
+/// The best configuration the paper finds (§3.5): a deep, read-from-WB
+/// buffer with lazy retirement and 4 entries of headroom — "a 12-deep
+/// buffer with retire-at-8 and read-from-WB is the best configuration so
+/// far".
+#[must_use]
+pub fn paper_recommended() -> WriteBufferConfig {
+    WriteBufferConfig {
+        depth: 12,
+        retirement: RetirementPolicy::RetireAt(8),
+        hazard: LoadHazardPolicy::ReadFromWb,
+        ..WriteBufferConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsim_types::addr::Geometry;
+
+    #[test]
+    fn all_presets_validate() {
+        let g = Geometry::alpha_baseline();
+        for cfg in [
+            alpha_21064(),
+            alpha_21164(),
+            ultrasparc_style(8),
+            non_coalescing(8),
+            write_cache(8),
+            paper_recommended(),
+        ] {
+            cfg.validate(&g).expect("preset must validate");
+        }
+    }
+
+    #[test]
+    fn alpha_presets_match_paper_description() {
+        assert_eq!(alpha_21064().depth, 4);
+        assert_eq!(alpha_21064().max_age, Some(256));
+        assert_eq!(alpha_21164().depth, 6);
+        assert_eq!(alpha_21164().hazard, LoadHazardPolicy::FlushPartial);
+        assert_eq!(alpha_21164().max_age, Some(64));
+    }
+
+    #[test]
+    fn write_cache_only_retires_when_full() {
+        let wc = write_cache(8);
+        assert_eq!(wc.retirement, RetirementPolicy::RetireAt(8));
+        assert_eq!(wc.order, RetirementOrder::Lru);
+        assert_eq!(wc.headroom(), Some(0));
+    }
+
+    #[test]
+    fn recommended_has_adequate_headroom() {
+        let r = paper_recommended();
+        assert_eq!(r.headroom(), Some(4), "§3.5: at least 4–6 entries");
+        assert_eq!(r.hazard, LoadHazardPolicy::ReadFromWb);
+    }
+
+    #[test]
+    fn ultrasparc_threshold_below_depth() {
+        let u = ultrasparc_style(8);
+        assert_eq!(u.priority, L2Priority::WritePriorityAbove(7));
+    }
+}

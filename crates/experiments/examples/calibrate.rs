@@ -1,0 +1,31 @@
+use wbsim_experiments::harness::Harness;
+use wbsim_experiments::tables;
+
+fn main() {
+    let h = Harness {
+        instructions: 300_000,
+        warmup: 100_000,
+        seed: 42,
+        check_data: false,
+    };
+    let t0 = std::time::Instant::now();
+    let rows = tables::table5_rows(&h);
+    println!("elapsed: {:?}", t0.elapsed());
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "bench", "L1 meas", "L1 tgt", "dL1", "WB meas", "WB tgt", "dWB"
+    );
+    for r in rows {
+        let p = r.bench.paper();
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}",
+            r.bench.name(),
+            r.l1_hit,
+            p.l1_hit,
+            r.l1_hit - p.l1_hit,
+            r.wb_hit,
+            p.wb_hit,
+            r.wb_hit - p.wb_hit
+        );
+    }
+}

@@ -1,0 +1,15 @@
+use wbsim_experiments::harness::Harness;
+use wbsim_experiments::{figures, render, tables};
+
+fn main() {
+    let h = Harness {
+        instructions: 300_000,
+        warmup: 100_000,
+        seed: 42,
+        check_data: false,
+    };
+    let t6 = tables::table6(&h);
+    print!("{}", render::render_table(&t6));
+    let f3 = figures::fig3(&h);
+    print!("{}", render::render_figure(&f3));
+}

@@ -1,0 +1,66 @@
+use std::collections::HashMap;
+use wbsim_mem::{L2Cache, MainMemory};
+use wbsim_trace::bench_models::BenchmarkModel;
+use wbsim_types::addr::Geometry;
+use wbsim_types::config::L2Config;
+use wbsim_types::op::Op;
+
+fn region(a: u64) -> &'static str {
+    if a < 0x0100_0000 {
+        "hot"
+    } else if a < 0x0800_0000 {
+        "stream"
+    } else if a < 0x2000_0000 {
+        "store"
+    } else {
+        "rand"
+    }
+}
+
+fn main() {
+    // Structurally replay loads through an L2 alone (no L1) to see which
+    // region misses at steady state.
+    let g = Geometry::alpha_baseline();
+    let mut mem = MainMemory::new();
+    let mut l2 = L2Cache::new(&L2Config::real_with_size(1024 * 1024), &g).unwrap();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mdljsp2".into());
+    let ops = BenchmarkModel::from_name(&name)
+        .unwrap()
+        .stream(42, 1_000_000);
+    let mut touched = std::collections::HashSet::new();
+    let mut misses: HashMap<&str, u64> = HashMap::new();
+    let mut reads: HashMap<&str, u64> = HashMap::new();
+    let mut steady_misses: HashMap<&str, u64> = HashMap::new();
+    for op in &ops {
+        if let Op::Store(a) = op {
+            // model the write buffer's eventual retirement: write-allocate
+            let line = g.line_of(*a);
+            let mut mask = wbsim_types::addr::WordMask::empty();
+            mask.set(g.word_index(*a));
+            l2.write_line_masked(&g, line, mask, &[1, 1, 1, 1], &mut mem);
+            touched.insert(line);
+        }
+        if let Op::Load(a) = op {
+            let line = g.line_of(*a);
+            let r = region(a.as_u64());
+            *reads.entry(r).or_default() += 1;
+            let out = l2.read_line(&g, line, &mut mem);
+            if out.miss {
+                *misses.entry(r).or_default() += 1;
+                if touched.contains(&line) {
+                    *steady_misses.entry(r).or_default() += 1;
+                }
+            }
+            touched.insert(line);
+        }
+    }
+    println!("region  reads  misses  re-misses(previously touched)");
+    for r in ["hot", "stream", "store", "rand"] {
+        println!(
+            "{r:>6}  {:>8}  {:>6}  {:>6}",
+            reads.get(r).unwrap_or(&0),
+            misses.get(r).unwrap_or(&0),
+            steady_misses.get(r).unwrap_or(&0)
+        );
+    }
+}

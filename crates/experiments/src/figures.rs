@@ -1,0 +1,316 @@
+//! One runner per figure of the paper's evaluation (Figures 3–13).
+//!
+//! Each function documents the paper configuration it reproduces and
+//! returns a [`FigureResult`] grid; `render::render_figure` prints it.
+
+use wbsim_trace::bench_models::BenchmarkModel;
+use wbsim_types::config::{L1Config, L2Config, MachineConfig, WriteBufferConfig};
+use wbsim_types::policy::{LoadHazardPolicy, RetirementPolicy};
+
+use crate::harness::{FigureResult, Harness};
+
+fn with_wb(wb: WriteBufferConfig) -> MachineConfig {
+    MachineConfig {
+        write_buffer: wb,
+        ..MachineConfig::baseline()
+    }
+}
+
+fn wb(depth: usize, retire_at: usize, hazard: LoadHazardPolicy) -> WriteBufferConfig {
+    WriteBufferConfig {
+        depth,
+        retirement: RetirementPolicy::RetireAt(retire_at),
+        hazard,
+        ..WriteBufferConfig::baseline()
+    }
+}
+
+/// The "Baseline+" reference bar of Figures 6–9: a 12-deep, retire-at-2,
+/// flush-full buffer ("just a baseline buffer with more entries", §3.4).
+fn baseline_plus() -> (String, MachineConfig) {
+    (
+        "baseline+".to_string(),
+        with_wb(wb(12, 2, LoadHazardPolicy::FlushFull)),
+    )
+}
+
+fn hazard_label(p: LoadHazardPolicy) -> String {
+    p.to_string()
+}
+
+/// Figure 3: the baseline write buffer (4-deep, retire-at-2, flush-full)
+/// over every benchmark, split R/F/L.
+#[must_use]
+pub fn fig3(h: &Harness) -> FigureResult {
+    h.sweep(
+        "Figure 3",
+        "Write-Buffer-Induced Stall Cycles, Base Model (4-deep, retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &[("base".to_string(), MachineConfig::baseline())],
+    )
+}
+
+/// Figure 4: stall cycles as a function of depth, 2–12 entries
+/// (retire-at-2, flush-full).
+#[must_use]
+pub fn fig4(h: &Harness) -> FigureResult {
+    let configs: Vec<(String, MachineConfig)> = [2usize, 4, 6, 8, 10, 12]
+        .iter()
+        .map(|&d| {
+            (
+                format!("{d}-deep"),
+                with_wb(wb(d, 2, LoadHazardPolicy::FlushFull)),
+            )
+        })
+        .collect();
+    h.sweep(
+        "Figure 4",
+        "Stall Cycles as a Function of Depth, Base Model, depth = 2-12 (retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+/// Figure 5: a 12-deep, flush-full buffer under retire-at-2 … retire-at-10.
+#[must_use]
+pub fn fig5(h: &Harness) -> FigureResult {
+    let configs: Vec<(String, MachineConfig)> = [2usize, 4, 6, 8, 10]
+        .iter()
+        .map(|&n| {
+            (
+                format!("retire-at-{n}"),
+                with_wb(wb(12, n, LoadHazardPolicy::FlushFull)),
+            )
+        })
+        .collect();
+    h.sweep(
+        "Figure 5",
+        "Stall Cycles as a Function of Retirement Policy, retire-at-2 thru 10 (12-deep, flush-full)",
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+fn hazard_policy_figure(h: &Harness, id: &'static str, retire_at: usize) -> FigureResult {
+    let mut configs = vec![baseline_plus()];
+    for p in LoadHazardPolicy::ALL {
+        configs.push((hazard_label(p), with_wb(wb(12, retire_at, p))));
+    }
+    h.sweep(
+        id,
+        &format!("Stalls as a Function of Load-Hazard Policy (12-deep, retire-at-{retire_at})"),
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+/// Figure 6: load-hazard policies on a low-headroom (12-deep, retire-at-10)
+/// buffer, with the Baseline+ reference bar.
+#[must_use]
+pub fn fig6(h: &Harness) -> FigureResult {
+    hazard_policy_figure(h, "Figure 6", 10)
+}
+
+/// Figure 7: the same with more headroom (12-deep, retire-at-8).
+#[must_use]
+pub fn fig7(h: &Harness) -> FigureResult {
+    hazard_policy_figure(h, "Figure 7", 8)
+}
+
+fn headroom_figure(h: &Harness, id: &'static str, policy: LoadHazardPolicy) -> FigureResult {
+    // Retirement policy varies while headroom stays fixed at 6 entries —
+    // "depth therefore varies, too" (§3.5).
+    let mut configs = vec![baseline_plus()];
+    for n in [2usize, 4, 6] {
+        configs.push((format!("retire-at-{n}"), with_wb(wb(n + 6, n, policy))));
+    }
+    h.sweep(
+        id,
+        &format!(
+            "Stall Cycles as a Function of Retirement Policy with {policy}, \
+             retire-at-2 thru 6, headroom fixed at 6 entries"
+        ),
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+/// Figure 8: retirement policy under flush-partial, headroom fixed at 6.
+#[must_use]
+pub fn fig8(h: &Harness) -> FigureResult {
+    headroom_figure(h, "Figure 8", LoadHazardPolicy::FlushPartial)
+}
+
+/// Figure 9: retirement policy under flush-item-only, headroom fixed at 6.
+#[must_use]
+pub fn fig9(h: &Harness) -> FigureResult {
+    headroom_figure(h, "Figure 9", LoadHazardPolicy::FlushItemOnly)
+}
+
+/// Figure 10: the baseline write buffer with 8K/16K/32K L1 caches.
+#[must_use]
+pub fn fig10(h: &Harness) -> FigureResult {
+    let configs: Vec<(String, MachineConfig)> = [8u32, 16, 32]
+        .iter()
+        .map(|&kb| {
+            (
+                format!("{kb}k"),
+                MachineConfig {
+                    l1: L1Config::with_size(kb * 1024),
+                    ..MachineConfig::baseline()
+                },
+            )
+        })
+        .collect();
+    h.sweep(
+        "Figure 10",
+        "Stall Cycles as a Function of Cache Size (4-deep, retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+/// Figure 11: the baseline write buffer with L2 latency 3/6/10 cycles.
+#[must_use]
+pub fn fig11(h: &Harness) -> FigureResult {
+    let configs: Vec<(String, MachineConfig)> = [3u64, 6, 10]
+        .iter()
+        .map(|&lat| {
+            (
+                format!("{lat}-cycles"),
+                MachineConfig {
+                    l2: L2Config::Perfect { latency: lat },
+                    ..MachineConfig::baseline()
+                },
+            )
+        })
+        .collect();
+    h.sweep(
+        "Figure 11",
+        "Stall Cycles as a Function of L2 Access Time (4-deep, retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+/// Figure 12: perfect vs real L2 caches of 1M/512K/128K (6-cycle latency,
+/// 25-cycle main memory).
+#[must_use]
+pub fn fig12(h: &Harness) -> FigureResult {
+    let mut configs = vec![("perfect-L2".to_string(), MachineConfig::baseline())];
+    for (label, kb) in [("1M-L2", 1024u32), ("512k-L2", 512), ("128k-L2", 128)] {
+        configs.push((
+            label.to_string(),
+            MachineConfig {
+                l2: L2Config::real_with_size(kb * 1024),
+                ..MachineConfig::baseline()
+            },
+        ));
+    }
+    h.sweep(
+        "Figure 12",
+        "Stall Cycles, Perfect and Real Caches (4-deep, retire-at-2, flush-full; latency 6, mm 25)",
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+/// Figure 13: perfect L2 vs a 1M L2 with main-memory latency 25 and 50.
+#[must_use]
+pub fn fig13(h: &Harness) -> FigureResult {
+    let mk = |mm: u64| MachineConfig {
+        l2: L2Config::Real {
+            size_bytes: 1024 * 1024,
+            assoc: 1,
+            latency: 6,
+            mm_latency: mm,
+        },
+        ..MachineConfig::baseline()
+    };
+    let configs = vec![
+        ("perfect-L2".to_string(), MachineConfig::baseline()),
+        ("1M-L2,mm=25".to_string(), mk(25)),
+        ("1M-L2,mm=50".to_string(), mk(50)),
+    ];
+    h.sweep(
+        "Figure 13",
+        "Stall Cycles, perfect and real caches, different main-memory latencies (4-deep, retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &configs,
+    )
+}
+
+/// Every figure runner, for `wbsim figure all`.
+#[must_use]
+pub fn all(h: &Harness) -> Vec<FigureResult> {
+    vec![
+        fig3(h),
+        fig4(h),
+        fig5(h),
+        fig6(h),
+        fig7(h),
+        fig8(h),
+        fig9(h),
+        fig10(h),
+        fig11(h),
+        fig12(h),
+        fig13(h),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Harness {
+        Harness {
+            instructions: 4_000,
+            warmup: 0,
+            seed: 7,
+            check_data: true,
+        }
+    }
+
+    #[test]
+    fn fig4_has_six_depths() {
+        let f = fig4(&tiny());
+        assert_eq!(f.configs.len(), 6);
+        assert_eq!(f.benches.len(), 17);
+        assert_eq!(f.configs[0], "2-deep");
+        assert_eq!(f.configs[5], "12-deep");
+    }
+
+    #[test]
+    fn fig6_and_7_share_bar_layout() {
+        let a = fig6(&tiny());
+        let b = fig7(&tiny());
+        assert_eq!(a.configs, b.configs);
+        assert_eq!(
+            a.configs,
+            vec![
+                "baseline+",
+                "flush-full",
+                "flush-partial",
+                "flush-item-only",
+                "read-from-WB"
+            ]
+        );
+    }
+
+    #[test]
+    fn fig8_headroom_is_fixed_at_six() {
+        // retire-at-2 → 8-deep, retire-at-4 → 10-deep, retire-at-6 → 12-deep
+        let f = fig8(&tiny());
+        assert_eq!(
+            f.configs,
+            vec!["baseline+", "retire-at-2", "retire-at-4", "retire-at-6"]
+        );
+    }
+
+    #[test]
+    fn fig12_includes_perfect_reference() {
+        let f = fig12(&tiny());
+        assert_eq!(f.configs[0], "perfect-L2");
+        assert_eq!(f.configs.len(), 4);
+    }
+}

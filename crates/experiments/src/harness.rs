@@ -1,0 +1,421 @@
+//! Shared experiment infrastructure: run one benchmark through one machine
+//! configuration, or sweep a whole figure's configuration set over the
+//! whole suite in parallel.
+
+use wbsim_sim::Machine;
+use wbsim_trace::bench_models::BenchmarkModel;
+use wbsim_types::config::MachineConfig;
+use wbsim_types::stall::StallKind;
+use wbsim_types::stats::SimStats;
+
+/// How much work each experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Harness {
+    /// Measured instructions per benchmark per configuration.
+    pub instructions: u64,
+    /// Instructions executed (and discarded) before measurement begins, to
+    /// fill the caches. The paper's SPEC92 runs are long enough to amortize
+    /// cold starts; short synthetic runs need explicit warmup.
+    pub warmup: u64,
+    /// Base seed for trace generation.
+    pub seed: u64,
+    /// Verify every load against the golden functional model (slower).
+    pub check_data: bool,
+}
+
+impl Harness {
+    /// The default scale used by the CLI: long enough for stable
+    /// percentages on every benchmark.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            instructions: 1_000_000,
+            warmup: 300_000,
+            seed: 42,
+            check_data: false,
+        }
+    }
+
+    /// A small scale for unit tests and doc examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            instructions: 60_000,
+            warmup: 20_000,
+            seed: 42,
+            check_data: true,
+        }
+    }
+
+    /// Runs one benchmark through one configuration.
+    #[must_use]
+    pub fn run(&self, bench: BenchmarkModel, mut cfg: MachineConfig) -> SimStats {
+        cfg.check_data = self.check_data;
+        let ops = bench.stream(self.seed, self.instructions + self.warmup);
+        Machine::new(cfg)
+            .expect("experiment configurations are valid by construction")
+            .run_with_warmup(ops, self.warmup)
+    }
+
+    /// Runs one benchmark through the ideal-buffer lower bound.
+    #[must_use]
+    pub fn run_ideal(&self, bench: BenchmarkModel, mut cfg: MachineConfig) -> SimStats {
+        cfg.check_data = self.check_data;
+        let ops = bench.stream(self.seed, self.instructions + self.warmup);
+        Machine::new(cfg)
+            .expect("experiment configurations are valid by construction")
+            .run_ideal_with_warmup(ops, self.warmup)
+    }
+
+    /// Sweeps `configs` over `benches`, one OS thread per benchmark, and
+    /// assembles a [`FigureResult`]. Each benchmark's stream is generated
+    /// once and reused across configurations.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        id: &'static str,
+        title: &str,
+        benches: &[BenchmarkModel],
+        configs: &[(String, MachineConfig)],
+    ) -> FigureResult {
+        let cells: Vec<Vec<StallCell>> = std::thread::scope(|s| {
+            let handles: Vec<_> = benches
+                .iter()
+                .map(|bench| {
+                    s.spawn(move || {
+                        let ops = bench.stream(self.seed, self.instructions + self.warmup);
+                        configs
+                            .iter()
+                            .map(|(_, cfg)| {
+                                let mut cfg = cfg.clone();
+                                cfg.check_data = self.check_data;
+                                let stats = Machine::new(cfg)
+                                    .expect("experiment configurations are valid")
+                                    .run_with_warmup(ops.iter().copied(), self.warmup);
+                                StallCell::from_stats(&stats)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment thread panicked"))
+                .collect()
+        });
+        FigureResult {
+            id,
+            title: title.to_string(),
+            benches: benches.iter().map(|b| b.name()).collect(),
+            configs: configs.iter().map(|(l, _)| l.clone()).collect(),
+            cells,
+        }
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Mean and standard deviation of the figure quantities over several
+/// seeds — the confidence companion to a single-seed [`StallCell`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedSummary {
+    /// Seeds aggregated.
+    pub seeds: u64,
+    /// Mean / standard deviation of the L2-read-access percentage.
+    pub r: (f64, f64),
+    /// Mean / standard deviation of the buffer-full percentage.
+    pub f: (f64, f64),
+    /// Mean / standard deviation of the load-hazard percentage.
+    pub l: (f64, f64),
+    /// Mean / standard deviation of the total stall percentage.
+    pub total: (f64, f64),
+}
+
+fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+impl Harness {
+    /// Runs `bench` under `cfg` with `n_seeds` different workload seeds
+    /// (starting from this harness's base seed) and summarizes the spread.
+    /// Synthetic workloads are stochastic; this is how an experiment
+    /// decides whether a difference between two configurations is signal.
+    #[must_use]
+    pub fn run_seeds(
+        &self,
+        bench: BenchmarkModel,
+        cfg: MachineConfig,
+        n_seeds: u64,
+    ) -> SeedSummary {
+        let n = n_seeds.max(1);
+        let cells: Vec<StallCell> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let cfg = cfg.clone();
+                    sc.spawn(move || {
+                        let h = Harness {
+                            seed: self.seed + i,
+                            ..*self
+                        };
+                        StallCell::from_stats(&h.run(bench, cfg))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|j| j.join().expect("seed-run thread panicked"))
+                .collect()
+        });
+        let pick = |f: fn(&StallCell) -> f64| {
+            let xs: Vec<f64> = cells.iter().map(f).collect();
+            mean_sd(&xs)
+        };
+        SeedSummary {
+            seeds: n,
+            r: pick(|c| c.r_pct),
+            f: pick(|c| c.f_pct),
+            l: pick(|c| c.l_pct),
+            total: pick(|c| c.total_pct()),
+        }
+    }
+}
+
+/// One bar of a paper figure: the three stall categories as percentages of
+/// execution time, plus the counters they were derived from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallCell {
+    /// L2-read-access stall percentage (the paper's black segment).
+    pub r_pct: f64,
+    /// Buffer-full stall percentage (grey).
+    pub f_pct: f64,
+    /// Load-hazard stall percentage (white).
+    pub l_pct: f64,
+    /// The full statistics of the run.
+    pub stats: SimStats,
+}
+
+impl StallCell {
+    /// Extracts the figure quantities from a run's statistics.
+    #[must_use]
+    pub fn from_stats(stats: &SimStats) -> Self {
+        Self {
+            r_pct: stats.stall_pct(StallKind::L2ReadAccess),
+            f_pct: stats.stall_pct(StallKind::BufferFull),
+            l_pct: stats.stall_pct(StallKind::LoadHazard),
+            stats: *stats,
+        }
+    }
+
+    /// Total write-buffer-induced stall percentage (the paper's "T" bar).
+    #[must_use]
+    pub fn total_pct(&self) -> f64 {
+        self.r_pct + self.f_pct + self.l_pct
+    }
+}
+
+/// A figure grid with per-cell seed spread: `summaries[bench][config]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureSpread {
+    /// Which figure this replicates.
+    pub id: &'static str,
+    /// Caption line.
+    pub title: String,
+    /// Benchmark names.
+    pub benches: Vec<&'static str>,
+    /// Configuration labels.
+    pub configs: Vec<String>,
+    /// Per-cell seed summaries.
+    pub summaries: Vec<Vec<SeedSummary>>,
+}
+
+impl Harness {
+    /// Like [`Harness::sweep`], but replicates every cell across
+    /// `n_seeds` workload seeds and reports mean ± sd — for deciding
+    /// whether a difference between configurations is signal or
+    /// generator noise.
+    #[must_use]
+    pub fn sweep_seeds(
+        &self,
+        id: &'static str,
+        title: &str,
+        benches: &[BenchmarkModel],
+        configs: &[(String, MachineConfig)],
+        n_seeds: u64,
+    ) -> FigureSpread {
+        let summaries: Vec<Vec<SeedSummary>> = std::thread::scope(|s| {
+            let handles: Vec<_> = benches
+                .iter()
+                .map(|bench| {
+                    s.spawn(move || {
+                        configs
+                            .iter()
+                            .map(|(_, cfg)| self.run_seeds(*bench, cfg.clone(), n_seeds))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|j| j.join().expect("spread thread panicked"))
+                .collect()
+        });
+        FigureSpread {
+            id,
+            title: title.to_string(),
+            benches: benches.iter().map(|b| b.name()).collect(),
+            configs: configs.iter().map(|(l, _)| l.clone()).collect(),
+            summaries,
+        }
+    }
+}
+
+/// A reproduced figure: a grid of [`StallCell`]s, benchmarks × configs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Which figure this reproduces (e.g. `"Figure 4"`).
+    pub id: &'static str,
+    /// The figure's caption line.
+    pub title: String,
+    /// Benchmark names, in the paper's presentation order.
+    pub benches: Vec<&'static str>,
+    /// Configuration labels, in the paper's bar order.
+    pub configs: Vec<String>,
+    /// `cells[bench][config]`.
+    pub cells: Vec<Vec<StallCell>>,
+}
+
+impl FigureResult {
+    /// The cell for a benchmark/config pair, by name.
+    #[must_use]
+    pub fn cell(&self, bench: &str, config: &str) -> Option<&StallCell> {
+        let b = self.benches.iter().position(|n| *n == bench)?;
+        let c = self.configs.iter().position(|n| n == config)?;
+        self.cells.get(b)?.get(c)
+    }
+
+    /// Mean total stall percentage across benchmarks for one configuration
+    /// column — a one-number summary used by tests and ablation reports.
+    #[must_use]
+    pub fn mean_total_pct(&self, config_idx: usize) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .cells
+            .iter()
+            .filter_map(|row| row.get(config_idx))
+            .map(StallCell::total_pct)
+            .sum();
+        sum / self.cells.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_stats() {
+        let h = Harness::quick();
+        let s = h.run(BenchmarkModel::Espresso, MachineConfig::baseline());
+        // The warmup reset lands at the first instruction boundary at or
+        // after `warmup`, so the measured count is within one op of the
+        // requested instruction budget.
+        assert!(s.instructions >= h.instructions - 50);
+        assert!(s.instructions <= h.instructions + h.warmup);
+        assert!(s.cycles >= s.instructions);
+        assert!(s.loads > 0 && s.stores > 0);
+    }
+
+    #[test]
+    fn sweep_shape_matches_inputs() {
+        let h = Harness {
+            instructions: 5_000,
+            warmup: 0,
+            seed: 1,
+            check_data: true,
+        };
+        let benches = [BenchmarkModel::Espresso, BenchmarkModel::Li];
+        let configs = vec![
+            ("a".to_string(), MachineConfig::baseline()),
+            ("b".to_string(), MachineConfig::baseline()),
+        ];
+        let fig = h.sweep("Figure T", "test", &benches, &configs);
+        assert_eq!(fig.benches, vec!["espresso", "li"]);
+        assert_eq!(fig.cells.len(), 2);
+        assert_eq!(fig.cells[0].len(), 2);
+        // Identical configs must give identical cells (determinism).
+        assert_eq!(fig.cells[0][0], fig.cells[0][1]);
+        assert!(fig.cell("li", "b").is_some());
+        assert!(fig.cell("li", "zzz").is_none());
+    }
+
+    #[test]
+    fn sweep_seeds_shape_and_spread() {
+        let h = Harness {
+            instructions: 6_000,
+            warmup: 1_000,
+            seed: 2,
+            check_data: true,
+        };
+        let benches = [BenchmarkModel::Compress];
+        let configs = vec![("base".to_string(), MachineConfig::baseline())];
+        let spread = h.sweep_seeds("Figure T", "t", &benches, &configs, 3);
+        assert_eq!(spread.summaries.len(), 1);
+        assert_eq!(spread.summaries[0].len(), 1);
+        let s = spread.summaries[0][0];
+        assert_eq!(s.seeds, 3);
+        assert!(s.total.0 > 0.0);
+    }
+
+    #[test]
+    fn seed_summary_statistics() {
+        let h = Harness {
+            instructions: 15_000,
+            warmup: 3_000,
+            seed: 1,
+            check_data: true,
+        };
+        let s = h.run_seeds(BenchmarkModel::Fft, MachineConfig::baseline(), 4);
+        assert_eq!(s.seeds, 4);
+        assert!(s.total.0 > 0.0, "fft stalls on the baseline");
+        assert!(s.total.1 >= 0.0);
+        // The synthetic models are statistically stable: the spread across
+        // seeds stays well under the mean.
+        assert!(
+            s.total.1 < s.total.0,
+            "sd {:.3} should be below mean {:.3}",
+            s.total.1,
+            s.total.0
+        );
+        // A single seed has no spread.
+        let one = h.run_seeds(BenchmarkModel::Fft, MachineConfig::baseline(), 1);
+        assert_eq!(one.total.1, 0.0);
+    }
+
+    #[test]
+    fn stall_cell_totals() {
+        let h = Harness {
+            instructions: 20_000,
+            warmup: 0,
+            seed: 3,
+            check_data: true,
+        };
+        let s = h.run(BenchmarkModel::Fft, MachineConfig::baseline());
+        let c = StallCell::from_stats(&s);
+        assert!((c.total_pct() - s.total_stall_pct()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `fig*`/`table*` function in [`figures`] and [`tables`] builds the
+//! exact machine configurations the paper evaluates, runs the calibrated
+//! benchmark streams through `wbsim-sim`, and returns a structured result
+//! that [`render`] prints in the paper's own vocabulary (stall cycles as a
+//! percentage of execution time, split into L2-read-access / buffer-full /
+//! load-hazard).
+//!
+//! The numbers are not expected to match the paper cell for cell — the
+//! workloads are calibrated synthetics, not SPEC92 binaries (see
+//! DESIGN.md §3) — but the *shape* is: who wins, in which direction each
+//! policy moves each stall category, and where the crossovers fall.
+//! EXPERIMENTS.md records the side-by-side comparison.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use wbsim_experiments::harness::Harness;
+//! use wbsim_experiments::figures;
+//!
+//! let h = Harness::quick(); // small streams, for tests and docs
+//! let fig = figures::fig3(&h);
+//! println!("{}", wbsim_experiments::render::render_figure(&fig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;
+pub mod render;
+pub mod svg;
+pub mod tables;
+
+pub use harness::{FigureResult, FigureSpread, Harness, SeedSummary, StallCell};

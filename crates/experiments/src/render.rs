@@ -1,0 +1,322 @@
+//! Text rendering of reproduced tables and figures.
+//!
+//! Figures render as horizontal stacked bars — one row per
+//! benchmark × configuration — using the paper's three-way split:
+//! `#` for L2-read-access (the paper's black segment), `=` for buffer-full
+//! (grey), `-` for load-hazard (white).
+
+use std::fmt::Write as _;
+
+use crate::harness::FigureResult;
+use crate::tables::TableResult;
+
+pub use crate::svg::render_figure_svg as svg_figure;
+
+/// Characters of bar per percentage point of execution time.
+const BAR_SCALE: f64 = 4.0;
+
+/// Renders a table with aligned columns.
+#[must_use]
+pub fn render_table(t: &TableResult) -> String {
+    let mut widths: Vec<usize> = t.header.iter().map(String::len).collect();
+    for row in &t.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: {}", t.id, t.title);
+    let line = |cells: &[String], widths: &[usize]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(c.len());
+            let _ = write!(s, "{c:<w$}  ");
+        }
+        s.trim_end().to_string()
+    };
+    let header = line(&t.header, &widths);
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for row in &t.rows {
+        let _ = writeln!(out, "{}", line(row, &widths));
+    }
+    out
+}
+
+/// Renders a figure as per-benchmark groups of stacked bars.
+#[must_use]
+pub fn render_figure(f: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: {}", f.id, f.title);
+    let _ = writeln!(
+        out,
+        "    (# = L2-read-access, = = buffer-full, - = load-hazard; 1 char = {:.2}% of execution time)",
+        1.0 / BAR_SCALE
+    );
+    let label_w = f.configs.iter().map(String::len).max().unwrap_or(0).max(6);
+    for (b, bench) in f.benches.iter().enumerate() {
+        let _ = writeln!(out, "{bench}");
+        for (c, label) in f.configs.iter().enumerate() {
+            let cell = &f.cells[b][c];
+            let seg = |pct: f64, ch: char| {
+                let n = (pct * BAR_SCALE).round().max(0.0) as usize;
+                ch.to_string().repeat(n)
+            };
+            let bar = format!(
+                "{}{}{}",
+                seg(cell.r_pct, '#'),
+                seg(cell.f_pct, '='),
+                seg(cell.l_pct, '-')
+            );
+            let _ = writeln!(
+                out,
+                "  {label:<label_w$}  R {:5.2}  F {:5.2}  L {:5.2}  T {:5.2}  |{bar}",
+                cell.r_pct,
+                cell.f_pct,
+                cell.l_pct,
+                cell.total_pct()
+            );
+        }
+    }
+    out
+}
+
+/// Renders a figure as CSV (`bench,config,r_pct,f_pct,l_pct,total_pct`),
+/// for plotting outside the terminal.
+#[must_use]
+pub fn figure_csv(f: &FigureResult) -> String {
+    let mut out =
+        String::from("bench,config,l2_read_access_pct,buffer_full_pct,load_hazard_pct,total_pct\n");
+    for (b, bench) in f.benches.iter().enumerate() {
+        for (c, label) in f.configs.iter().enumerate() {
+            let cell = &f.cells[b][c];
+            let _ = writeln!(
+                out,
+                "{bench},{label},{:.4},{:.4},{:.4},{:.4}",
+                cell.r_pct,
+                cell.f_pct,
+                cell.l_pct,
+                cell.total_pct()
+            );
+        }
+    }
+    out
+}
+
+/// Renders a figure as a GitHub-flavored Markdown section: a mean-over-
+/// benchmarks table plus a per-benchmark detail table.
+#[must_use]
+pub fn figure_markdown(f: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### {}: {}
+",
+        f.id, f.title
+    );
+    // Mean table.
+    let _ = writeln!(
+        out,
+        "Mean over {} benchmarks:
+",
+        f.benches.len()
+    );
+    let _ = writeln!(out, "| configuration | R % | F % | L % | total % |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (c, label) in f.configs.iter().enumerate() {
+        let n = f.cells.len().max(1) as f64;
+        let (mut r, mut fv, mut l) = (0.0, 0.0, 0.0);
+        for row in &f.cells {
+            r += row[c].r_pct;
+            fv += row[c].f_pct;
+            l += row[c].l_pct;
+        }
+        let _ = writeln!(
+            out,
+            "| {label} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            r / n,
+            fv / n,
+            l / n,
+            (r + fv + l) / n
+        );
+    }
+    // Per-benchmark totals.
+    let _ = writeln!(
+        out,
+        "
+Per-benchmark totals (%):
+"
+    );
+    let mut header = String::from("| benchmark |");
+    let mut rule = String::from("|---|");
+    for label in &f.configs {
+        let _ = write!(header, " {label} |");
+        rule.push_str("---|");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    for (b, bench) in f.benches.iter().enumerate() {
+        let mut row = format!("| {bench} |");
+        for c in 0..f.configs.len() {
+            let _ = write!(row, " {:.2} |", f.cells[b][c].total_pct());
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a table as GitHub-flavored Markdown.
+#[must_use]
+pub fn table_markdown(t: &TableResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### {}: {}
+",
+        t.id, t.title
+    );
+    let _ = writeln!(out, "| {} |", t.header.join(" | "));
+    let _ = writeln!(out, "|{}", "---|".repeat(t.header.len()));
+    for row in &t.rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a seed-replicated figure as text: `mean ± sd` per cell.
+#[must_use]
+pub fn render_spread(f: &crate::harness::FigureSpread) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {}  ({} seeds per cell, total stall % mean ± sd)",
+        f.id,
+        f.title,
+        f.summaries
+            .first()
+            .and_then(|r| r.first())
+            .map_or(0, |s| s.seeds)
+    );
+    let label_w = f.configs.iter().map(String::len).max().unwrap_or(6).max(6);
+    for (b, bench) in f.benches.iter().enumerate() {
+        let _ = writeln!(out, "{bench}");
+        for (c, label) in f.configs.iter().enumerate() {
+            let s = &f.summaries[b][c];
+            let _ = writeln!(
+                out,
+                "  {label:<label_w$}  R {:6.3}±{:.3}  F {:6.3}±{:.3}  L {:6.3}±{:.3}  T {:6.3}±{:.3}",
+                s.r.0, s.r.1, s.f.0, s.f.1, s.l.0, s.l.1, s.total.0, s.total.1
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::StallCell;
+    use wbsim_types::stats::SimStats;
+
+    fn small_figure() -> FigureResult {
+        let stats = SimStats {
+            cycles: 1000,
+            ..SimStats::default()
+        };
+        let mut cell = StallCell::from_stats(&stats);
+        cell.r_pct = 1.0;
+        cell.f_pct = 2.0;
+        cell.l_pct = 0.5;
+        FigureResult {
+            id: "Figure X",
+            title: "test figure".into(),
+            benches: vec!["alpha", "beta"],
+            configs: vec!["cfg1".into()],
+            cells: vec![vec![cell], vec![cell]],
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = TableResult {
+            id: "Table X",
+            title: "test".into(),
+            header: vec!["A".into(), "Blong".into()],
+            rows: vec![
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
+        };
+        let s = render_table(&t);
+        assert!(s.contains("Table X: test"));
+        assert!(s.contains("yyyy"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "title + header + rule + 2 rows");
+    }
+
+    #[test]
+    fn figure_renders_bars_and_numbers() {
+        let s = render_figure(&small_figure());
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("T  3.50"));
+        // 1.0% R at 4 chars/% = 4 '#'s, 2.0% F = 8 '='s, 0.5% L = 2 '-'s.
+        assert!(s.contains("|####========--"));
+    }
+
+    #[test]
+    fn spread_renders_plus_minus() {
+        use crate::harness::{FigureSpread, SeedSummary};
+        let s = SeedSummary {
+            seeds: 3,
+            r: (1.0, 0.1),
+            f: (2.0, 0.2),
+            l: (0.5, 0.05),
+            total: (3.5, 0.3),
+        };
+        let spread = FigureSpread {
+            id: "Figure Y",
+            title: "spread".into(),
+            benches: vec!["alpha"],
+            configs: vec!["cfg".into()],
+            summaries: vec![vec![s]],
+        };
+        let text = render_spread(&spread);
+        assert!(text.contains("3 seeds per cell"));
+        assert!(text.contains("T  3.500±0.300"));
+    }
+
+    #[test]
+    fn markdown_figure_has_mean_and_detail() {
+        let s = figure_markdown(&small_figure());
+        assert!(s.contains("### Figure X"));
+        assert!(s.contains("| cfg1 | 1.00 | 2.00 | 0.50 | 3.50 |"));
+        assert!(s.contains("| alpha | 3.50 |"));
+    }
+
+    #[test]
+    fn markdown_table_renders() {
+        let t = TableResult {
+            id: "Table X",
+            title: "t".into(),
+            header: vec!["A".into(), "B".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let s = table_markdown(&t);
+        assert!(s.contains("| A | B |"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = figure_csv(&small_figure());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("bench,config"));
+        assert!(lines[1].starts_with("alpha,cfg1,1.0000,2.0000,0.5000,3.5000"));
+    }
+}

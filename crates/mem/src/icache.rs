@@ -1,0 +1,117 @@
+//! Instruction-cache model.
+//!
+//! The paper assumes a perfect I-cache (Table 1) and discusses in §4.3 what
+//! a real one would change: I-fetch misses contend with the write buffer
+//! for L2 ("an L2-I-fetch stall"). [`Icache`] provides the perfect model
+//! and a statistical finite model for that ablation: a deterministic,
+//! seeded process that misses on average once every `interval`
+//! instructions.
+//!
+//! A statistical model (rather than a real tag array) is used because our
+//! synthetic workloads carry no program counters; what matters for the
+//! §4.3 effect is only the *rate* and *timing* of I-fetch L2 reads.
+
+use wbsim_types::config::{ConfigError, IcacheConfig};
+
+/// Instruction-cache model; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Icache {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Perfect,
+    MissEvery { interval: u64, state: u64 },
+}
+
+impl Icache {
+    /// Builds the model from its configuration, seeding the statistical
+    /// variant with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is invalid.
+    pub fn new(cfg: &IcacheConfig, seed: u64) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let kind = match cfg {
+            IcacheConfig::Perfect => Kind::Perfect,
+            IcacheConfig::MissEvery { interval } => Kind::MissEvery {
+                interval: *interval,
+                state: seed | 1,
+            },
+        };
+        Ok(Self { kind })
+    }
+
+    /// Records one instruction fetch; returns `true` if it missed and must
+    /// perform an L2 read.
+    pub fn fetch(&mut self) -> bool {
+        match &mut self.kind {
+            Kind::Perfect => false,
+            Kind::MissEvery { interval, state } => {
+                // xorshift64* — deterministic, cheap, seedable.
+                let mut x = *state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *state = x;
+                let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                r % *interval == 0
+            }
+        }
+    }
+
+    /// Whether this is the perfect model.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        matches!(self.kind, Kind::Perfect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_never_misses() {
+        let mut ic = Icache::new(&IcacheConfig::Perfect, 1).unwrap();
+        assert!(ic.is_perfect());
+        assert!((0..10_000).all(|_| !ic.fetch()));
+    }
+
+    #[test]
+    fn statistical_model_hits_target_rate() {
+        let mut ic = Icache::new(&IcacheConfig::MissEvery { interval: 100 }, 7).unwrap();
+        let n = 1_000_000;
+        let misses = (0..n).filter(|_| ic.fetch()).count();
+        let rate = misses as f64 / n as f64;
+        assert!(
+            (rate - 0.01).abs() < 0.002,
+            "expected ~1% miss rate, got {rate}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Icache::new(&IcacheConfig::MissEvery { interval: 50 }, 99).unwrap();
+        let mut b = Icache::new(&IcacheConfig::MissEvery { interval: 50 }, 99).unwrap();
+        let sa: Vec<bool> = (0..1000).map(|_| a.fetch()).collect();
+        let sb: Vec<bool> = (0..1000).map(|_| b.fetch()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Icache::new(&IcacheConfig::MissEvery { interval: 50 }, 1).unwrap();
+        let mut b = Icache::new(&IcacheConfig::MissEvery { interval: 50 }, 2).unwrap();
+        let sa: Vec<bool> = (0..1000).map(|_| a.fetch()).collect();
+        let sb: Vec<bool> = (0..1000).map(|_| b.fetch()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        assert!(Icache::new(&IcacheConfig::MissEvery { interval: 0 }, 1).is_err());
+    }
+}

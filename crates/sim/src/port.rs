@@ -1,0 +1,132 @@
+//! The L2 access port.
+//!
+//! The paper's L2 services one transaction at a time; inter-cache
+//! datapaths are a line wide (Table 1, §4.3). [`L2Port`] tracks who holds
+//! the port and until when. Arbitration *policy* (read-bypassing etc.)
+//! lives in the machine; the port only enforces mutual exclusion and
+//! non-preemption — "write transactions already underway to L2 cannot be
+//! interrupted" (§2.2).
+
+use wbsim_core::EntryId;
+use wbsim_types::Cycle;
+
+/// Who currently holds the L2 port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortOwner {
+    /// Nobody; the port is free.
+    #[default]
+    Free,
+    /// The write buffer, writing the given entry (an autonomous retirement
+    /// or a load-hazard flush).
+    WbWrite(EntryId),
+    /// The CPU, reading a line for an L1 load-miss fill.
+    CpuRead,
+    /// An instruction-cache fill (the §4.3 ablation).
+    IFetch,
+}
+
+/// The single-transaction L2 port.
+#[derive(Debug, Clone, Default)]
+pub struct L2Port {
+    owner: PortOwner,
+    /// First cycle at which the port is free again.
+    free_at: Cycle,
+}
+
+impl L2Port {
+    /// A free port.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the port is free at `now`.
+    #[must_use]
+    pub fn is_free(&self, now: Cycle) -> bool {
+        now >= self.free_at
+    }
+
+    /// Whether the port is held by a write-buffer transaction at `now`.
+    #[must_use]
+    pub fn busy_with_write(&self, now: Cycle) -> bool {
+        !self.is_free(now) && matches!(self.owner, PortOwner::WbWrite(_))
+    }
+
+    /// The current owner (meaningful only while the port is busy).
+    #[must_use]
+    pub fn owner(&self) -> PortOwner {
+        self.owner
+    }
+
+    /// Cycle at which the port becomes free.
+    #[must_use]
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Acquires the port for `duration` cycles starting at `now`; returns
+    /// the completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is busy (arbitration must check first) or the
+    /// duration is zero.
+    pub fn acquire(&mut self, owner: PortOwner, now: Cycle, duration: u64) -> Cycle {
+        assert!(self.is_free(now), "L2 port acquired while busy");
+        assert!(duration > 0, "zero-length L2 transaction");
+        self.owner = owner;
+        self.free_at = now + duration;
+        self.free_at
+    }
+
+    /// Releases the port early (used when a read hit's tail overlaps a
+    /// main-memory fetch: the port frees while memory completes).
+    pub fn release(&mut self, now: Cycle) {
+        self.owner = PortOwner::Free;
+        self.free_at = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_and_expire() {
+        let mut p = L2Port::new();
+        assert!(p.is_free(0));
+        let done = p.acquire(PortOwner::CpuRead, 10, 6);
+        assert_eq!(done, 16);
+        assert!(!p.is_free(15));
+        assert!(p.is_free(16), "free exactly at the completion cycle");
+        assert_eq!(p.owner(), PortOwner::CpuRead);
+    }
+
+    #[test]
+    fn busy_with_write_only_for_wb_owner() {
+        let mut p = L2Port::new();
+        p.acquire(PortOwner::WbWrite(3), 0, 6);
+        assert!(p.busy_with_write(2));
+        assert!(!p.busy_with_write(6), "expired transaction is not busy");
+        let mut q = L2Port::new();
+        q.acquire(PortOwner::CpuRead, 0, 6);
+        assert!(!q.busy_with_write(2), "reads are not write-busy");
+    }
+
+    #[test]
+    fn release_frees_early() {
+        let mut p = L2Port::new();
+        p.acquire(PortOwner::CpuRead, 0, 10);
+        p.release(4);
+        assert!(p.is_free(4));
+        assert_eq!(p.owner(), PortOwner::Free);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquired while busy")]
+    fn double_acquire_panics() {
+        let mut p = L2Port::new();
+        p.acquire(PortOwner::CpuRead, 0, 6);
+        p.acquire(PortOwner::WbWrite(0), 3, 6);
+    }
+}

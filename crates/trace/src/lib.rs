@@ -1,0 +1,51 @@
+//! Workload substrate: synthetic, SPEC92-like instruction-level reference
+//! streams.
+//!
+//! The paper drives its simulator with SPEC92 binaries instrumented by
+//! Digital's ATOM (§2.4). Neither the binaries, the Alpha/OSF toolchain,
+//! nor ATOM are available, so this crate substitutes **calibrated synthetic
+//! workloads**: one deterministic, seeded generator per benchmark, tuned to
+//! the per-benchmark properties the paper publishes —
+//!
+//! * load and store density (paper Table 4),
+//! * L1 load hit rate and write-buffer store hit rate (paper Table 5),
+//! * qualitative structure (column-major array walks in the NASA kernels,
+//!   scattered stores in the MD codes, and so on).
+//!
+//! Every write-buffer effect the paper measures is a function of these
+//! stream statistics, not of SPEC92's computation, so matching them
+//! preserves the stall *shape* the paper reports (see DESIGN.md §3).
+//!
+//! Modules:
+//!
+//! * [`stream`] — the two generator engines ([`MixedWorkload`](stream::MixedWorkload)
+//!   for ordinary programs, [`KernelWalk`](stream::KernelWalk) for the NASA
+//!   array kernels and their loop-interchanged variants);
+//! * [`bench_models`] — the 17 calibrated benchmark models plus the two
+//!   transformed kernels of paper Table 6;
+//! * [`file`] — saving and loading traces (text and binary codecs);
+//! * [`stats`] — a trace analyzer (densities, footprints, run lengths);
+//! * [`transform`] — derived streams (barrier insertion, truncation).
+//!
+//! # Example
+//!
+//! ```
+//! use wbsim_trace::bench_models::BenchmarkModel;
+//! use wbsim_trace::stats::TraceStats;
+//!
+//! let ops = BenchmarkModel::Compress.stream(1, 20_000);
+//! let t = TraceStats::measure(&ops);
+//! assert!(t.pct_loads > 15.0 && t.pct_loads < 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_models;
+pub mod file;
+pub mod stats;
+pub mod stream;
+pub mod transform;
+
+pub use bench_models::BenchmarkModel;
+pub use stats::TraceStats;

@@ -1,0 +1,258 @@
+//! Trace analyzer: densities, footprints, and store-run structure.
+//!
+//! [`TraceStats::measure`] summarizes a reference stream without simulating
+//! it — the numbers a trace-driven methodology reports about its inputs
+//! (compare paper Table 4).
+
+use std::collections::HashSet;
+
+use wbsim_types::op::Op;
+
+/// Byte size of one cache line in footprint accounting.
+const LINE: u64 = 32;
+
+/// Summary statistics of a reference stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceStats {
+    /// Total instructions (loads + stores + compute).
+    pub instructions: u64,
+    /// Load count.
+    pub loads: u64,
+    /// Store count.
+    pub stores: u64,
+    /// Loads as a percent of instructions (paper Table 4).
+    pub pct_loads: f64,
+    /// Stores as a percent of instructions (paper Table 4).
+    pub pct_stores: f64,
+    /// Distinct cache lines touched by any reference.
+    pub distinct_lines: u64,
+    /// Distinct cache lines written.
+    pub distinct_store_lines: u64,
+    /// Mean length, in stores, of maximal runs of consecutive stores whose
+    /// addresses advance by exactly one word (an upper-bound proxy for
+    /// coalescing opportunity).
+    pub mean_seq_store_run: f64,
+    /// Fraction of stores that target the same line as the previous store
+    /// (immediate spatial store locality), percent.
+    pub pct_store_same_line: f64,
+    /// Write barriers in the stream.
+    pub barriers: u64,
+    /// Fraction of loads whose line was one of the 16 most recently stored
+    /// lines — the raw material of load hazards (§2.2), percent.
+    pub pct_loads_to_recent_stores: f64,
+    /// Mean length of maximal groups of *consecutive* stores (any
+    /// addresses) — the burstiness that overflows shallow buffers.
+    pub mean_store_group: f64,
+    /// Histogram of store-group lengths: index `g` counts maximal groups
+    /// of exactly `g` consecutive stores (index 16 aggregates ≥16).
+    /// Index 0 is unused.
+    pub store_group_hist: [u64; 17],
+}
+
+impl TraceStats {
+    /// Measures a stream.
+    #[must_use]
+    pub fn measure(ops: &[Op]) -> Self {
+        let mut s = Self::default();
+        let mut lines: HashSet<u64> = HashSet::new();
+        let mut store_lines: HashSet<u64> = HashSet::new();
+        let mut prev_store: Option<u64> = None;
+        let mut recent_stores: std::collections::VecDeque<u64> =
+            std::collections::VecDeque::with_capacity(16);
+        let mut loads_to_recent = 0u64;
+        let mut group_len = 0u64;
+        let mut groups = 0u64;
+        let mut group_total = 0u64;
+        let mut group_hist = [0u64; 17];
+        let mut close_group = |group_len: &mut u64, groups: &mut u64, group_total: &mut u64| {
+            if *group_len > 0 {
+                *groups += 1;
+                *group_total += *group_len;
+                group_hist[(*group_len as usize).min(16)] += 1;
+                *group_len = 0;
+            }
+        };
+        let mut run_len: u64 = 0;
+        let mut runs: u64 = 0;
+        let mut run_total: u64 = 0;
+        let mut same_line = 0u64;
+        let close_run = |run_len: &mut u64, runs: &mut u64, run_total: &mut u64| {
+            if *run_len > 0 {
+                *runs += 1;
+                *run_total += *run_len;
+                *run_len = 0;
+            }
+        };
+        for op in ops {
+            s.instructions += op.instructions();
+            match op {
+                Op::Compute(_) => {
+                    close_run(&mut run_len, &mut runs, &mut run_total);
+                    close_group(&mut group_len, &mut groups, &mut group_total);
+                }
+                Op::Barrier => {
+                    s.barriers += 1;
+                    close_run(&mut run_len, &mut runs, &mut run_total);
+                    close_group(&mut group_len, &mut groups, &mut group_total);
+                }
+                Op::Load(a) => {
+                    s.loads += 1;
+                    let line = a.as_u64() / LINE;
+                    lines.insert(line);
+                    if recent_stores.contains(&line) {
+                        loads_to_recent += 1;
+                    }
+                    close_run(&mut run_len, &mut runs, &mut run_total);
+                    close_group(&mut group_len, &mut groups, &mut group_total);
+                }
+                Op::Store(a) => {
+                    s.stores += 1;
+                    group_len += 1;
+                    let byte = a.as_u64();
+                    lines.insert(byte / LINE);
+                    store_lines.insert(byte / LINE);
+                    match prev_store {
+                        Some(p) if byte == p + 8 => run_len += 1,
+                        _ => {
+                            close_run(&mut run_len, &mut runs, &mut run_total);
+                            run_len = 1;
+                        }
+                    }
+                    if let Some(p) = prev_store {
+                        if p / LINE == byte / LINE {
+                            same_line += 1;
+                        }
+                    }
+                    prev_store = Some(byte);
+                    if recent_stores.len() == 16 {
+                        recent_stores.pop_front();
+                    }
+                    recent_stores.push_back(byte / LINE);
+                }
+            }
+        }
+        close_run(&mut run_len, &mut runs, &mut run_total);
+        close_group(&mut group_len, &mut groups, &mut group_total);
+        s.distinct_lines = lines.len() as u64;
+        s.distinct_store_lines = store_lines.len() as u64;
+        if s.instructions > 0 {
+            s.pct_loads = 100.0 * s.loads as f64 / s.instructions as f64;
+            s.pct_stores = 100.0 * s.stores as f64 / s.instructions as f64;
+        }
+        if runs > 0 {
+            s.mean_seq_store_run = run_total as f64 / runs as f64;
+        }
+        if s.stores > 0 {
+            s.pct_store_same_line = 100.0 * same_line as f64 / s.stores as f64;
+        }
+        if s.loads > 0 {
+            s.pct_loads_to_recent_stores = 100.0 * loads_to_recent as f64 / s.loads as f64;
+        }
+        if groups > 0 {
+            s.mean_store_group = group_total as f64 / groups as f64;
+        }
+        s.store_group_hist = group_hist;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsim_types::addr::Addr;
+
+    fn a(x: u64) -> Addr {
+        Addr::new(x)
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = TraceStats::measure(&[]);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.pct_loads, 0.0);
+    }
+
+    #[test]
+    fn densities() {
+        let ops = vec![
+            Op::Load(a(0)),
+            Op::Store(a(8)),
+            Op::Compute(2),
+            Op::Load(a(64)),
+        ];
+        let s = TraceStats::measure(&ops);
+        assert_eq!(s.instructions, 5);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert!((s.pct_loads - 40.0).abs() < 1e-9);
+        assert!((s.pct_stores - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprints_count_distinct_lines() {
+        let ops = vec![
+            Op::Load(a(0)),
+            Op::Load(a(8)),   // same line
+            Op::Store(a(32)), // second line
+            Op::Store(a(40)), // same second line
+            Op::Load(a(64)),  // third line
+        ];
+        let s = TraceStats::measure(&ops);
+        assert_eq!(s.distinct_lines, 3);
+        assert_eq!(s.distinct_store_lines, 1);
+    }
+
+    #[test]
+    fn sequential_run_detection() {
+        // Two runs: 0,8,16 (len 3) and 100..108 broken alignment (len 1,1).
+        let ops = vec![
+            Op::Store(a(0)),
+            Op::Store(a(8)),
+            Op::Store(a(16)),
+            Op::Load(a(512)), // breaks the run
+            Op::Store(a(104)),
+            Op::Store(a(120)), // +16, not sequential
+        ];
+        let s = TraceStats::measure(&ops);
+        // Runs: [3, 1, 1] → mean 5/3.
+        assert!((s.mean_seq_store_run - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn store_group_lengths() {
+        let ops = vec![
+            Op::Store(a(0)),
+            Op::Store(a(512)),
+            Op::Store(a(1024)), // group of 3
+            Op::Compute(1),
+            Op::Store(a(64)), // group of 1
+        ];
+        let s = TraceStats::measure(&ops);
+        assert!((s.mean_store_group - 2.0).abs() < 1e-9);
+        assert_eq!(s.store_group_hist[3], 1);
+        assert_eq!(s.store_group_hist[1], 1);
+    }
+
+    #[test]
+    fn loads_to_recent_stores_detected() {
+        let ops = vec![
+            Op::Store(a(0)),
+            Op::Load(a(8)),    // same line as the store → recent
+            Op::Load(a(4096)), // far away
+        ];
+        let s = TraceStats::measure(&ops);
+        assert!((s.pct_loads_to_recent_stores - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_line_store_fraction() {
+        let ops = vec![
+            Op::Store(a(0)),
+            Op::Store(a(24)),  // same line as previous
+            Op::Store(a(512)), // different line
+            Op::Store(a(520)), // same line
+        ];
+        let s = TraceStats::measure(&ops);
+        assert!((s.pct_store_same_line - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Stream transformations applied after generation.
+//!
+//! The benchmark models emit plain uniprocessor streams; these helpers
+//! derive variants from them — currently barrier insertion, modeling the
+//! synchronization-heavy codes for which the paper says "current
+//! architectures include barrier instructions for ensuring needed ordering
+//! properties" (§2.2).
+
+use wbsim_types::op::Op;
+
+/// Returns a copy of `ops` with a write barrier inserted after every
+/// `every_n_stores` stores — a producer that publishes its writes at a
+/// fixed cadence.
+///
+/// `every_n_stores == 0` returns the stream unchanged.
+///
+/// # Example
+///
+/// ```
+/// use wbsim_trace::transform::with_barriers;
+/// use wbsim_types::op::Op;
+/// use wbsim_types::Addr;
+///
+/// let ops = vec![Op::Store(Addr::new(0)), Op::Store(Addr::new(32))];
+/// let out = with_barriers(&ops, 1);
+/// assert_eq!(out.iter().filter(|o| o.is_barrier()).count(), 2);
+/// ```
+#[must_use]
+pub fn with_barriers(ops: &[Op], every_n_stores: u64) -> Vec<Op> {
+    if every_n_stores == 0 {
+        return ops.to_vec();
+    }
+    let mut out = Vec::with_capacity(ops.len() + ops.len() / every_n_stores as usize);
+    let mut since = 0u64;
+    for op in ops {
+        out.push(*op);
+        if matches!(op, Op::Store(_)) {
+            since += 1;
+            if since == every_n_stores {
+                out.push(Op::Barrier);
+                since = 0;
+            }
+        }
+    }
+    out
+}
+
+/// Returns a copy of `ops` with single-cycle pipeline bubbles inserted
+/// before each memory reference with probability `bubble_frac`
+/// (deterministic under `seed`).
+///
+/// §4.3: "Pipeline bubbles spread out stores, so that the write buffer
+/// sees a lower store rate and is less likely to overflow." This is the
+/// inverse knob to `issue_width` — it *thins* the reference stream the
+/// way dependence stalls would.
+#[must_use]
+pub fn with_bubbles(ops: &[Op], bubble_frac: f64, seed: u64) -> Vec<Op> {
+    if bubble_frac <= 0.0 {
+        return ops.to_vec();
+    }
+    let mut state = seed | 1;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        if op.is_memory() && rand() < bubble_frac {
+            // Coalesce with a preceding compute run when possible.
+            if let Some(Op::Compute(n)) = out.last_mut() {
+                *n += 1;
+            } else {
+                out.push(Op::Compute(1));
+            }
+        }
+        out.push(*op);
+    }
+    out
+}
+
+/// Truncates a stream to approximately `n_instructions` instructions
+/// (never mid-`Compute` run; the result may overshoot by one op).
+#[must_use]
+pub fn truncate_instructions(ops: &[Op], n_instructions: u64) -> Vec<Op> {
+    let mut out = Vec::new();
+    let mut total = 0u64;
+    for op in ops {
+        if total >= n_instructions {
+            break;
+        }
+        out.push(*op);
+        total += op.instructions();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsim_types::Addr;
+
+    fn st(x: u64) -> Op {
+        Op::Store(Addr::new(x))
+    }
+
+    #[test]
+    fn barriers_every_two_stores() {
+        let ops = vec![
+            st(0),
+            Op::Compute(3),
+            st(8),
+            st(16),
+            Op::Load(Addr::new(0)),
+            st(24),
+        ];
+        let out = with_barriers(&ops, 2);
+        let barrier_positions: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_barrier())
+            .map(|(i, _)| i)
+            .collect();
+        // After the 2nd store (index 3 after insertion math) and the 4th.
+        assert_eq!(out.iter().filter(|o| o.is_barrier()).count(), 2);
+        assert!(matches!(out[barrier_positions[0] - 1], Op::Store(_)));
+        assert!(matches!(out[barrier_positions[1] - 1], Op::Store(_)));
+    }
+
+    #[test]
+    fn zero_interval_is_identity() {
+        let ops = vec![st(0), st(8)];
+        assert_eq!(with_barriers(&ops, 0), ops);
+    }
+
+    #[test]
+    fn barrier_cadence_counts_only_stores() {
+        let ops = vec![Op::Compute(100), Op::Load(Addr::new(0)), st(0)];
+        let out = with_barriers(&ops, 1);
+        assert_eq!(out.len(), 4);
+        assert!(out[3].is_barrier());
+    }
+
+    #[test]
+    fn bubbles_thin_the_stream_deterministically() {
+        let ops: Vec<Op> = (0..200).map(|i| st(i * 8)).collect();
+        let a = with_bubbles(&ops, 0.5, 9);
+        let b = with_bubbles(&ops, 0.5, 9);
+        assert_eq!(a, b, "deterministic under a seed");
+        let total: u64 = a.iter().map(Op::instructions).sum();
+        assert!(total > 250 && total < 350, "≈50% bubbles, got {total}");
+        assert_eq!(with_bubbles(&ops, 0.0, 9), ops);
+        // Stores are preserved in order.
+        let stores: Vec<&Op> = a.iter().filter(|o| o.is_memory()).collect();
+        assert_eq!(stores.len(), 200);
+    }
+
+    #[test]
+    fn bubbles_reduce_buffer_pressure() {
+        // The §4.3 claim, end to end: bubbles lower buffer-full stalls.
+        use wbsim_types::Addr;
+        let burst: Vec<Op> = (0..600)
+            .map(|i| Op::Store(Addr::new((i * 7 % 300) * 32)))
+            .collect();
+        // (Checked indirectly here through the stream shape: groups shrink.)
+        let thinned = with_bubbles(&burst, 0.6, 3);
+        let groups = |ops: &[Op]| {
+            let mut max_run = 0;
+            let mut run = 0;
+            for op in ops {
+                if matches!(op, Op::Store(_)) {
+                    run += 1;
+                    max_run = max_run.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+            max_run
+        };
+        assert!(groups(&thinned) < groups(&burst));
+    }
+
+    #[test]
+    fn truncate_respects_instruction_budget() {
+        let ops = vec![Op::Compute(10), st(0), Op::Compute(10), st(8)];
+        let out = truncate_instructions(&ops, 12);
+        // 10 + 1 = 11 < 12, so the next op (Compute 10) is included too.
+        assert_eq!(out.len(), 3);
+        let total: u64 = out.iter().map(Op::instructions).sum();
+        assert!(total >= 12);
+        assert_eq!(truncate_instructions(&ops, 0), Vec::<Op>::new());
+    }
+}

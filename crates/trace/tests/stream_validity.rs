@@ -1,0 +1,95 @@
+//! Property tests over the generator engines: every produced stream obeys
+//! the structural invariants the simulator assumes.
+
+use proptest::prelude::*;
+use wbsim_trace::bench_models::BenchmarkModel;
+use wbsim_trace::stream::{KernelWalk, MixedWorkload};
+use wbsim_types::op::Op;
+
+fn check_stream(ops: &[Op], requested: u64) {
+    let mut total = 0u64;
+    for op in ops {
+        total += op.instructions();
+        match op {
+            Op::Load(a) | Op::Store(a) => {
+                assert_eq!(a.as_u64() % 8, 0, "addresses are word-aligned");
+            }
+            Op::Compute(n) => assert!(*n > 0, "compute runs are coalesced, never empty"),
+            Op::Barrier => {}
+        }
+    }
+    assert!(total >= requested, "stream covers the instruction budget");
+    assert!(
+        total < requested + 64,
+        "stream does not wildly overshoot ({total} for {requested})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mixed_workload_streams_are_valid(
+        seed in any::<u64>(),
+        n in 1u64..30_000,
+        pct_loads in 0.0f64..0.5,
+        pct_stores in 0.0f64..0.3,
+        hot in 0.0f64..1.0,
+        stream_frac in 0.0f64..0.5,
+        seq in 0.0f64..1.0,
+        run in 1u32..16,
+        burst in 1u32..8,
+        revisit in 0.0f64..1.0,
+    ) {
+        let w = MixedWorkload {
+            pct_loads,
+            pct_stores,
+            hazard_load_frac: 0.01,
+            hot_load_frac: hot.min(1.0 - stream_frac),
+            stream_load_frac: stream_frac,
+            seq_store_frac: seq,
+            seq_run_words: run,
+            store_burst: burst,
+            revisit_store_frac: revisit,
+            hot_bytes: 2 * 1024,
+            region_bytes: 64 * 1024,
+        };
+        let ops = w.generate(seed, n);
+        check_stream(&ops, n);
+    }
+
+    #[test]
+    fn kernel_walk_streams_are_valid(
+        seed in any::<u64>(),
+        n in 1u64..30_000,
+        rows in 1u64..256,
+        cols in 1u64..64,
+        store_every in 1u64..8,
+        scalar_loads in 0u64..1000,
+        scalar_stores in 0u64..1000,
+        compute in 0u32..6,
+    ) {
+        let k = KernelWalk {
+            rows,
+            cols,
+            transformed: seed % 2 == 0,
+            store_every,
+            scalar_loads_per_mille: scalar_loads,
+            scalar_stores_per_mille: scalar_stores,
+            compute_per_element: compute,
+        };
+        let ops = k.generate(seed, n);
+        check_stream(&ops, n);
+    }
+
+    #[test]
+    fn every_benchmark_model_is_valid_for_any_seed(
+        seed in any::<u64>(),
+        idx in 0usize..17,
+        n in 1_000u64..20_000,
+    ) {
+        let m = BenchmarkModel::ALL[idx];
+        let ops = m.stream(seed, n);
+        check_stream(&ops, n);
+    }
+}

@@ -1,0 +1,388 @@
+//! A plain-text machine-configuration format (`.wbcfg`).
+//!
+//! One `key = value` pair per line, `#` comments, unknown keys rejected.
+//! [`MachineConfig`] implements [`FromStr`] for parsing and
+//! [`to_config_string`](crate::file_config::to_config_string) serializes a
+//! configuration such that it parses back identically.
+//!
+//! ```text
+//! # the paper's recommended buffer on the baseline machine
+//! wb.depth      = 12
+//! wb.retirement = retire-at-8
+//! wb.hazard     = read-from-wb
+//! l2.latency    = 6
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use wbsim_types::config::MachineConfig;
+//! use wbsim_types::file_config::to_config_string;
+//!
+//! let cfg: MachineConfig = "wb.depth = 8\nl1.size_kb = 16".parse().unwrap();
+//! assert_eq!(cfg.write_buffer.depth, 8);
+//! assert_eq!(cfg.l1.size_bytes, 16 * 1024);
+//! let round: MachineConfig = to_config_string(&cfg).parse().unwrap();
+//! assert_eq!(round, cfg);
+//! ```
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::config::{IcacheConfig, L2Config, MachineConfig};
+use crate::policy::{
+    DatapathWidth, L1WritePolicy, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy,
+};
+
+/// A parse failure, with the offending line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParseError {
+    /// 1-based line number (0 for whole-file problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigParseError {
+    ConfigParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl FromStr for MachineConfig {
+    type Err = ConfigParseError;
+
+    /// Parses a `.wbcfg` document; unspecified keys keep their baseline
+    /// values, and the result is validated before being returned.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut cfg = MachineConfig::baseline();
+        // A real L2 needs several keys; collect them and resolve at the end.
+        let mut l2_kind_real = false;
+        let mut l2_latency = cfg.l2.latency();
+        let mut l2_size_kb = 1024u32;
+        let mut l2_mm = 25u64;
+
+        for (i, raw) in s.lines().enumerate() {
+            let n = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(n, format!("expected `key = value`, got {line:?}")))?;
+            let key = key.trim();
+            let value = value.trim();
+            let int = |what: &str| -> Result<u64, ConfigParseError> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| err(n, format!("{what} must be an integer, got {value:?}")))
+            };
+            match key {
+                "issue_width" => cfg.issue_width = int("issue_width")? as u32,
+                "l1.size_kb" => cfg.l1.size_bytes = int("l1.size_kb")? as u32 * 1024,
+                "l1.assoc" => cfg.l1.assoc = int("l1.assoc")? as u32,
+                "l1.write_policy" => {
+                    cfg.l1.write_policy = match value {
+                        "write-through" => L1WritePolicy::WriteThrough,
+                        "write-back" => L1WritePolicy::WriteBack,
+                        _ => return Err(err(n, format!("unknown L1 write policy {value:?}"))),
+                    }
+                }
+                "l2" => match value {
+                    "perfect" => l2_kind_real = false,
+                    "real" => l2_kind_real = true,
+                    _ => {
+                        return Err(err(
+                            n,
+                            format!("l2 must be `perfect` or `real`, got {value:?}"),
+                        ))
+                    }
+                },
+                "l2.latency" => l2_latency = int("l2.latency")?,
+                "l2.size_kb" => l2_size_kb = int("l2.size_kb")? as u32,
+                "l2.mm_latency" => l2_mm = int("l2.mm_latency")?,
+                "icache" => {
+                    cfg.icache = if value == "perfect" {
+                        IcacheConfig::Perfect
+                    } else if let Some(rest) = value.strip_prefix("miss-every:") {
+                        IcacheConfig::MissEvery {
+                            interval: rest
+                                .parse()
+                                .map_err(|_| err(n, format!("bad miss-every interval {rest:?}")))?,
+                        }
+                    } else {
+                        return Err(err(n, format!("unknown icache model {value:?}")));
+                    }
+                }
+                "wb.depth" => cfg.write_buffer.depth = int("wb.depth")? as usize,
+                "wb.width_words" => cfg.write_buffer.width_words = int("wb.width_words")? as usize,
+                "wb.order" => {
+                    cfg.write_buffer.order = match value {
+                        "fifo" => RetirementOrder::Fifo,
+                        "lru" => RetirementOrder::Lru,
+                        _ => return Err(err(n, format!("unknown retirement order {value:?}"))),
+                    }
+                }
+                "wb.retirement" => {
+                    cfg.write_buffer.retirement = if let Some(rest) =
+                        value.strip_prefix("retire-at-")
+                    {
+                        RetirementPolicy::RetireAt(rest.parse().map_err(|_| {
+                            err(n, format!("bad retire-at high-water mark {rest:?}"))
+                        })?)
+                    } else if let Some(rest) = value.strip_prefix("fixed-rate-") {
+                        RetirementPolicy::FixedRate(
+                            rest.parse()
+                                .map_err(|_| err(n, format!("bad fixed-rate interval {rest:?}")))?,
+                        )
+                    } else {
+                        return Err(err(n, format!("unknown retirement policy {value:?}")));
+                    }
+                }
+                "wb.hazard" => {
+                    cfg.write_buffer.hazard = match value {
+                        "flush-full" => LoadHazardPolicy::FlushFull,
+                        "flush-partial" => LoadHazardPolicy::FlushPartial,
+                        "flush-item-only" => LoadHazardPolicy::FlushItemOnly,
+                        "read-from-wb" => LoadHazardPolicy::ReadFromWb,
+                        _ => return Err(err(n, format!("unknown hazard policy {value:?}"))),
+                    }
+                }
+                "wb.priority" => {
+                    cfg.write_buffer.priority = if value == "read-bypass" {
+                        L2Priority::ReadBypass
+                    } else if let Some(rest) = value.strip_prefix("write-priority-above-") {
+                        L2Priority::WritePriorityAbove(
+                            rest.parse()
+                                .map_err(|_| err(n, format!("bad priority threshold {rest:?}")))?,
+                        )
+                    } else {
+                        return Err(err(n, format!("unknown L2 priority {value:?}")));
+                    }
+                }
+                "wb.max_age" => {
+                    cfg.write_buffer.max_age = if value == "none" {
+                        None
+                    } else {
+                        Some(int("wb.max_age")?)
+                    }
+                }
+                "wb.datapath" => {
+                    cfg.write_buffer.datapath = match value {
+                        "full-line" => DatapathWidth::FullLine,
+                        "half-line" => DatapathWidth::HalfLine,
+                        _ => return Err(err(n, format!("unknown datapath width {value:?}"))),
+                    }
+                }
+                _ => return Err(err(n, format!("unknown key {key:?}"))),
+            }
+        }
+        cfg.l2 = if l2_kind_real {
+            L2Config::Real {
+                size_bytes: l2_size_kb * 1024,
+                assoc: 1,
+                latency: l2_latency,
+                mm_latency: l2_mm,
+            }
+        } else {
+            L2Config::Perfect {
+                latency: l2_latency,
+            }
+        };
+        cfg.validate()
+            .map_err(|e| err(0, format!("invalid configuration: {e}")))?;
+        Ok(cfg)
+    }
+}
+
+/// Serializes a configuration so that it parses back identically.
+#[must_use]
+pub fn to_config_string(cfg: &MachineConfig) -> String {
+    let mut s = String::from("# wbsim machine configuration\n");
+    let _ = writeln!(s, "issue_width = {}", cfg.issue_width);
+    let _ = writeln!(s, "l1.size_kb = {}", cfg.l1.size_bytes / 1024);
+    let _ = writeln!(s, "l1.assoc = {}", cfg.l1.assoc);
+    let _ = writeln!(
+        s,
+        "l1.write_policy = {}",
+        match cfg.l1.write_policy {
+            L1WritePolicy::WriteThrough => "write-through",
+            L1WritePolicy::WriteBack => "write-back",
+        }
+    );
+    match cfg.l2 {
+        L2Config::Perfect { latency } => {
+            let _ = writeln!(s, "l2 = perfect");
+            let _ = writeln!(s, "l2.latency = {latency}");
+        }
+        L2Config::Real {
+            size_bytes,
+            latency,
+            mm_latency,
+            ..
+        } => {
+            let _ = writeln!(s, "l2 = real");
+            let _ = writeln!(s, "l2.latency = {latency}");
+            let _ = writeln!(s, "l2.size_kb = {}", size_bytes / 1024);
+            let _ = writeln!(s, "l2.mm_latency = {mm_latency}");
+        }
+    }
+    match cfg.icache {
+        IcacheConfig::Perfect => {
+            let _ = writeln!(s, "icache = perfect");
+        }
+        IcacheConfig::MissEvery { interval } => {
+            let _ = writeln!(s, "icache = miss-every:{interval}");
+        }
+    }
+    let wb = &cfg.write_buffer;
+    let _ = writeln!(s, "wb.depth = {}", wb.depth);
+    let _ = writeln!(s, "wb.width_words = {}", wb.width_words);
+    let _ = writeln!(
+        s,
+        "wb.order = {}",
+        match wb.order {
+            RetirementOrder::Fifo => "fifo",
+            RetirementOrder::Lru => "lru",
+        }
+    );
+    let _ = writeln!(s, "wb.retirement = {}", wb.retirement);
+    let _ = writeln!(
+        s,
+        "wb.hazard = {}",
+        match wb.hazard {
+            LoadHazardPolicy::FlushFull => "flush-full",
+            LoadHazardPolicy::FlushPartial => "flush-partial",
+            LoadHazardPolicy::FlushItemOnly => "flush-item-only",
+            LoadHazardPolicy::ReadFromWb => "read-from-wb",
+        }
+    );
+    let _ = writeln!(s, "wb.priority = {}", wb.priority);
+    match wb.max_age {
+        None => {
+            let _ = writeln!(s, "wb.max_age = none");
+        }
+        Some(a) => {
+            let _ = writeln!(s, "wb.max_age = {a}");
+        }
+    }
+    let _ = writeln!(s, "wb.datapath = {}", wb.datapath);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_config_is_the_baseline() {
+        let cfg: MachineConfig = "".parse().unwrap();
+        let mut base = MachineConfig::baseline();
+        base.check_data = cfg.check_data;
+        assert_eq!(cfg, base);
+    }
+
+    #[test]
+    fn parses_full_document_with_comments() {
+        let doc = "\
+# recommended configuration
+wb.depth = 12          # deep
+wb.retirement = retire-at-8
+wb.hazard = read-from-wb
+
+l2 = real
+l2.size_kb = 512
+l2.mm_latency = 50
+l1.size_kb = 32
+icache = miss-every:200
+issue_width = 4
+wb.max_age = 64
+wb.datapath = half-line
+wb.order = lru
+wb.priority = write-priority-above-10
+";
+        let cfg: MachineConfig = doc.parse().unwrap();
+        assert_eq!(cfg.write_buffer.depth, 12);
+        assert_eq!(cfg.write_buffer.retirement, RetirementPolicy::RetireAt(8));
+        assert_eq!(cfg.write_buffer.hazard, LoadHazardPolicy::ReadFromWb);
+        assert_eq!(cfg.write_buffer.max_age, Some(64));
+        assert_eq!(cfg.write_buffer.order, RetirementOrder::Lru);
+        assert_eq!(
+            cfg.write_buffer.priority,
+            L2Priority::WritePriorityAbove(10)
+        );
+        assert_eq!(cfg.write_buffer.datapath, DatapathWidth::HalfLine);
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.issue_width, 4);
+        assert_eq!(cfg.icache, IcacheConfig::MissEvery { interval: 200 });
+        match cfg.l2 {
+            L2Config::Real {
+                size_bytes,
+                mm_latency,
+                ..
+            } => {
+                assert_eq!(size_bytes, 512 * 1024);
+                assert_eq!(mm_latency, 50);
+            }
+            L2Config::Perfect { .. } => panic!("expected real L2"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_every_shape() {
+        for doc in [
+            "",
+            "wb.depth = 12\nwb.retirement = retire-at-8\nwb.hazard = read-from-wb",
+            "l2 = real\nl2.size_kb = 128\nwb.retirement = fixed-rate-16",
+            "l1.write_policy = write-back",
+            "icache = miss-every:50\nwb.max_age = 256",
+        ] {
+            let cfg: MachineConfig = doc.parse().unwrap();
+            let text = to_config_string(&cfg);
+            let back: MachineConfig = text.parse().unwrap();
+            assert_eq!(back, cfg, "roundtrip failed for {doc:?}\n{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let e = "wb.depth = 4\nnonsense"
+            .parse::<MachineConfig>()
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = "wb.hazard = flush-everything"
+            .parse::<MachineConfig>()
+            .unwrap_err();
+        assert!(e.message.contains("unknown hazard policy"));
+        let e = "zz.depth = 4".parse::<MachineConfig>().unwrap_err();
+        assert!(e.message.contains("unknown key"));
+        let e = "wb.depth = four".parse::<MachineConfig>().unwrap_err();
+        assert!(e.message.contains("integer"));
+    }
+
+    #[test]
+    fn invalid_configs_fail_validation() {
+        // retire-at above depth
+        let e = "wb.depth = 2\nwb.retirement = retire-at-8"
+            .parse::<MachineConfig>()
+            .unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("invalid configuration"));
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = err(3, "boom");
+        assert_eq!(e.to_string(), "config line 3: boom");
+    }
+}

@@ -1,0 +1,57 @@
+//! Common vocabulary types for the `wbsim` workspace.
+//!
+//! This crate defines the types shared by every other `wbsim` crate:
+//!
+//! * [`addr`] — byte addresses, cache-line addresses, and the
+//!   [`addr::Geometry`] that maps between them;
+//! * [`policy`] — the write-buffer policy enums studied by the paper
+//!   (retirement, load-hazard, L2 priority, datapath width);
+//! * [`config`] — validated configuration for the write buffer, the caches,
+//!   and the whole machine, mirroring Tables 1 and 2 of the paper;
+//! * [`stall`] — the paper's three-way taxonomy of write-buffer-induced
+//!   stalls (Table 3);
+//! * [`stats`] — counters accumulated by a simulation run and derived
+//!   metrics (stall percentages, hit rates, CPI);
+//! * [`file_config`] — a plain-text `.wbcfg` machine-configuration format.
+//!
+//! The paper reproduced throughout this workspace is Kevin Skadron and
+//! Douglas W. Clark, *Design Issues and Tradeoffs for Write Buffers*,
+//! HPCA-3, 1997.
+//!
+//! # Example
+//!
+//! ```
+//! use wbsim_types::config::{MachineConfig, WriteBufferConfig};
+//! use wbsim_types::policy::{LoadHazardPolicy, RetirementPolicy};
+//!
+//! // The paper's baseline: 4-deep, line-wide, retire-at-2, flush-full.
+//! let wb = WriteBufferConfig::baseline();
+//! assert_eq!(wb.depth, 4);
+//! assert_eq!(wb.retirement, RetirementPolicy::RetireAt(2));
+//! assert_eq!(wb.hazard, LoadHazardPolicy::FlushFull);
+//!
+//! let machine = MachineConfig::baseline();
+//! assert_eq!(machine.l2.latency(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod file_config;
+pub mod op;
+pub mod policy;
+pub mod stall;
+pub mod stats;
+
+pub use addr::{Addr, Geometry, LineAddr, WordMask};
+pub use config::{ConfigError, IcacheConfig, L1Config, L2Config, MachineConfig, WriteBufferConfig};
+pub use op::Op;
+pub use policy::{DatapathWidth, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy};
+pub use stall::{StallBreakdown, StallKind};
+pub use stats::SimStats;
+
+/// A simulation timestamp, measured in processor cycles from the start of
+/// the run.
+pub type Cycle = u64;

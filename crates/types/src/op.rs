@@ -1,0 +1,76 @@
+//! The instruction-level reference stream vocabulary.
+//!
+//! The paper drives its simulator with an instruction-level trace produced
+//! by ATOM (§2.4). Our equivalent is an iterator of [`Op`]s: loads, stores,
+//! and runs of non-memory instructions. Every instruction takes one cycle
+//! to execute (Table 1); the memory system adds stalls.
+
+use crate::addr::Addr;
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `n` consecutive non-memory instructions (each 1 cycle).
+    ///
+    /// Runs are grouped so traces stay compact; `Compute(0)` is legal and
+    /// contributes nothing.
+    Compute(u32),
+    /// A load of the word at the given byte address.
+    Load(Addr),
+    /// A store to the word at the given byte address. The simulator
+    /// synthesizes the stored value (a per-store sequence number), so
+    /// traces carry only addresses.
+    Store(Addr),
+    /// A write memory barrier: execution stalls until the write buffer has
+    /// drained completely to L2. The paper notes that architectures
+    /// provide barriers because coalescing and read-bypassing reorder
+    /// stores ("current architectures include barrier instructions for
+    /// ensuring needed ordering properties", §2.2).
+    Barrier,
+}
+
+impl Op {
+    /// Number of instructions this event represents.
+    #[must_use]
+    pub const fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute(n) => *n as u64,
+            Op::Load(_) | Op::Store(_) | Op::Barrier => 1,
+        }
+    }
+
+    /// Whether this is a memory reference.
+    #[must_use]
+    pub const fn is_memory(&self) -> bool {
+        matches!(self, Op::Load(_) | Op::Store(_))
+    }
+
+    /// Whether this is a write barrier.
+    #[must_use]
+    pub const fn is_barrier(&self) -> bool {
+        matches!(self, Op::Barrier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(Op::Compute(7).instructions(), 7);
+        assert_eq!(Op::Compute(0).instructions(), 0);
+        assert_eq!(Op::Load(Addr::new(8)).instructions(), 1);
+        assert_eq!(Op::Store(Addr::new(8)).instructions(), 1);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(!Op::Compute(3).is_memory());
+        assert!(Op::Load(Addr::new(0)).is_memory());
+        assert!(Op::Store(Addr::new(0)).is_memory());
+        assert!(!Op::Barrier.is_memory());
+        assert!(Op::Barrier.is_barrier());
+        assert_eq!(Op::Barrier.instructions(), 1);
+    }
+}

@@ -1,0 +1,523 @@
+//! Counters accumulated during a simulation run, and derived metrics.
+//!
+//! [`SimStats`] is deliberately a plain bag of public counters: the
+//! simulator increments them and the experiment harness reads them. Derived
+//! quantities — hit rates, stall percentages, CPI — are methods, so every
+//! experiment computes them the same way the paper does (stall cycles as a
+//! percentage of *total execution time*, hit rates over loads or stores
+//! only, etc.).
+
+use crate::stall::{pct, StallBreakdown, StallKind};
+
+/// Counters for one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use wbsim_types::stats::SimStats;
+/// use wbsim_types::stall::StallKind;
+///
+/// let mut s = SimStats::default();
+/// s.cycles = 1000;
+/// s.instructions = 800;
+/// s.loads = 200;
+/// s.l1_load_hits = 150;
+/// s.stalls.record(StallKind::BufferFull, 40);
+/// assert_eq!(s.l1_load_hit_rate(), 75.0);
+/// assert_eq!(s.stall_pct(StallKind::BufferFull), 4.0);
+/// assert_eq!(s.cpi(), 1.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimStats {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Instructions executed (loads + stores + compute).
+    pub instructions: u64,
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store instructions executed.
+    pub stores: u64,
+
+    /// Loads that hit in the L1 data cache.
+    pub l1_load_hits: u64,
+    /// Loads that missed L1 but were serviced directly from the write
+    /// buffer under read-from-WB (charged as L1 hits by the paper's timing
+    /// model, but counted separately here).
+    pub wb_read_hits: u64,
+    /// Stores whose line was already present in L1 (write-through update).
+    pub l1_store_hits: u64,
+
+    /// Stores that merged into an existing write-buffer entry — the
+    /// "WB hit rate" of paper Table 5.
+    pub wb_store_merges: u64,
+    /// Stores that allocated a new write-buffer entry.
+    pub wb_allocations: u64,
+    /// Entries written to L2 by autonomous retirement.
+    pub wb_retirements: u64,
+    /// Entries written to L2 by load-hazard flushes.
+    pub wb_flushes: u64,
+    /// Load hazards detected (L1 load miss whose line was active in the
+    /// write buffer).
+    pub load_hazards: u64,
+    /// Load hazards where the line was active but the needed word invalid
+    /// (the read-from-WB "partial hit" that still requires an L2 access).
+    pub hazard_word_misses: u64,
+
+    /// L2 read accesses (L1 load-miss fills and I-cache fills).
+    pub l2_reads: u64,
+    /// L2 write accesses (write-buffer retirements and flushes, counted per
+    /// bus transaction).
+    pub l2_writes: u64,
+    /// L2 read accesses that missed (real L2 only).
+    pub l2_read_misses: u64,
+    /// Main-memory accesses (fetches and write-backs; real L2 only).
+    pub mm_accesses: u64,
+    /// L1 lines invalidated to maintain inclusion when L2 evicted.
+    pub inclusion_invalidations: u64,
+    /// Instruction-cache misses (MissEvery model only).
+    pub icache_misses: u64,
+    /// Write barriers executed.
+    pub barriers: u64,
+    /// Cycles spent waiting for the write buffer to drain at barriers.
+    /// Kept outside the paper's three-way taxonomy: a barrier stall is a
+    /// semantic ordering cost, not a structural hazard.
+    pub barrier_stall_cycles: u64,
+    /// Cycles the CPU waited for a free MSHR (non-blocking machine only);
+    /// also outside the three-way taxonomy, since the paper's machine has
+    /// no MSHRs.
+    pub mshr_stall_cycles: u64,
+
+    /// Cycles a load spent waiting on its own L2/memory read (charged to
+    /// the miss itself, not the write buffer — paper §2.3).
+    pub miss_wait_cycles: u64,
+    /// Cycles an I-fetch miss waited for the write buffer to release L2 —
+    /// the "L2-I-fetch stall" of paper §4.3, kept outside the three-way
+    /// taxonomy because the paper proposes it as a *new* category.
+    pub ifetch_stall_cycles: u64,
+    /// Write-buffer-induced stall cycles per category.
+    pub stalls: StallBreakdown,
+    /// Detailed write-buffer behaviour (occupancy, lifetimes, coalescing).
+    pub wb_detail: WbDetail,
+}
+
+impl SimStats {
+    /// L1 load hit rate in percent, as in paper Table 5 ("loads only").
+    ///
+    /// Under read-from-WB, loads serviced from the buffer are *not* counted
+    /// as L1 hits.
+    #[must_use]
+    pub fn l1_load_hit_rate(&self) -> f64 {
+        pct(self.l1_load_hits, self.loads)
+    }
+
+    /// Write-buffer hit rate for stores in percent — the fraction of stores
+    /// that merged into an existing entry (paper Table 5, "stores only").
+    #[must_use]
+    pub fn wb_store_hit_rate(&self) -> f64 {
+        pct(self.wb_store_merges, self.stores)
+    }
+
+    /// L2 hit rate for reads in percent (real L2 only; 100% for perfect).
+    #[must_use]
+    pub fn l2_read_hit_rate(&self) -> f64 {
+        if self.l2_reads == 0 {
+            return 100.0;
+        }
+        pct(self.l2_reads - self.l2_read_misses, self.l2_reads)
+    }
+
+    /// Stall cycles of one category as a percentage of execution time —
+    /// the y-axis of every figure in the paper.
+    #[must_use]
+    pub fn stall_pct(&self, kind: StallKind) -> f64 {
+        self.stalls.pct_of(kind, self.cycles)
+    }
+
+    /// Total write-buffer-induced stall cycles as a percentage of execution
+    /// time (the black "T" bar of Figure 3).
+    #[must_use]
+    pub fn total_stall_pct(&self) -> f64 {
+        self.stalls.total_pct_of(self.cycles)
+    }
+
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Mean valid words per entry written to L2 — a coalescing measure
+    /// (4.0 would mean every retired entry was a full line).
+    ///
+    /// Computed as stores absorbed per entry written; entries written is
+    /// retirements plus flushes.
+    #[must_use]
+    pub fn stores_per_writeback(&self) -> f64 {
+        let written = self.wb_retirements + self.wb_flushes;
+        if written == 0 {
+            0.0
+        } else {
+            self.stores as f64 / written as f64
+        }
+    }
+
+    /// Write-traffic reduction in percent: 100 × (1 − entries written /
+    /// stores). An ideal coalescer approaches 75% with 4-word lines and
+    /// sequential stores.
+    #[must_use]
+    pub fn write_traffic_reduction(&self) -> f64 {
+        if self.stores == 0 {
+            return 0.0;
+        }
+        let written = self.wb_retirements + self.wb_flushes;
+        100.0 * (1.0 - written as f64 / self.stores as f64)
+    }
+
+    /// Accumulates another run's counters into this one (used by sweeps
+    /// that aggregate shards of the same workload).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_load_hits += other.l1_load_hits;
+        self.wb_read_hits += other.wb_read_hits;
+        self.l1_store_hits += other.l1_store_hits;
+        self.wb_store_merges += other.wb_store_merges;
+        self.wb_allocations += other.wb_allocations;
+        self.wb_retirements += other.wb_retirements;
+        self.wb_flushes += other.wb_flushes;
+        self.load_hazards += other.load_hazards;
+        self.hazard_word_misses += other.hazard_word_misses;
+        self.l2_reads += other.l2_reads;
+        self.l2_writes += other.l2_writes;
+        self.l2_read_misses += other.l2_read_misses;
+        self.mm_accesses += other.mm_accesses;
+        self.inclusion_invalidations += other.inclusion_invalidations;
+        self.icache_misses += other.icache_misses;
+        self.barriers += other.barriers;
+        self.barrier_stall_cycles += other.barrier_stall_cycles;
+        self.mshr_stall_cycles += other.mshr_stall_cycles;
+        self.miss_wait_cycles += other.miss_wait_cycles;
+        self.ifetch_stall_cycles += other.ifetch_stall_cycles;
+        self.stalls += other.stalls;
+        self.wb_detail.merge(&other.wb_detail);
+    }
+}
+
+impl std::fmt::Display for SimStats {
+    /// A multi-line human-readable summary (the format `wbsim run`
+    /// prints).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "instructions        {:>14}", self.instructions)?;
+        writeln!(f, "cycles              {:>14}", self.cycles)?;
+        writeln!(f, "CPI                 {:>14.4}", self.cpi())?;
+        writeln!(
+            f,
+            "loads / stores      {:>7} / {:<7}",
+            self.loads, self.stores
+        )?;
+        writeln!(f, "L1 load hit rate    {:>13.2}%", self.l1_load_hit_rate())?;
+        writeln!(f, "WB store hit rate   {:>13.2}%", self.wb_store_hit_rate())?;
+        writeln!(f, "L2 read hit rate    {:>13.2}%", self.l2_read_hit_rate())?;
+        writeln!(
+            f,
+            "WB retirements/flushes {:>7} / {:<7}",
+            self.wb_retirements, self.wb_flushes
+        )?;
+        writeln!(f, "load hazards        {:>14}", self.load_hazards)?;
+        if self.barriers > 0 {
+            writeln!(
+                f,
+                "barriers            {:>14}  ({} stall cycles)",
+                self.barriers, self.barrier_stall_cycles
+            )?;
+        }
+        if self.mshr_stall_cycles > 0 {
+            writeln!(f, "MSHR stall cycles   {:>14}", self.mshr_stall_cycles)?;
+        }
+        writeln!(
+            f,
+            "write traffic reduction {:>9.2}%",
+            self.write_traffic_reduction()
+        )?;
+        writeln!(
+            f,
+            "WB mean occupancy   {:>14.3}",
+            self.wb_detail.mean_occupancy()
+        )?;
+        writeln!(
+            f,
+            "WB mean entry life  {:>11.1} cyc  (max {})",
+            self.wb_detail.mean_lifetime(),
+            self.wb_detail.lifetime_max
+        )?;
+        writeln!(
+            f,
+            "WB mean words/entry {:>14.3}",
+            self.wb_detail.mean_valid_words()
+        )?;
+        for k in StallKind::ALL {
+            writeln!(
+                f,
+                "{:<19} {:>9} cycles ({:.2}%)",
+                format!("{k} stalls"),
+                self.stalls.get(k),
+                self.stall_pct(k)
+            )?;
+        }
+        write!(
+            f,
+            "total WB stalls     {:>9} cycles ({:.2}%)",
+            self.stalls.total(),
+            self.total_stall_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimStats {
+        let mut s = SimStats {
+            cycles: 2000,
+            instructions: 1000,
+            loads: 300,
+            stores: 100,
+            l1_load_hits: 240,
+            wb_store_merges: 40,
+            wb_allocations: 60,
+            wb_retirements: 50,
+            wb_flushes: 10,
+            l2_reads: 80,
+            l2_read_misses: 8,
+            ..SimStats::default()
+        };
+        s.stalls.record(StallKind::BufferFull, 100);
+        s.stalls.record(StallKind::L2ReadAccess, 60);
+        s.stalls.record(StallKind::LoadHazard, 40);
+        s
+    }
+
+    #[test]
+    fn hit_rates() {
+        let s = sample();
+        assert!((s.l1_load_hit_rate() - 80.0).abs() < 1e-12);
+        assert!((s.wb_store_hit_rate() - 40.0).abs() < 1e-12);
+        assert!((s.l2_read_hit_rate() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_hit_rate_with_no_reads_is_perfect() {
+        let s = SimStats::default();
+        assert_eq!(s.l2_read_hit_rate(), 100.0);
+    }
+
+    #[test]
+    fn stall_percentages() {
+        let s = sample();
+        assert!((s.stall_pct(StallKind::BufferFull) - 5.0).abs() < 1e-12);
+        assert!((s.stall_pct(StallKind::L2ReadAccess) - 3.0).abs() < 1e-12);
+        assert!((s.stall_pct(StallKind::LoadHazard) - 2.0).abs() < 1e-12);
+        assert!((s.total_stall_pct() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalescing_metrics() {
+        let s = sample();
+        // 100 stores produced 60 entries written → 40% traffic reduction.
+        assert!((s.write_traffic_reduction() - 40.0).abs() < 1e-12);
+        assert!((s.stores_per_writeback() - 100.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_safety() {
+        let s = SimStats::default();
+        assert_eq!(s.l1_load_hit_rate(), 0.0);
+        assert_eq!(s.wb_store_hit_rate(), 0.0);
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.stores_per_writeback(), 0.0);
+        assert_eq!(s.write_traffic_reduction(), 0.0);
+        assert_eq!(s.total_stall_pct(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let a = sample();
+        let mut b = sample();
+        b.merge(&a);
+        assert_eq!(b.cycles, 2 * a.cycles);
+        assert_eq!(b.loads, 2 * a.loads);
+        assert_eq!(b.stalls.total(), 2 * a.stalls.total());
+        // Rates are invariant under merging identical runs.
+        assert!((b.l1_load_hit_rate() - a.l1_load_hit_rate()).abs() < 1e-12);
+        assert!((b.total_stall_pct() - a.total_stall_pct()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summary_contains_key_lines() {
+        let s = sample();
+        let text = s.to_string();
+        assert!(text.contains("CPI"));
+        assert!(text.contains("L1 load hit rate            80.00%"));
+        assert!(text.contains("buffer-full stalls        100 cycles (5.00%)"));
+        assert!(text.contains("total WB stalls           200 cycles (10.00%)"));
+        assert!(!text.contains("barriers"), "zero barriers are omitted");
+    }
+
+    #[test]
+    fn cpi() {
+        let s = sample();
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+    }
+}
+
+/// Detailed write-buffer behaviour: occupancy, entry lifetimes, and
+/// coalescing-per-entry distributions. The paper reasons about all three
+/// ("the average occupancy of the buffer is higher", §3.2; "lazier
+/// retirement keeps entries in the buffer longer", §3.3), so the simulator
+/// measures them directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WbDetail {
+    /// Cycles spent at each occupancy level; index 16 aggregates ≥16.
+    pub occupancy_hist: [u64; 17],
+    /// Sum over written-back entries of (write-back cycle − allocation
+    /// cycle).
+    pub lifetime_sum: u64,
+    /// Longest observed entry lifetime.
+    pub lifetime_max: u64,
+    /// Entries written back with a given number of valid words; index 8
+    /// aggregates ≥8.
+    pub valid_words_hist: [u64; 9],
+}
+
+impl WbDetail {
+    /// Records one cycle at the given occupancy.
+    pub fn record_occupancy(&mut self, occupancy: usize) {
+        self.occupancy_hist[occupancy.min(16)] += 1;
+    }
+
+    /// Records one entry leaving the buffer.
+    pub fn record_writeback(&mut self, lifetime: u64, valid_words: u32) {
+        self.lifetime_sum += lifetime;
+        self.lifetime_max = self.lifetime_max.max(lifetime);
+        self.valid_words_hist[(valid_words as usize).min(8)] += 1;
+    }
+
+    /// Mean buffer occupancy over the run.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        let cycles: u64 = self.occupancy_hist.iter().sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .occupancy_hist
+            .iter()
+            .enumerate()
+            .map(|(i, c)| i as u64 * c)
+            .sum();
+        weighted as f64 / cycles as f64
+    }
+
+    /// Entries written back over the run.
+    #[must_use]
+    pub fn writebacks(&self) -> u64 {
+        self.valid_words_hist.iter().sum()
+    }
+
+    /// Mean entry lifetime in cycles (allocation → write-back).
+    #[must_use]
+    pub fn mean_lifetime(&self) -> f64 {
+        let n = self.writebacks();
+        if n == 0 {
+            0.0
+        } else {
+            self.lifetime_sum as f64 / n as f64
+        }
+    }
+
+    /// Mean valid words per written-back entry — the direct coalescing
+    /// measure (its ceiling is words-per-line; 4 in the baseline geometry).
+    #[must_use]
+    pub fn mean_valid_words(&self) -> f64 {
+        let n = self.writebacks();
+        if n == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .valid_words_hist
+            .iter()
+            .enumerate()
+            .map(|(i, c)| i as u64 * c)
+            .sum();
+        weighted as f64 / n as f64
+    }
+
+    /// Accumulates another run's detail.
+    pub fn merge(&mut self, other: &WbDetail) {
+        for (a, b) in self.occupancy_hist.iter_mut().zip(other.occupancy_hist) {
+            *a += b;
+        }
+        self.lifetime_sum += other.lifetime_sum;
+        self.lifetime_max = self.lifetime_max.max(other.lifetime_max);
+        for (a, b) in self.valid_words_hist.iter_mut().zip(other.valid_words_hist) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod detail_tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut d = WbDetail::default();
+        d.record_occupancy(0);
+        d.record_occupancy(2);
+        d.record_occupancy(4);
+        assert!((d.mean_occupancy() - 2.0).abs() < 1e-12);
+        d.record_occupancy(99); // clamps into the ≥16 bucket
+        assert_eq!(d.occupancy_hist[16], 1);
+    }
+
+    #[test]
+    fn writeback_statistics() {
+        let mut d = WbDetail::default();
+        d.record_writeback(10, 4);
+        d.record_writeback(30, 2);
+        assert_eq!(d.writebacks(), 2);
+        assert!((d.mean_lifetime() - 20.0).abs() < 1e-12);
+        assert!((d.mean_valid_words() - 3.0).abs() < 1e-12);
+        assert_eq!(d.lifetime_max, 30);
+        d.record_writeback(1, 64); // clamps into the ≥8 bucket
+        assert_eq!(d.valid_words_hist[8], 1);
+    }
+
+    #[test]
+    fn empty_detail_is_zero() {
+        let d = WbDetail::default();
+        assert_eq!(d.mean_occupancy(), 0.0);
+        assert_eq!(d.mean_lifetime(), 0.0);
+        assert_eq!(d.mean_valid_words(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = WbDetail::default();
+        a.record_occupancy(1);
+        a.record_writeback(4, 2);
+        let mut b = WbDetail::default();
+        b.record_occupancy(3);
+        b.record_writeback(8, 4);
+        a.merge(&b);
+        assert!((a.mean_occupancy() - 2.0).abs() < 1e-12);
+        assert!((a.mean_valid_words() - 3.0).abs() < 1e-12);
+    }
+}

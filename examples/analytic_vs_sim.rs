@@ -1,0 +1,66 @@
+//! Analytic model vs cycle-accurate simulation, across the whole suite.
+//!
+//! Smith's 1979 queueing treatment of write-through (the paper's
+//! reference [24]) is reborn here as `wbsim-analytic`: closed-form stall
+//! estimates from five measured rates. This example prints the model's
+//! predictions next to full simulation for every benchmark — the model
+//! gets the ordering and ballpark right in microseconds, which is its job.
+//!
+//! ```sh
+//! cargo run --release --example analytic_vs_sim
+//! ```
+
+use wbsim::analytic::{inputs_from_trace, predict};
+use wbsim::sim::Machine;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::types::MachineConfig;
+
+const INSTRUCTIONS: u64 = 300_000;
+
+fn main() {
+    let cfg = MachineConfig {
+        check_data: false,
+        ..MachineConfig::baseline()
+    };
+    println!("baseline machine, {INSTRUCTIONS} instructions per benchmark\n");
+    println!(
+        "{:<12} {:>9} {:>9}   {:>9} {:>9}   {:>9} {:>9}",
+        "benchmark", "F model", "F sim", "R model", "R sim", "T model", "T sim"
+    );
+    println!("{}", "-".repeat(76));
+
+    let mut model_rank: Vec<(f64, &str)> = Vec::new();
+    let mut sim_rank: Vec<(f64, &str)> = Vec::new();
+
+    for bench in BenchmarkModel::ALL {
+        let ops = bench.stream(42, INSTRUCTIONS);
+        let inputs = inputs_from_trace(&ops, &cfg);
+        let pred = predict(&inputs, &cfg);
+        let stats = Machine::new(cfg.clone()).expect("valid").run(ops);
+        println!(
+            "{:<12} {:>8.2}% {:>8.2}%   {:>8.2}% {:>8.2}%   {:>8.2}% {:>8.2}%",
+            bench.name(),
+            pred.f_pct,
+            stats.stall_pct(wbsim::types::stall::StallKind::BufferFull),
+            pred.r_pct,
+            stats.stall_pct(wbsim::types::stall::StallKind::L2ReadAccess),
+            pred.total_pct(),
+            stats.total_stall_pct(),
+        );
+        model_rank.push((pred.total_pct(), bench.name()));
+        sim_rank.push((stats.total_stall_pct(), bench.name()));
+    }
+
+    model_rank.sort_by(|a, b| b.0.total_cmp(&a.0));
+    sim_rank.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!(
+        "\nworst five by model:      {:?}",
+        &model_rank[..5].iter().map(|x| x.1).collect::<Vec<_>>()
+    );
+    println!(
+        "worst five by simulation: {:?}",
+        &sim_rank[..5].iter().map(|x| x.1).collect::<Vec<_>>()
+    );
+    println!("\nthe model is a pruning tool: it ranks designs and workloads without");
+    println!("simulating a single cycle; the simulator settles the close calls.");
+}

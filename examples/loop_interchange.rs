@@ -1,0 +1,63 @@
+//! The paper's Table 6 case study: the NASA kernels *gmtry* and *cholsky*
+//! traverse their arrays column-major — the wrong order for a row-major
+//! layout — and a loop interchange (or array transposition) repairs both
+//! the L1 hit rate and the write buffer's coalescing.
+//!
+//! This example runs each kernel before and after the transformation and
+//! shows what happens to hit rates and to all three stall categories.
+//!
+//! ```sh
+//! cargo run --release --example loop_interchange
+//! ```
+
+use wbsim::sim::Machine;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::types::stall::StallKind;
+use wbsim::types::MachineConfig;
+
+const INSTRUCTIONS: u64 = 400_000;
+
+fn report(model: BenchmarkModel) {
+    let stats = Machine::new(MachineConfig {
+        check_data: false,
+        ..MachineConfig::baseline()
+    })
+    .expect("valid config")
+    .run(model.stream(42, INSTRUCTIONS));
+    let paper = model.paper();
+    println!(
+        "  {:<11}  L1 {:>6.2}% (paper {:>5.1}%)   WB {:>6.2}% (paper {:>5.1}%)",
+        model.name(),
+        stats.l1_load_hit_rate(),
+        paper.l1_hit,
+        stats.wb_store_hit_rate(),
+        paper.wb_hit,
+    );
+    println!(
+        "  {:<11}  stalls: R {:.2}%  F {:.2}%  L {:.2}%  total {:.2}%  (CPI {:.3})",
+        "",
+        stats.stall_pct(StallKind::L2ReadAccess),
+        stats.stall_pct(StallKind::BufferFull),
+        stats.stall_pct(StallKind::LoadHazard),
+        stats.total_stall_pct(),
+        stats.cpi(),
+    );
+}
+
+fn main() {
+    println!("paper Table 6: column-major vs row-major traversal\n");
+    for (shipped, transformed) in [
+        (BenchmarkModel::Gmtry, BenchmarkModel::GmtryTransformed),
+        (BenchmarkModel::Cholsky, BenchmarkModel::CholskyTransformed),
+    ] {
+        println!("{} — as shipped (column-major inner loop):", shipped.name());
+        report(shipped);
+        println!("{} — after loop interchange:", shipped.name());
+        report(transformed);
+        println!();
+    }
+    println!(
+        "paper §3.1: \"the new versions suffer almost no write-buffer-induced \
+         stalls under the baseline model.\""
+    );
+}

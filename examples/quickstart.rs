@@ -1,0 +1,51 @@
+//! Quickstart: simulate one benchmark against the paper's baseline write
+//! buffer and print the stall breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wbsim::sim::Machine;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::types::stall::StallKind;
+use wbsim::types::MachineConfig;
+
+fn main() {
+    // The paper's baseline machine (Tables 1 and 2): 8K write-through L1,
+    // perfect 6-cycle L2, and a 4-deep, retire-at-2, flush-full write
+    // buffer.
+    let config = MachineConfig::baseline();
+
+    // A synthetic stream calibrated to SPEC92 compress (paper Tables 4/5).
+    let ops = BenchmarkModel::Compress.stream(42, 500_000);
+
+    let stats = Machine::new(config)
+        .expect("baseline config is valid")
+        .run(ops);
+
+    println!("compress on the baseline write buffer");
+    println!("  instructions      {:>12}", stats.instructions);
+    println!(
+        "  cycles            {:>12}  (CPI {:.3})",
+        stats.cycles,
+        stats.cpi()
+    );
+    println!("  L1 load hit rate  {:>11.2}%", stats.l1_load_hit_rate());
+    println!("  WB store hit rate {:>11.2}%", stats.wb_store_hit_rate());
+    println!();
+    println!("  write-buffer-induced stalls (paper Table 3):");
+    for kind in StallKind::ALL {
+        println!(
+            "    {:<16} {:>9} cycles  {:>5.2}% of execution time",
+            kind.to_string(),
+            stats.stalls.get(kind),
+            stats.stall_pct(kind)
+        );
+    }
+    println!(
+        "    {:<16} {:>9} cycles  {:>5.2}%",
+        "total",
+        stats.stalls.total(),
+        stats.total_stall_pct()
+    );
+}

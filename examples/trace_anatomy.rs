@@ -1,0 +1,65 @@
+//! Trace anatomy: generate a calibrated stream, persist it in both codecs,
+//! reload it, analyze it, and replay it — the full `wbsim-trace` pipeline
+//! (our ATOM substitute, paper §2.4).
+//!
+//! ```sh
+//! cargo run --release --example trace_anatomy
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use wbsim::sim::Machine;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::trace::{file as trace_file, TraceStats};
+use wbsim::types::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = BenchmarkModel::Sc;
+    let ops = bench.stream(7, 100_000);
+
+    // Persist in both codecs.
+    let dir = std::env::temp_dir().join("wbsim-trace-anatomy");
+    std::fs::create_dir_all(&dir)?;
+    let text_path = dir.join("sc.trace");
+    let bin_path = dir.join("sc.wbt");
+    trace_file::write_text(BufWriter::new(File::create(&text_path)?), &ops)?;
+    trace_file::write_binary(BufWriter::new(File::create(&bin_path)?), &ops)?;
+    let text_len = std::fs::metadata(&text_path)?.len();
+    let bin_len = std::fs::metadata(&bin_path)?.len();
+    println!("wrote {} events:", ops.len());
+    println!("  text   {:>9} bytes  {}", text_len, text_path.display());
+    println!("  binary {:>9} bytes  {}", bin_len, bin_path.display());
+
+    // Reload and verify both roundtrips agree.
+    let from_text = trace_file::read_text(BufReader::new(File::open(&text_path)?))?;
+    let from_bin = trace_file::read_binary(BufReader::new(File::open(&bin_path)?))?;
+    assert_eq!(from_text, ops, "text codec must roundtrip");
+    assert_eq!(from_bin, ops, "binary codec must roundtrip");
+    println!("both codecs roundtrip exactly\n");
+
+    // Analyze the stream (compare paper Table 4 for sc: 27.2% / 11.4%).
+    let t = TraceStats::measure(&from_text);
+    println!("trace statistics (paper Table 4 for sc: loads 27.2%, stores 11.4%):");
+    println!("  instructions      {:>10}", t.instructions);
+    println!("  loads             {:>10}  ({:.2}%)", t.loads, t.pct_loads);
+    println!(
+        "  stores            {:>10}  ({:.2}%)",
+        t.stores, t.pct_stores
+    );
+    println!("  distinct lines    {:>10}", t.distinct_lines);
+    println!("  mean seq store run{:>10.2}", t.mean_seq_store_run);
+    println!("  same-line stores  {:>9.2}%\n", t.pct_store_same_line);
+
+    // Replay through the simulator with full data checking.
+    let stats = Machine::new(MachineConfig::baseline())?.run(from_text);
+    println!("replayed through the baseline machine (data checking on):");
+    println!(
+        "  cycles            {:>10}  (CPI {:.3})",
+        stats.cycles,
+        stats.cpi()
+    );
+    println!("  WB store hit rate {:>9.2}%", stats.wb_store_hit_rate());
+    println!("  total WB stalls   {:>9.2}%", stats.total_stall_pct());
+    Ok(())
+}

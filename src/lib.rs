@@ -1,0 +1,39 @@
+//! # wbsim — write buffers, reproduced
+//!
+//! A reproduction of Kevin Skadron and Douglas W. Clark, *Design Issues and
+//! Tradeoffs for Write Buffers* (HPCA-3, 1997): a cycle-level simulator of a
+//! write-through-L1 memory hierarchy with a coalescing write buffer, plus
+//! synthetic SPEC92-like workloads and a harness that regenerates every
+//! table and figure of the paper.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`types`] — configuration, policies, stall taxonomy, statistics;
+//! * [`mem`] — functional memory, L1, L2, I-cache models;
+//! * [`core`] — the coalescing write buffer (the paper's subject), the
+//!   write cache, and the ideal buffer;
+//! * [`sim`] — the cycle-level machine simulator;
+//! * [`trace`] — reference streams and synthetic benchmark models;
+//! * [`experiments`] — runners for every table and figure;
+//! * [`analytic`] — a first-order queueing model of write-buffer stalls.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wbsim::sim::Machine;
+//! use wbsim::trace::bench_models::BenchmarkModel;
+//! use wbsim::types::MachineConfig;
+//!
+//! let config = MachineConfig::baseline();
+//! let stream = BenchmarkModel::Compress.stream(42, 50_000);
+//! let stats = Machine::new(config).unwrap().run(stream);
+//! println!("total write-buffer stall: {:.2}%", stats.total_stall_pct());
+//! ```
+
+pub use wbsim_analytic as analytic;
+pub use wbsim_core as core;
+pub use wbsim_experiments as experiments;
+pub use wbsim_mem as mem;
+pub use wbsim_sim as sim;
+pub use wbsim_trace as trace;
+pub use wbsim_types as types;

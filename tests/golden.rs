@@ -1,0 +1,169 @@
+//! Golden regression pins: exact statistics for fixed (seed, benchmark,
+//! configuration) triplets. The whole stack — generators, caches, buffer,
+//! engine — is deterministic, so any change to these numbers is either an
+//! intentional model change (update the pins and say so in the commit) or
+//! a regression (fix it).
+//!
+//! Pins use small runs so they stay fast in debug builds; they cover each
+//! engine path (baseline, read-from-WB, real L2, write-back L1, barriers,
+//! ideal mode).
+
+use wbsim::sim::Machine;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::trace::transform::with_barriers;
+use wbsim::types::config::{L1Config, L2Config, MachineConfig, WriteBufferConfig};
+use wbsim::types::policy::{L1WritePolicy, LoadHazardPolicy, RetirementPolicy};
+
+const N: u64 = 20_000;
+const SEED: u64 = 12345;
+
+struct Pin {
+    cycles: u64,
+    instructions: u64,
+    stall_total: u64,
+    retirements: u64,
+}
+
+fn check(name: &str, stats: &wbsim::types::stats::SimStats, pin: &Pin) {
+    assert_eq!(
+        (
+            stats.cycles,
+            stats.instructions,
+            stats.stalls.total(),
+            stats.wb_retirements
+        ),
+        (
+            pin.cycles,
+            pin.instructions,
+            pin.stall_total,
+            pin.retirements
+        ),
+        "{name}: golden pin mismatch — cycles/instructions/stalls/retirements \
+         now ({}, {}, {}, {})",
+        stats.cycles,
+        stats.instructions,
+        stats.stalls.total(),
+        stats.wb_retirements,
+    );
+}
+
+fn stream(bench: BenchmarkModel) -> Vec<wbsim::types::op::Op> {
+    bench.stream(SEED, N)
+}
+
+#[test]
+fn golden_baseline_compress() {
+    let stats = Machine::new(MachineConfig::baseline())
+        .unwrap()
+        .run(stream(BenchmarkModel::Compress));
+    check(
+        "compress/baseline",
+        &stats,
+        &Pin {
+            cycles: 25509,
+            instructions: 20000,
+            stall_total: 559,
+            retirements: 1008,
+        },
+    );
+}
+
+#[test]
+fn golden_recommended_fft() {
+    let cfg = MachineConfig {
+        write_buffer: WriteBufferConfig {
+            depth: 12,
+            retirement: RetirementPolicy::RetireAt(8),
+            hazard: LoadHazardPolicy::ReadFromWb,
+            ..WriteBufferConfig::baseline()
+        },
+        ..MachineConfig::baseline()
+    };
+    let stats = Machine::new(cfg).unwrap().run(stream(BenchmarkModel::Fft));
+    check(
+        "fft/recommended",
+        &stats,
+        &Pin {
+            cycles: 31637,
+            instructions: 20000,
+            stall_total: 1503,
+            retirements: 1529,
+        },
+    );
+}
+
+#[test]
+fn golden_real_l2_su2cor() {
+    let cfg = MachineConfig {
+        l2: L2Config::real_with_size(128 * 1024),
+        ..MachineConfig::baseline()
+    };
+    let stats = Machine::new(cfg)
+        .unwrap()
+        .run(stream(BenchmarkModel::Su2cor));
+    check(
+        "su2cor/128K-L2",
+        &stats,
+        &Pin {
+            cycles: 88607,
+            instructions: 20000,
+            stall_total: 1797,
+            retirements: 1531,
+        },
+    );
+}
+
+#[test]
+fn golden_write_back_sc() {
+    let cfg = MachineConfig {
+        l1: L1Config {
+            write_policy: L1WritePolicy::WriteBack,
+            ..L1Config::baseline()
+        },
+        ..MachineConfig::baseline()
+    };
+    let stats = Machine::new(cfg).unwrap().run(stream(BenchmarkModel::Sc));
+    check(
+        "sc/write-back",
+        &stats,
+        &Pin {
+            cycles: 28974,
+            instructions: 20000,
+            stall_total: 508,
+            retirements: 565,
+        },
+    );
+}
+
+#[test]
+fn golden_barriers_li() {
+    let ops = with_barriers(&stream(BenchmarkModel::Li), 32);
+    let stats = Machine::new(MachineConfig::baseline()).unwrap().run(ops);
+    check(
+        "li/barrier-32",
+        &stats,
+        &Pin {
+            cycles: 25274,
+            instructions: 20093,
+            stall_total: 1090,
+            retirements: 1783,
+        },
+    );
+}
+
+#[test]
+fn golden_ideal_wave5() {
+    let stats = Machine::new(MachineConfig::baseline())
+        .unwrap()
+        .run_ideal(stream(BenchmarkModel::Wave5));
+    check(
+        "wave5/ideal",
+        &stats,
+        &Pin {
+            cycles: 22898,
+            instructions: 20000,
+            stall_total: 0,
+            retirements: 0,
+        },
+    );
+}

@@ -1,0 +1,31 @@
+//! §2.4's omission criterion, verified: "Some SPEC92 benchmarks — ear,
+//! ora, alvinn, and eqntott — suffer virtually no write-buffer stalls in
+//! the baseline model, and are not included." Our models of those four
+//! must indeed barely stall, and must stall far less than the median of
+//! the included suite.
+
+use wbsim::experiments::harness::Harness;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::types::config::MachineConfig;
+
+#[test]
+fn the_omitted_four_barely_stall() {
+    let h = Harness {
+        instructions: 60_000,
+        warmup: 15_000,
+        seed: 42,
+        check_data: true,
+    };
+    for m in BenchmarkModel::OMITTED {
+        let stats = h.run(m, MachineConfig::baseline());
+        assert!(
+            stats.total_stall_pct() < 0.5,
+            "{} should be uninteresting, stalls {:.2}%",
+            m.name(),
+            stats.total_stall_pct()
+        );
+    }
+    // And the contrast with the included suite is stark.
+    let fft = h.run(BenchmarkModel::Fft, MachineConfig::baseline());
+    assert!(fft.total_stall_pct() > 2.0);
+}

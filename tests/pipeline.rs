@@ -1,0 +1,91 @@
+//! Cross-crate pipeline tests: trace generation → serialization →
+//! simulation → statistics, plus end-to-end determinism.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use wbsim::sim::Machine;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::trace::{file as trace_file, TraceStats};
+use wbsim::types::config::MachineConfig;
+use wbsim::types::op::Op;
+use wbsim::types::Addr;
+
+#[test]
+fn generated_trace_survives_both_codecs_and_replays_identically() {
+    let ops = BenchmarkModel::Doduc.stream(3, 20_000);
+
+    let mut text = Vec::new();
+    trace_file::write_text(&mut text, &ops).unwrap();
+    let from_text = trace_file::read_text(Cursor::new(&text)).unwrap();
+    assert_eq!(from_text, ops);
+
+    let mut bin = Vec::new();
+    trace_file::write_binary(&mut bin, &ops).unwrap();
+    let from_bin = trace_file::read_binary(Cursor::new(&bin)).unwrap();
+    assert_eq!(from_bin, ops);
+
+    // Binary format is exactly fixed-width: magic + 9 bytes per event.
+    assert_eq!(bin.len(), 4 + 9 * ops.len());
+
+    // All three replay to identical statistics.
+    let cfg = MachineConfig::baseline();
+    let a = Machine::new(cfg.clone()).unwrap().run(ops);
+    let b = Machine::new(cfg.clone()).unwrap().run(from_text);
+    let c = Machine::new(cfg).unwrap().run(from_bin);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn trace_stats_agree_with_simulator_counts() {
+    let ops = BenchmarkModel::Wave5.stream(9, 15_000);
+    let t = TraceStats::measure(&ops);
+    let s = Machine::new(MachineConfig::baseline()).unwrap().run(ops);
+    assert_eq!(t.instructions, s.instructions);
+    assert_eq!(t.loads, s.loads);
+    assert_eq!(t.stores, s.stores);
+}
+
+#[test]
+fn every_benchmark_replays_clean_with_data_checking() {
+    for m in BenchmarkModel::ALL {
+        let ops = m.stream(1, 8_000);
+        let stats = Machine::new(MachineConfig::baseline()).unwrap().run(ops);
+        assert!(stats.cycles > 0, "{} produced no cycles", m.name());
+    }
+}
+
+#[test]
+fn seeds_change_streams_but_not_shape() {
+    let a = TraceStats::measure(&BenchmarkModel::Cc1.stream(1, 60_000));
+    let b = TraceStats::measure(&BenchmarkModel::Cc1.stream(2, 60_000));
+    assert!((a.pct_loads - b.pct_loads).abs() < 1.5);
+    assert!((a.pct_stores - b.pct_stores).abs() < 1.5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both codecs roundtrip arbitrary op vectors, not just generated ones.
+    #[test]
+    fn codecs_roundtrip_arbitrary_ops(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u32..10_000).prop_map(Op::Compute),
+                any::<u64>().prop_map(|a| Op::Load(Addr::new(a))),
+                any::<u64>().prop_map(|a| Op::Store(Addr::new(a))),
+            ],
+            0..200,
+        )
+    ) {
+        let mut text = Vec::new();
+        trace_file::write_text(&mut text, &ops).unwrap();
+        prop_assert_eq!(trace_file::read_text(Cursor::new(&text)).unwrap(), ops.clone());
+
+        let mut bin = Vec::new();
+        trace_file::write_binary(&mut bin, &ops).unwrap();
+        prop_assert_eq!(trace_file::read_binary(Cursor::new(&bin)).unwrap(), ops);
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's §2.3 framing, verified as an exact identity: "By counting
+//! all stalls, we in effect measure the write buffer against a perfect
+//! buffer that never overflows and never delays loads."
+//!
+//! For every flush-based hazard policy over a perfect L2 and perfect
+//! I-cache, the real run's cycle count must equal the ideal run's plus the
+//! three categorized stall counts — cycle for cycle, on every benchmark.
+//! (Read-from-WB can legitimately *beat* the ideal buffer, because buffer
+//! hits avoid L2 reads entirely; there the identity becomes a bound.)
+
+use wbsim::experiments::harness::Harness;
+use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::types::config::{MachineConfig, WriteBufferConfig};
+use wbsim::types::policy::{LoadHazardPolicy, RetirementPolicy};
+
+fn h() -> Harness {
+    Harness {
+        instructions: 30_000,
+        warmup: 0,
+        seed: 11,
+        check_data: true,
+    }
+}
+
+fn run_pair(bench: BenchmarkModel, wb: WriteBufferConfig) -> (u64, u64, u64) {
+    let cfg = MachineConfig {
+        write_buffer: wb,
+        ..MachineConfig::baseline()
+    };
+    let harness = h();
+    let real = harness.run(bench, cfg.clone());
+    let ideal = harness.run_ideal(bench, cfg);
+    (real.cycles, ideal.cycles, real.stalls.total())
+}
+
+#[test]
+fn identity_holds_for_flush_policies_across_suite() {
+    for bench in BenchmarkModel::ALL {
+        let (real, ideal, stalls) = run_pair(bench, WriteBufferConfig::baseline());
+        assert_eq!(
+            real,
+            ideal + stalls,
+            "{}: real {} != ideal {} + stalls {}",
+            bench.name(),
+            real,
+            ideal,
+            stalls
+        );
+    }
+}
+
+#[test]
+fn identity_holds_across_configurations() {
+    let bench = BenchmarkModel::Fft; // hazard- and contention-prone
+    for depth in [2usize, 4, 8, 12] {
+        for retire_at in [2usize, depth.min(6)] {
+            for hazard in [
+                LoadHazardPolicy::FlushFull,
+                LoadHazardPolicy::FlushPartial,
+                LoadHazardPolicy::FlushItemOnly,
+            ] {
+                let wb = WriteBufferConfig {
+                    depth,
+                    retirement: RetirementPolicy::RetireAt(retire_at),
+                    hazard,
+                    ..WriteBufferConfig::baseline()
+                };
+                let (real, ideal, stalls) = run_pair(bench, wb.clone());
+                assert_eq!(
+                    real,
+                    ideal + stalls,
+                    "fft {depth}-deep retire-at-{retire_at} {hazard}: identity violated"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn read_from_wb_can_beat_the_ideal_buffer() {
+    // read-from-WB hits avoid entire 6-cycle L2 reads, so the real run may
+    // be *faster* than ideal + stalls; it must never be slower.
+    let mut beat_it = false;
+    for bench in [
+        BenchmarkModel::Fpppp,
+        BenchmarkModel::Li,
+        BenchmarkModel::Fft,
+    ] {
+        let wb = WriteBufferConfig {
+            depth: 12,
+            retirement: RetirementPolicy::RetireAt(8),
+            hazard: LoadHazardPolicy::ReadFromWb,
+            ..WriteBufferConfig::baseline()
+        };
+        let (real, ideal, stalls) = run_pair(bench, wb);
+        assert!(
+            real <= ideal + stalls,
+            "{}: read-from-WB slower than ideal + stalls",
+            bench.name()
+        );
+        if real < ideal + stalls {
+            beat_it = true;
+        }
+    }
+    assert!(
+        beat_it,
+        "at least one hazard-prone benchmark should profit from buffer reads"
+    );
+}
+
+#[test]
+fn ideal_run_is_a_true_lower_bound() {
+    for bench in [
+        BenchmarkModel::Espresso,
+        BenchmarkModel::Mdljdp2,
+        BenchmarkModel::Su2cor,
+    ] {
+        for hazard in LoadHazardPolicy::ALL {
+            let wb = WriteBufferConfig {
+                hazard,
+                ..WriteBufferConfig::baseline()
+            };
+            let (real, ideal, _) = run_pair(bench, wb);
+            assert!(
+                real >= ideal,
+                "{} with {hazard}: real run beat the ideal buffer",
+                bench.name()
+            );
+        }
+    }
+}

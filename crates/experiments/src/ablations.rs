@@ -297,6 +297,7 @@ pub fn barriers(h: &Harness) -> FigureResult {
         benches: benches.iter().map(|b| b.name()).collect(),
         configs: configs.into_iter().map(|(l, _)| l).collect(),
         cells,
+        errors: Vec::new(),
     }
 }
 
@@ -352,6 +353,7 @@ pub fn non_blocking(h: &Harness) -> FigureResult {
         benches: BenchmarkModel::ALL.iter().map(|b| b.name()).collect(),
         configs: configs.iter().map(|s| s.to_string()).collect(),
         cells,
+        errors: Vec::new(),
     }
 }
 

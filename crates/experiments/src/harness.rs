@@ -2,11 +2,46 @@
 //! configuration, or sweep a whole figure's configuration set over the
 //! whole suite in parallel.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use wbsim_sim::Machine;
 use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_types::config::MachineConfig;
 use wbsim_types::stall::StallKind;
 use wbsim_types::stats::SimStats;
+
+/// One failed cell of a sweep: which benchmark, which configuration, and
+/// the panic or validation message. A sweep never aborts on a bad cell —
+/// it records the error here and fills the cell with zeros, so one broken
+/// configuration cannot take down a whole figure run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Benchmark whose run failed.
+    pub bench: &'static str,
+    /// Label of the configuration that failed.
+    pub config: String,
+    /// The panic payload or error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep cell failed: bench `{}`, config `{}`: {}",
+            self.bench, self.config, self.message
+        )
+    }
+}
+
+/// Renders a `catch_unwind` payload as a readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 /// How much work each experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +105,11 @@ impl Harness {
     /// Sweeps `configs` over `benches`, one OS thread per benchmark, and
     /// assembles a [`FigureResult`]. Each benchmark's stream is generated
     /// once and reused across configurations.
+    ///
+    /// A cell that panics (an invalid configuration, a machine assertion)
+    /// does not abort the sweep: the cell is zeroed and the failure is
+    /// recorded in [`FigureResult::errors`], naming the benchmark and the
+    /// configuration label.
     #[must_use]
     pub fn sweep(
         &self,
@@ -78,21 +118,32 @@ impl Harness {
         benches: &[BenchmarkModel],
         configs: &[(String, MachineConfig)],
     ) -> FigureResult {
-        let cells: Vec<Vec<StallCell>> = std::thread::scope(|s| {
+        let rows: Vec<Vec<Result<StallCell, String>>> = std::thread::scope(|s| {
             let handles: Vec<_> = benches
                 .iter()
                 .map(|bench| {
                     s.spawn(move || {
-                        let ops = bench.stream(self.seed, self.instructions + self.warmup);
+                        let ops = match catch_unwind(|| {
+                            bench.stream(self.seed, self.instructions + self.warmup)
+                        }) {
+                            Ok(ops) => ops,
+                            Err(p) => {
+                                let msg = format!("stream generation: {}", panic_message(p));
+                                return configs.iter().map(|_| Err(msg.clone())).collect();
+                            }
+                        };
                         configs
                             .iter()
                             .map(|(_, cfg)| {
                                 let mut cfg = cfg.clone();
                                 cfg.check_data = self.check_data;
-                                let stats = Machine::new(cfg)
-                                    .expect("experiment configurations are valid")
-                                    .run_with_warmup(ops.iter().copied(), self.warmup);
-                                StallCell::from_stats(&stats)
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    let stats = Machine::new(cfg)
+                                        .expect("experiment configuration rejected")
+                                        .run_with_warmup(ops.iter().copied(), self.warmup);
+                                    StallCell::from_stats(&stats)
+                                }))
+                                .map_err(panic_message)
                             })
                             .collect::<Vec<_>>()
                     })
@@ -100,15 +151,41 @@ impl Harness {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("experiment thread panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        let msg = panic_message(p);
+                        configs.iter().map(|_| Err(msg.clone())).collect()
+                    })
+                })
                 .collect()
         });
+        let mut errors = Vec::new();
+        let cells = rows
+            .into_iter()
+            .zip(benches)
+            .map(|(row, bench)| {
+                row.into_iter()
+                    .zip(configs)
+                    .map(|(cell, (label, _))| {
+                        cell.unwrap_or_else(|message| {
+                            errors.push(SweepError {
+                                bench: bench.name(),
+                                config: label.clone(),
+                                message,
+                            });
+                            StallCell::zeroed()
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
         FigureResult {
             id,
             title: title.to_string(),
             benches: benches.iter().map(|b| b.name()).collect(),
             configs: configs.iter().map(|(l, _)| l.clone()).collect(),
             cells,
+            errors,
         }
     }
 }
@@ -135,6 +212,20 @@ pub struct SeedSummary {
     pub total: (f64, f64),
 }
 
+impl SeedSummary {
+    /// The placeholder for a failed sweep cell.
+    #[must_use]
+    fn zeroed(seeds: u64) -> Self {
+        Self {
+            seeds,
+            r: (0.0, 0.0),
+            f: (0.0, 0.0),
+            l: (0.0, 0.0),
+            total: (0.0, 0.0),
+        }
+    }
+}
+
 fn mean_sd(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
         return (0.0, 0.0);
@@ -153,6 +244,9 @@ impl Harness {
     /// (starting from this harness's base seed) and summarizes the spread.
     /// Synthetic workloads are stochastic; this is how an experiment
     /// decides whether a difference between two configurations is signal.
+    ///
+    /// Panics if any seed's run panics; [`Harness::try_run_seeds`] is the
+    /// non-aborting variant used by [`Harness::sweep_seeds`].
     #[must_use]
     pub fn run_seeds(
         &self,
@@ -160,8 +254,21 @@ impl Harness {
         cfg: MachineConfig,
         n_seeds: u64,
     ) -> SeedSummary {
+        self.try_run_seeds(bench, cfg, n_seeds)
+            .unwrap_or_else(|msg| panic!("seed run failed for `{}`: {msg}", bench.name()))
+    }
+
+    /// Like [`Harness::run_seeds`], but a panicking seed run (an invalid
+    /// configuration, a machine assertion) is caught and returned as the
+    /// first failing seed's message instead of aborting the caller.
+    pub fn try_run_seeds(
+        &self,
+        bench: BenchmarkModel,
+        cfg: MachineConfig,
+        n_seeds: u64,
+    ) -> Result<SeedSummary, String> {
         let n = n_seeds.max(1);
-        let cells: Vec<StallCell> = std::thread::scope(|sc| {
+        let runs: Vec<Result<StallCell, String>> = std::thread::scope(|sc| {
             let handles: Vec<_> = (0..n)
                 .map(|i| {
                     let cfg = cfg.clone();
@@ -170,26 +277,30 @@ impl Harness {
                             seed: self.seed + i,
                             ..*self
                         };
-                        StallCell::from_stats(&h.run(bench, cfg))
+                        catch_unwind(AssertUnwindSafe(|| {
+                            StallCell::from_stats(&h.run(bench, cfg))
+                        }))
+                        .map_err(|p| format!("seed {}: {}", h.seed, panic_message(p)))
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|j| j.join().expect("seed-run thread panicked"))
+                .map(|j| j.join().unwrap_or_else(|p| Err(panic_message(p))))
                 .collect()
         });
+        let cells = runs.into_iter().collect::<Result<Vec<_>, _>>()?;
         let pick = |f: fn(&StallCell) -> f64| {
             let xs: Vec<f64> = cells.iter().map(f).collect();
             mean_sd(&xs)
         };
-        SeedSummary {
+        Ok(SeedSummary {
             seeds: n,
             r: pick(|c| c.r_pct),
             f: pick(|c| c.f_pct),
             l: pick(|c| c.l_pct),
             total: pick(|c| c.total_pct()),
-        }
+        })
     }
 }
 
@@ -224,6 +335,17 @@ impl StallCell {
     pub fn total_pct(&self) -> f64 {
         self.r_pct + self.f_pct + self.l_pct
     }
+
+    /// The placeholder for a failed sweep cell.
+    #[must_use]
+    fn zeroed() -> Self {
+        Self {
+            r_pct: 0.0,
+            f_pct: 0.0,
+            l_pct: 0.0,
+            stats: SimStats::default(),
+        }
+    }
 }
 
 /// A figure grid with per-cell seed spread: `summaries[bench][config]`.
@@ -239,6 +361,8 @@ pub struct FigureSpread {
     pub configs: Vec<String>,
     /// Per-cell seed summaries.
     pub summaries: Vec<Vec<SeedSummary>>,
+    /// Cells that failed; their summaries are zeroed.
+    pub errors: Vec<SweepError>,
 }
 
 impl Harness {
@@ -246,6 +370,9 @@ impl Harness {
     /// `n_seeds` workload seeds and reports mean ± sd — for deciding
     /// whether a difference between configurations is signal or
     /// generator noise.
+    ///
+    /// As with [`Harness::sweep`], a failing cell is zeroed and recorded
+    /// in [`FigureSpread::errors`] rather than aborting the sweep.
     #[must_use]
     pub fn sweep_seeds(
         &self,
@@ -255,29 +382,55 @@ impl Harness {
         configs: &[(String, MachineConfig)],
         n_seeds: u64,
     ) -> FigureSpread {
-        let summaries: Vec<Vec<SeedSummary>> = std::thread::scope(|s| {
+        let rows: Vec<Vec<Result<SeedSummary, String>>> = std::thread::scope(|s| {
             let handles: Vec<_> = benches
                 .iter()
                 .map(|bench| {
                     s.spawn(move || {
                         configs
                             .iter()
-                            .map(|(_, cfg)| self.run_seeds(*bench, cfg.clone(), n_seeds))
+                            .map(|(_, cfg)| self.try_run_seeds(*bench, cfg.clone(), n_seeds))
                             .collect::<Vec<_>>()
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|j| j.join().expect("spread thread panicked"))
+                .map(|j| {
+                    j.join().unwrap_or_else(|p| {
+                        let msg = panic_message(p);
+                        configs.iter().map(|_| Err(msg.clone())).collect()
+                    })
+                })
                 .collect()
         });
+        let mut errors = Vec::new();
+        let summaries = rows
+            .into_iter()
+            .zip(benches)
+            .map(|(row, bench)| {
+                row.into_iter()
+                    .zip(configs)
+                    .map(|(cell, (label, _))| {
+                        cell.unwrap_or_else(|message| {
+                            errors.push(SweepError {
+                                bench: bench.name(),
+                                config: label.clone(),
+                                message,
+                            });
+                            SeedSummary::zeroed(n_seeds.max(1))
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
         FigureSpread {
             id,
             title: title.to_string(),
             benches: benches.iter().map(|b| b.name()).collect(),
             configs: configs.iter().map(|(l, _)| l.clone()).collect(),
             summaries,
+            errors,
         }
     }
 }
@@ -295,6 +448,8 @@ pub struct FigureResult {
     pub configs: Vec<String>,
     /// `cells[bench][config]`.
     pub cells: Vec<Vec<StallCell>>,
+    /// Cells that failed; their entries in `cells` are zeroed.
+    pub errors: Vec<SweepError>,
 }
 
 impl FigureResult {
@@ -357,10 +512,58 @@ mod tests {
         assert_eq!(fig.benches, vec!["espresso", "li"]);
         assert_eq!(fig.cells.len(), 2);
         assert_eq!(fig.cells[0].len(), 2);
+        assert!(fig.errors.is_empty());
         // Identical configs must give identical cells (determinism).
         assert_eq!(fig.cells[0][0], fig.cells[0][1]);
         assert!(fig.cell("li", "b").is_some());
         assert!(fig.cell("li", "zzz").is_none());
+    }
+
+    /// A configuration the machine rejects (zero-depth buffer) must not
+    /// abort the sweep: its cells are zeroed and reported as errors naming
+    /// the benchmark and the configuration, while the valid column still
+    /// produces real statistics.
+    #[test]
+    fn sweep_survives_a_panicking_cell() {
+        let h = Harness {
+            instructions: 5_000,
+            warmup: 0,
+            seed: 1,
+            check_data: true,
+        };
+        let mut bad = MachineConfig::baseline();
+        bad.write_buffer.depth = 0;
+        let benches = [BenchmarkModel::Espresso, BenchmarkModel::Li];
+        let configs = vec![
+            ("ok".to_string(), MachineConfig::baseline()),
+            ("bad".to_string(), bad.clone()),
+        ];
+        let fig = h.sweep("Figure T", "test", &benches, &configs);
+        assert_eq!(fig.cells.len(), 2);
+        assert_eq!(fig.cells[0].len(), 2);
+        assert_eq!(fig.errors.len(), 2, "one error per benchmark");
+        for (err, bench) in fig.errors.iter().zip(["espresso", "li"]) {
+            assert_eq!(err.bench, bench);
+            assert_eq!(err.config, "bad");
+            assert!(!err.message.is_empty());
+            assert!(err.to_string().contains("bad"), "{err}");
+        }
+        // The healthy column is unaffected…
+        assert!(fig.cell("espresso", "ok").unwrap().stats.cycles > 0);
+        // …and the broken one is zeroed, not garbage.
+        assert_eq!(fig.cell("li", "bad").unwrap().stats.cycles, 0);
+
+        // The seed-spread sweep survives the same bad column.
+        let spread = h.sweep_seeds("Figure T", "test", &benches, &configs, 2);
+        assert_eq!(spread.errors.len(), 2);
+        assert_eq!(spread.summaries[0][1].total.0, 0.0);
+        assert!(spread.summaries[0][0].total.0 >= 0.0);
+
+        // And the non-aborting seed runner reports rather than panics.
+        let err = h
+            .try_run_seeds(BenchmarkModel::Li, bad, 2)
+            .expect_err("zero-depth buffer must be rejected");
+        assert!(!err.is_empty());
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod render;
 pub mod svg;
 pub mod tables;
 
-pub use harness::{FigureResult, FigureSpread, Harness, SeedSummary, StallCell};
+pub use harness::{FigureResult, FigureSpread, Harness, SeedSummary, StallCell, SweepError};

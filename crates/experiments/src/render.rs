@@ -237,6 +237,7 @@ mod tests {
             benches: vec!["alpha", "beta"],
             configs: vec!["cfg1".into()],
             cells: vec![vec![cell], vec![cell]],
+            errors: Vec::new(),
         }
     }
 
@@ -284,6 +285,7 @@ mod tests {
             benches: vec!["alpha"],
             configs: vec!["cfg".into()],
             summaries: vec![vec![s]],
+            errors: Vec::new(),
         };
         let text = render_spread(&spread);
         assert!(text.contains("3 seeds per cell"));

@@ -216,6 +216,7 @@ mod tests {
                 vec![cell(1.0, 2.0, 0.5), cell(0.0, 0.0, 0.0)],
                 vec![cell(3.0, 0.0, 0.0), cell(0.2, 0.1, 0.1)],
             ],
+            errors: Vec::new(),
         }
     }
 

@@ -88,6 +88,16 @@ impl L1Cache {
         self.find_way(set, tag).is_some()
     }
 
+    /// Returns word `word` of `line` if present, without touching LRU
+    /// state — an architectural observation, not a modelled access.
+    #[must_use]
+    pub fn peek_word(&self, line: LineAddr, word: usize) -> Option<u64> {
+        debug_assert!(word < self.words_per_line);
+        let (set, tag) = self.set_and_tag(line);
+        let way = self.find_way(set, tag)?;
+        Some(self.data[(set * self.assoc + way) * self.words_per_line + word])
+    }
+
     /// Services a load of word `word` of `line`. On a hit, returns the word
     /// and refreshes LRU state; on a miss, returns `None`.
     pub fn load_word(&mut self, line: LineAddr, word: usize) -> Option<u64> {
@@ -280,6 +290,25 @@ mod tests {
         assert_eq!(c.fill(line, &[10, 11, 12, 13]), None);
         assert_eq!(c.load_word(line, 2), Some(12));
         assert!(c.contains(line));
+    }
+
+    #[test]
+    fn peek_word_does_not_touch_lru() {
+        let cfg = L1Config {
+            assoc: 2,
+            ..L1Config::baseline()
+        };
+        let mut c = L1Cache::new(&cfg, &g()).unwrap();
+        let s = 3u64;
+        let a = LineAddr::new(s);
+        let b = LineAddr::new(s + 128);
+        let d = LineAddr::new(s + 256);
+        c.fill(a, &[1; 4]);
+        c.fill(b, &[2; 4]);
+        assert_eq!(c.peek_word(a, 0), Some(1), "peek sees the data");
+        assert_eq!(c.peek_word(d, 0), None, "absent line peeks as None");
+        // `a` was only peeked, so it is still LRU and gets evicted.
+        assert_eq!(c.fill(d, &[3; 4]), Some(a));
     }
 
     #[test]

@@ -125,6 +125,17 @@ impl L2Cache {
             Self::Real(r) => r.contains(line),
         }
     }
+
+    /// Returns word `word` of `line` if this cache holds it, without
+    /// touching LRU state. A perfect L2 returns `None`: it caches nothing
+    /// itself, so the backing memory is authoritative.
+    #[must_use]
+    pub fn peek_word(&self, line: LineAddr, word: usize) -> Option<u64> {
+        match self {
+            Self::Perfect => None,
+            Self::Real(r) => r.peek_word(line, word),
+        }
+    }
 }
 
 /// The finite write-back L2 (see the module docs for its policies).
@@ -182,6 +193,16 @@ impl RealL2 {
     pub fn contains(&self, line: LineAddr) -> bool {
         let (set, tag) = self.set_and_tag(line);
         self.find_way(set, tag).is_some()
+    }
+
+    /// Returns word `word` of `line` if present, without touching LRU
+    /// state.
+    #[must_use]
+    pub fn peek_word(&self, line: LineAddr, word: usize) -> Option<u64> {
+        debug_assert!(word < self.words_per_line);
+        let (set, tag) = self.set_and_tag(line);
+        let way = self.find_way(set, tag)?;
+        Some(self.data[(set * self.assoc + way) * self.words_per_line + word])
     }
 
     /// Allocates a way in `set`, evicting if necessary.
@@ -351,6 +372,25 @@ mod tests {
         assert_eq!(first.data[0], 5);
         let second = l2.read_line(&geo, line, &mut mem);
         assert!(!second.miss);
+    }
+
+    #[test]
+    fn peek_word_sees_cached_data_without_lru_effects() {
+        let geo = g();
+        let mut mem = MainMemory::new();
+        let perfect = L2Cache::new(&L2Config::baseline(), &geo).unwrap();
+        assert_eq!(
+            perfect.peek_word(LineAddr::new(1), 0),
+            None,
+            "perfect L2 defers to memory"
+        );
+
+        let mut l2 = real_l2(128);
+        let line = LineAddr::new(10);
+        mem.write_word(geo.word_addr_in_line(line, 2), 44);
+        assert_eq!(l2.peek_word(line, 2), None, "not yet cached");
+        l2.read_line(&geo, line, &mut mem);
+        assert_eq!(l2.peek_word(line, 2), Some(44));
     }
 
     #[test]

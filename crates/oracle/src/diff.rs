@@ -1,0 +1,361 @@
+//! The differential harness: one op stream, two executions, first
+//! divergence reported.
+
+use std::collections::BTreeMap;
+
+use wbsim_sim::machine::{Inspector, Machine};
+use wbsim_types::addr::Addr;
+use wbsim_types::config::{IcacheConfig, L2Config, MachineConfig};
+use wbsim_types::divergence::{Divergence, LoadSource};
+use wbsim_types::op::Op;
+use wbsim_types::policy::LoadHazardPolicy;
+use wbsim_types::stall::StallKind;
+use wbsim_types::stats::SimStats;
+use wbsim_types::Cycle;
+
+use crate::arch::ArchModel;
+
+/// What a successful differential run verified.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The real run's statistics.
+    pub stats: SimStats,
+    /// The ideal-buffer run's statistics, when the configuration admits an
+    /// ideal-bound check (perfect L2 + perfect I-cache + a flush-based
+    /// hazard policy); `None` otherwise.
+    pub ideal: Option<SimStats>,
+    /// Load values compared against the reference model.
+    pub loads_checked: u64,
+    /// Distinct words whose final value was compared.
+    pub words_checked: u64,
+}
+
+/// Records every architecturally visible load, plus per-cycle coverage.
+#[derive(Debug, Default)]
+struct Recorder {
+    loads: Vec<(Addr, u64, LoadSource)>,
+    cycles_seen: u64,
+}
+
+impl Inspector for Recorder {
+    fn cycle(&mut self, _now: Cycle, _wb_occupancy: usize) {
+        self.cycles_seen += 1;
+    }
+
+    fn load(&mut self, addr: Addr, value: u64, source: LoadSource) {
+        self.loads.push((addr, value, source));
+    }
+}
+
+/// Runs `ops` through the cycle-level machine and the architectural
+/// reference model and returns the first divergence, if any.
+///
+/// Checks, in order:
+///
+/// 1. **Load values** — every load, in program order, against the model.
+/// 2. **Load count** — the machine performed exactly the stream's loads.
+/// 3. **Final memory** — every word the stream touched reads back
+///    (architecturally: L1 → write buffer → L2 → memory) as the model's
+///    final value.
+/// 4. **Conservation identities** — the three-way stall partition, cycle
+///    accounting, write-through store accounting, write-buffer entry
+///    conservation, and occupancy-histogram coverage.
+/// 5. **Ideal bounds** (perfect L2 + perfect I-cache + flush-based hazard
+///    policy only) — the real run is no faster than the ideal buffer, and
+///    exactly `ideal + stalls + barrier drains` (the identity documented
+///    in `wbsim-sim`). Skipped under read-from-WB (buffer hits legitimately
+///    beat the ideal buffer and let L1 contents drift from the ideal run's)
+///    and over a real L2 (cache contents evolve differently).
+///
+/// The machine runs with `check_data` forced off: the oracle replaces the
+/// machine's inline shadow check, and must outlive injected faults
+/// ([`MachineConfig::fault`]) in order to report them.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`MachineConfig::validate`] — the harness checks
+/// behavior, not configuration validation.
+pub fn diff_run(cfg: &MachineConfig, ops: &[Op]) -> Result<DiffReport, Divergence> {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let g = cfg.geometry;
+
+    let mut machine = Machine::new(cfg.clone()).expect("diff_run requires a valid configuration");
+    let mut rec = Recorder::default();
+    let stats = machine.run_inspected(ops.iter().copied(), &mut rec);
+
+    // 1 + 2: load values in program order, then the load count.
+    let mut oracle = ArchModel::new(g);
+    let expected = oracle.run(ops);
+    for (index, (&(addr, machine_v, source), &oracle_v)) in
+        rec.loads.iter().zip(expected.iter()).enumerate()
+    {
+        if machine_v != oracle_v {
+            return Err(Divergence::LoadValue {
+                index,
+                addr,
+                machine: machine_v,
+                oracle: oracle_v,
+                source,
+            });
+        }
+    }
+    if rec.loads.len() != expected.len() {
+        return Err(Divergence::LoadCount {
+            machine: rec.loads.len(),
+            oracle: expected.len(),
+        });
+    }
+
+    // 3: final memory over every word the stream touched. Keyed by global
+    // word address; the value is a representative byte address for the
+    // report.
+    let mut touched: BTreeMap<u64, Addr> = BTreeMap::new();
+    for op in ops {
+        if let Op::Load(addr) | Op::Store(addr) = *op {
+            touched.entry(g.word_addr(addr)).or_insert(addr);
+        }
+    }
+    for &addr in touched.values() {
+        let machine_v = machine.read_word_architectural(addr);
+        let oracle_v = oracle.read_word(addr);
+        if machine_v != oracle_v {
+            return Err(Divergence::FinalMemory {
+                addr,
+                machine: machine_v,
+                oracle: oracle_v,
+            });
+        }
+    }
+
+    // 4: conservation identities.
+    check_conservation(&cfg, &stats, &machine, &rec)?;
+
+    // 5: ideal bounds, where the configuration admits them.
+    let flush_policy = cfg.write_buffer.hazard != LoadHazardPolicy::ReadFromWb;
+    let perfect_substrate =
+        matches!(cfg.l2, L2Config::Perfect { .. }) && matches!(cfg.icache, IcacheConfig::Perfect);
+    let ideal = if flush_policy && perfect_substrate {
+        let ideal = Machine::new(cfg.clone())
+            .expect("validated above")
+            .run_ideal(ops.iter().copied());
+        if stats.cycles < ideal.cycles {
+            return Err(Divergence::IdealBound {
+                real: stats.cycles,
+                ideal: ideal.cycles,
+            });
+        }
+        if stats.cycles != ideal.cycles + stats.stalls.total() + stats.barrier_stall_cycles {
+            return Err(Divergence::StallIdentity {
+                real: stats.cycles,
+                ideal: ideal.cycles,
+                stalls: stats.stalls.total(),
+                barrier_stalls: stats.barrier_stall_cycles,
+            });
+        }
+        Some(ideal)
+    } else {
+        None
+    };
+
+    Ok(DiffReport {
+        stats,
+        ideal,
+        loads_checked: expected.len() as u64,
+        words_checked: touched.len() as u64,
+    })
+}
+
+fn check_conservation(
+    cfg: &MachineConfig,
+    stats: &SimStats,
+    machine: &Machine,
+    rec: &Recorder,
+) -> Result<(), Divergence> {
+    // Every stall cycle lands in exactly one of the paper's three
+    // categories.
+    let by_kind: u64 = StallKind::ALL.iter().map(|&k| stats.stalls.get(k)).sum();
+    if stats.stalls.total() != by_kind {
+        return Err(Divergence::StallPartition {
+            total: stats.stalls.total(),
+            buffer_full: stats.stalls.get(StallKind::BufferFull),
+            l2_read_access: stats.stalls.get(StallKind::L2ReadAccess),
+            load_hazard: stats.stalls.get(StallKind::LoadHazard),
+        });
+    }
+
+    // Every cycle is an instruction, a categorized stall, a miss wait, a
+    // barrier drain, or an I-fetch wait. Exact only when the front end is
+    // single-issue (wider issue retires several compute instructions per
+    // cycle).
+    if cfg.issue_width == 1 {
+        let accounted = stats.instructions
+            + stats.stalls.total()
+            + stats.miss_wait_cycles
+            + stats.barrier_stall_cycles
+            + stats.ifetch_stall_cycles;
+        if stats.cycles != accounted {
+            return Err(Divergence::CycleAccounting {
+                cycles: stats.cycles,
+                accounted,
+            });
+        }
+    }
+
+    // The occupancy histogram (and the inspector's cycle hook) covers
+    // every cycle exactly once.
+    let hist_sum: u64 = stats.wb_detail.occupancy_hist.iter().sum();
+    if hist_sum != stats.cycles || rec.cycles_seen != stats.cycles {
+        return Err(Divergence::OccupancyAccounting {
+            hist_sum: hist_sum.min(rec.cycles_seen),
+            cycles: stats.cycles,
+        });
+    }
+
+    // Write-through: every store enters the buffer, either allocating or
+    // merging. (Write-back stores hit L1 instead; the buffer only sees
+    // victims.)
+    if cfg.l1.write_policy == wbsim_types::policy::L1WritePolicy::WriteThrough
+        && stats.stores != stats.wb_allocations + stats.wb_store_merges
+    {
+        return Err(Divergence::StoreAccounting {
+            stores: stats.stores,
+            allocations: stats.wb_allocations,
+            merges: stats.wb_store_merges,
+        });
+    }
+
+    // Entry conservation: entries are created by store allocations and
+    // victim inserts, and destroyed by retirements and flushes; whatever
+    // remains is the residual occupancy.
+    let created = stats.wb_allocations + machine.wb_victim_allocs();
+    let destroyed = stats.wb_retirements + stats.wb_flushes;
+    let residual = machine.wb_occupancy() as u64;
+    if created != destroyed + residual {
+        return Err(Divergence::StoreConservation {
+            allocations: stats.wb_allocations,
+            victim_allocs: machine.wb_victim_allocs(),
+            retirements: stats.wb_retirements,
+            flushes: stats.wb_flushes,
+            residual,
+        });
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsim_types::config::{L1Config, WriteBufferConfig};
+    use wbsim_types::divergence::FaultInjection;
+    use wbsim_types::policy::{L1WritePolicy, RetirementPolicy};
+
+    fn a(line: u64, word: u64) -> Addr {
+        Addr::new(line * 32 + word * 8)
+    }
+
+    #[test]
+    fn baseline_store_load_interleavings_agree() {
+        let mut ops = Vec::new();
+        for i in 0..40u64 {
+            ops.push(Op::Store(a(i % 7, i % 4)));
+            ops.push(Op::Load(a(i % 7, (i + 1) % 4)));
+            ops.push(Op::Compute(2));
+        }
+        let r = diff_run(&MachineConfig::baseline(), &ops).unwrap();
+        assert_eq!(r.loads_checked, 40);
+        assert!(r.ideal.is_some(), "baseline admits the ideal bound");
+    }
+
+    #[test]
+    fn all_hazard_policies_agree_on_a_hazard_heavy_stream() {
+        let mut ops = Vec::new();
+        for i in 0..30u64 {
+            ops.push(Op::Store(a(i % 3, i % 4)));
+            ops.push(Op::Load(a(i % 3, i % 4)));
+        }
+        ops.push(Op::Barrier);
+        ops.push(Op::Load(a(0, 0)));
+        for hazard in LoadHazardPolicy::ALL {
+            let cfg = MachineConfig {
+                write_buffer: WriteBufferConfig {
+                    hazard,
+                    ..WriteBufferConfig::baseline()
+                },
+                ..MachineConfig::baseline()
+            };
+            let r = diff_run(&cfg, &ops).unwrap_or_else(|d| panic!("{hazard:?}: {d}"));
+            assert_eq!(r.loads_checked, 31);
+        }
+    }
+
+    #[test]
+    fn write_back_l1_agrees() {
+        let cfg = MachineConfig {
+            l1: L1Config {
+                write_policy: L1WritePolicy::WriteBack,
+                ..L1Config::baseline()
+            },
+            ..MachineConfig::baseline()
+        };
+        let mut ops = Vec::new();
+        // Conflict-heavy: lines 5 and 5+256 share a direct-mapped L1 set,
+        // so dirty victims cycle through the victim buffer.
+        for i in 0..25u64 {
+            ops.push(Op::Store(a(5 + (i % 2) * 256, i % 4)));
+            ops.push(Op::Load(a(5 + ((i + 1) % 2) * 256, i % 4)));
+        }
+        let r = diff_run(&cfg, &ops).unwrap();
+        assert!(r.loads_checked == 25);
+    }
+
+    #[test]
+    fn injected_forwarding_bug_is_caught() {
+        let cfg = MachineConfig {
+            write_buffer: WriteBufferConfig {
+                hazard: LoadHazardPolicy::ReadFromWb,
+                // Lazy retirement keeps the store in the buffer so the
+                // load must forward.
+                retirement: RetirementPolicy::RetireAt(4),
+                ..WriteBufferConfig::baseline()
+            },
+            fault: Some(FaultInjection::SkipWbForwarding),
+            ..MachineConfig::baseline()
+        };
+        // Write-around L1 never holds the stored line, so the only fresh
+        // copy is in the buffer; with forwarding skipped the load installs
+        // stale L2 data (0) instead of the stored value.
+        let ops = vec![Op::Store(a(1, 0)), Op::Load(a(1, 0))];
+        let d = diff_run(&cfg, &ops).unwrap_err();
+        match d {
+            Divergence::LoadValue {
+                machine, oracle, ..
+            } => {
+                assert_eq!(machine, 0, "stale L2 data");
+                assert_eq!(oracle, 1, "the store's value");
+            }
+            other => panic!("expected a load-value divergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fault_without_forwarding_policy_is_harmless() {
+        // The injected bug lives in the read-from-WB datapath; under
+        // flush-full the load flushes and re-reads, so no divergence.
+        let cfg = MachineConfig {
+            fault: Some(FaultInjection::SkipWbForwarding),
+            ..MachineConfig::baseline()
+        };
+        let ops = vec![Op::Store(a(1, 0)), Op::Load(a(1, 0))];
+        diff_run(&cfg, &ops).unwrap();
+    }
+
+    #[test]
+    fn empty_and_computeonly_streams_are_trivially_clean() {
+        diff_run(&MachineConfig::baseline(), &[]).unwrap();
+        let r = diff_run(&MachineConfig::baseline(), &[Op::Compute(50)]).unwrap();
+        assert_eq!(r.loads_checked, 0);
+        assert_eq!(r.words_checked, 0);
+    }
+}

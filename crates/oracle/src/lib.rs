@@ -1,0 +1,44 @@
+//! Differential oracle: cross-checks the cycle-level machine against an
+//! untimed architectural reference model.
+//!
+//! The cycle-level [`Machine`](wbsim_sim::Machine) is where all the
+//! subtlety of the paper lives — hazard flush plans, forwarding datapaths,
+//! victim buffers, port arbitration. The *architecture* it implements is
+//! trivially simple: a blocking, single-issue CPU executing loads, stores,
+//! and barriers in program order over flat memory. Whatever the timing
+//! machinery does, every load must observe the freshest store to its word,
+//! and the final memory image must equal the program-order one.
+//!
+//! [`ArchModel`] is that trivial architecture, implemented with none of the
+//! machine's code or data structures so the two cannot share a bug.
+//! [`diff_run`] runs one op stream through both and reports the first
+//! [`Divergence`]: a load value mismatch, a final-memory mismatch, or a
+//! broken conservation identity (stall taxonomy partition, cycle
+//! accounting, store/entry conservation, ideal-buffer lower bound).
+//!
+//! # Example
+//!
+//! ```
+//! use wbsim_oracle::diff_run;
+//! use wbsim_types::addr::Addr;
+//! use wbsim_types::config::MachineConfig;
+//! use wbsim_types::op::Op;
+//!
+//! let ops = vec![
+//!     Op::Store(Addr::new(0x40)),
+//!     Op::Compute(3),
+//!     Op::Load(Addr::new(0x40)),
+//! ];
+//! let report = diff_run(&MachineConfig::baseline(), &ops).unwrap();
+//! assert_eq!(report.loads_checked, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod diff;
+
+pub use arch::ArchModel;
+pub use diff::{diff_run, DiffReport};
+pub use wbsim_types::divergence::Divergence;

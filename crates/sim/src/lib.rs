@@ -44,6 +44,6 @@ pub mod machine;
 pub mod nonblocking;
 pub mod port;
 
-pub use machine::Machine;
+pub use machine::{Inspector, Machine, NullInspector};
 pub use nonblocking::NonBlockingMachine;
 pub use port::{L2Port, PortOwner};

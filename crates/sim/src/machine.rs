@@ -33,6 +33,7 @@ use wbsim_core::entry::EntryId;
 use wbsim_mem::{Icache, L1Cache, L2Cache, MainMemory};
 use wbsim_types::addr::{Addr, Geometry};
 use wbsim_types::config::{ConfigError, L2Config, MachineConfig};
+use wbsim_types::divergence::{FaultInjection, LoadSource};
 use wbsim_types::op::Op;
 use wbsim_types::policy::{L1WritePolicy, L2Priority, LoadHazardPolicy};
 use wbsim_types::stall::StallKind;
@@ -108,6 +109,34 @@ enum CpuState {
     Finished,
 }
 
+/// Observation hook for [`Machine::run_inspected`].
+///
+/// The machine calls `load` at the moment each load's value becomes
+/// architecturally visible (in program order — the CPU is blocking), and
+/// `cycle` once per simulated cycle. Both default to no-ops so an
+/// implementation only overrides what it needs. The hooks are pure
+/// observers: the machine's behavior is identical under any inspector.
+pub trait Inspector {
+    /// Called once per simulated cycle, after that cycle's work, with the
+    /// current write-buffer occupancy.
+    fn cycle(&mut self, now: Cycle, wb_occupancy: usize) {
+        let _ = (now, wb_occupancy);
+    }
+
+    /// Called when a load's value is architecturally determined, with the
+    /// datapath that produced it.
+    fn load(&mut self, addr: Addr, value: u64, source: LoadSource) {
+        let _ = (addr, value, source);
+    }
+}
+
+/// An [`Inspector`] that observes nothing — [`Machine::run`] is
+/// `run_inspected` under this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullInspector;
+
+impl Inspector for NullInspector {}
+
 /// The simulated machine. Build one with [`Machine::new`], then consume it
 /// with [`Machine::run`].
 #[derive(Debug)]
@@ -127,6 +156,10 @@ pub struct Machine {
     wb_retire: Option<Pending>,
     last_retire_start: Cycle,
     store_seq: u64,
+    /// Dirty L1 victims that allocated a fresh write-buffer entry (as
+    /// opposed to merging into one) — the write-back side of entry
+    /// conservation.
+    victim_inserts: u64,
     /// Golden functional model: freshest value of every written word.
     shadow: HashMap<u64, u64>,
     read_time: u64,
@@ -177,6 +210,7 @@ impl Machine {
             wb_retire: None,
             last_retire_start: 0,
             store_seq: 0,
+            victim_inserts: 0,
             shadow: HashMap::new(),
             read_time: latency,
             write_time: latency * txns,
@@ -212,7 +246,37 @@ impl Machine {
     where
         I: IntoIterator<Item = Op>,
     {
-        let mut iter = ops.into_iter();
+        self.run_loop(
+            &mut ops.into_iter(),
+            warmup_instructions,
+            &mut NullInspector,
+        );
+        self.stats
+    }
+
+    /// Runs the reference stream to completion under an observation hook,
+    /// leaving the machine alive for post-run architectural queries
+    /// ([`Machine::read_word_architectural`], [`Machine::wb_occupancy`]).
+    /// Returns a copy of the statistics; no warmup (the differential
+    /// oracle needs every cycle accounted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a data-freshness violation when `check_data` is enabled,
+    /// as in [`Machine::run`]. Differential harnesses should disable
+    /// `check_data` and compare against their own model instead.
+    pub fn run_inspected<I>(&mut self, ops: I, inspector: &mut dyn Inspector) -> SimStats
+    where
+        I: IntoIterator<Item = Op>,
+    {
+        self.run_loop(&mut ops.into_iter(), 0, inspector);
+        self.stats
+    }
+
+    fn run_loop<I>(&mut self, iter: &mut I, warmup_instructions: u64, insp: &mut dyn Inspector)
+    where
+        I: Iterator<Item = Op>,
+    {
         let mut warm = warmup_instructions == 0;
         let mut cycle_base = 0;
         loop {
@@ -220,13 +284,14 @@ impl Machine {
             if self.write_priority_active() {
                 self.wb_try_retire();
             }
-            if !self.cpu_step(&mut iter) {
+            if !self.cpu_step(iter, insp) {
                 break;
             }
             if !matches!(self.cpu, CpuState::HazardWait { .. }) {
                 self.wb_try_retire();
             }
             self.stats.wb_detail.record_occupancy(self.wb.occupancy());
+            insp.cycle(self.now, self.wb.occupancy());
             self.now += 1;
             if !warm && self.stats.instructions >= warmup_instructions {
                 warm = true;
@@ -235,7 +300,6 @@ impl Machine {
             }
         }
         self.stats.cycles = self.now - cycle_base;
-        self.stats
     }
 
     /// Simulates the paper's implicit lower bound: "a perfect buffer that
@@ -511,7 +575,7 @@ impl Machine {
 
     /// Advances the CPU by one cycle. Returns `false` when the trace is
     /// exhausted (that cycle is not consumed).
-    fn cpu_step<I>(&mut self, iter: &mut I) -> bool
+    fn cpu_step<I>(&mut self, iter: &mut I, insp: &mut dyn Inspector) -> bool
     where
         I: Iterator<Item = Op>,
     {
@@ -582,7 +646,7 @@ impl Machine {
                         };
                         continue;
                     }
-                    self.exec_load_probe(addr);
+                    self.exec_load_probe(addr, insp);
                     return true;
                 }
                 CpuState::StoreTry { addr } => {
@@ -759,7 +823,7 @@ impl Machine {
                         };
                         continue;
                     }
-                    self.install_fill(addr, &data, for_store);
+                    self.install_fill(addr, &data, for_store, insp);
                     self.cpu = CpuState::NeedOp;
                     continue;
                 }
@@ -777,7 +841,7 @@ impl Machine {
                         };
                         return true;
                     }
-                    self.install_fill(addr, &data, for_store);
+                    self.install_fill(addr, &data, for_store, insp);
                     self.cpu = CpuState::NeedOp;
                     continue;
                 }
@@ -851,26 +915,34 @@ impl Machine {
 
     /// The load's L1-probe cycle: classify as hit, write-buffer hit,
     /// hazard, or clean miss, and transition accordingly.
-    fn exec_load_probe(&mut self, addr: Addr) {
+    fn exec_load_probe(&mut self, addr: Addr, insp: &mut dyn Inspector) {
         let line = self.g.line_of(addr);
         let word = self.g.word_index(addr);
         if let Some(v) = self.l1.load_word(line, word) {
             self.stats.l1_load_hits += 1;
             self.verify_load(addr, v, "L1 hit");
+            insp.load(addr, v, LoadSource::L1);
             self.cpu = CpuState::NeedOp;
             return;
         }
         let hazard = self.cfg.write_buffer.hazard;
         if hazard == LoadHazardPolicy::ReadFromWb {
+            // An injected forwarding bug skips both the probe and the fill
+            // merge — the exact stale-data failure §2.2's datapath exists
+            // to prevent, used to prove the differential oracle fires.
+            let fault = self.cfg.fault == Some(FaultInjection::SkipWbForwarding);
             // The buffer and L1 are probed simultaneously (§2.2): a
             // word-valid buffer hit costs the same as an L1 hit.
-            if let Some(v) = self.wb.read_word(addr) {
-                self.stats.wb_read_hits += 1;
-                self.verify_load(addr, v, "write-buffer hit");
-                self.cpu = CpuState::NeedOp;
-                return;
+            if !fault {
+                if let Some(v) = self.wb.read_word(addr) {
+                    self.stats.wb_read_hits += 1;
+                    self.verify_load(addr, v, "write-buffer hit");
+                    insp.load(addr, v, LoadSource::WriteBuffer);
+                    self.cpu = CpuState::NeedOp;
+                    return;
+                }
             }
-            let merge_wb = !self.wb.probe_line(line).is_empty();
+            let merge_wb = !fault && !self.wb.probe_line(line).is_empty();
             if merge_wb {
                 self.stats.load_hazards += 1;
                 self.stats.hazard_word_misses += 1;
@@ -952,14 +1024,30 @@ impl Machine {
     /// Installs a completed fill into L1 (writing back a dirty victim
     /// under the write-back policy) and finishes the load or the
     /// write-allocate store.
-    fn install_fill(&mut self, addr: Addr, data: &[u64], for_store: bool) {
+    fn install_fill(
+        &mut self,
+        addr: Addr,
+        data: &[u64],
+        for_store: bool,
+        insp: &mut dyn Inspector,
+    ) {
         let line = self.g.line_of(addr);
         let word = self.g.word_index(addr);
         let value = data[word];
         if self.cfg.l1.write_policy == L1WritePolicy::WriteBack {
             if let Some((vline, vdata)) = self.l1.fill_with_victim(line, data) {
+                // `insert_line` merges into an existing non-retiring entry
+                // for the same block when one exists; only a genuine
+                // allocation advances the conservation counter.
+                let merges = self
+                    .wb
+                    .iter()
+                    .any(|e| e.block == vline.as_u64() && !e.retiring);
                 let ok = self.wb.insert_line(vline, &vdata, self.now);
                 assert!(ok, "victim dropped: victim_blocked() was not consulted");
+                if !merges {
+                    self.victim_inserts += 1;
+                }
             }
         } else {
             self.l1.fill(line, data);
@@ -974,6 +1062,7 @@ impl Machine {
             }
         } else {
             self.verify_load(addr, value, "L2 fill");
+            insp.load(addr, value, LoadSource::L2Fill);
         }
     }
 
@@ -998,6 +1087,47 @@ impl Machine {
     #[must_use]
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Current write-buffer occupancy in entries, including one that is
+    /// mid-retirement. After a run this is the residual occupancy term of
+    /// the entry-conservation identity.
+    #[must_use]
+    pub fn wb_occupancy(&self) -> usize {
+        self.wb.occupancy()
+    }
+
+    /// Dirty L1 victims that *allocated* a write-buffer entry (victims
+    /// merging into an existing entry for the same block are not counted).
+    /// Always zero under a write-through L1.
+    #[must_use]
+    pub fn wb_victim_allocs(&self) -> u64 {
+        self.victim_inserts
+    }
+
+    /// The architecturally visible value of the word at `addr`: the value
+    /// a magically instantaneous load would observe, probing L1, then the
+    /// write buffer, then L2, then main memory. Touches no LRU or timing
+    /// state.
+    ///
+    /// The probe order mirrors the machine's own freshness rules: L1 is
+    /// never stale (stores update a present line in place under either
+    /// write policy), the buffer holds words newer than L2, and a perfect
+    /// L2 defers to the backing memory it writes through to.
+    #[must_use]
+    pub fn read_word_architectural(&self, addr: Addr) -> u64 {
+        let line = self.g.line_of(addr);
+        let word = self.g.word_index(addr);
+        if let Some(v) = self.l1.peek_word(line, word) {
+            return v;
+        }
+        if let Some(v) = self.wb.read_word(addr) {
+            return v;
+        }
+        if let Some(v) = self.l2.peek_word(line, word) {
+            return v;
+        }
+        self.mem.read_word(self.g.word_addr(addr))
     }
 }
 

@@ -23,9 +23,11 @@
 //!   array kernels and their loop-interchanged variants);
 //! * [`bench_models`] — the 17 calibrated benchmark models plus the two
 //!   transformed kernels of paper Table 6;
-//! * [`file`] — saving and loading traces (text and binary codecs);
+//! * [`file`](mod@file) — saving and loading traces (text and binary codecs);
 //! * [`stats`] — a trace analyzer (densities, footprints, run lengths);
-//! * [`transform`] — derived streams (barrier insertion, truncation).
+//! * [`transform`] — derived streams (barrier insertion, truncation);
+//! * [`strategies`] — shared `proptest` strategies (random op streams and
+//!   machine configurations) used by every property-test suite.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@
 pub mod bench_models;
 pub mod file;
 pub mod stats;
+pub mod strategies;
 pub mod stream;
 pub mod transform;
 

@@ -1,0 +1,157 @@
+//! Shared `proptest` strategies for property-test suites.
+//!
+//! Every property suite in the workspace — data freshness, stall-identity,
+//! and the differential oracle — wants the same inputs: op streams over a
+//! deliberately tiny footprint (so stores, hazards, retire/flush races and
+//! inclusion invalidations collide as often as possible) and
+//! configurations sweeping the paper's whole policy space. Defining the
+//! strategies once keeps the suites' coverage aligned: a policy added here
+//! is immediately fuzzed by all of them.
+//!
+//! All strategies produce *valid* configurations
+//! ([`MachineConfig::validate`] always passes), so a failing property is a
+//! behavior bug, never a construction artifact.
+
+use proptest::prelude::*;
+
+use wbsim_types::addr::Addr;
+use wbsim_types::config::{L1Config, L2Config, MachineConfig, WriteBufferConfig};
+use wbsim_types::op::Op;
+use wbsim_types::policy::{
+    DatapathWidth, L1WritePolicy, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy,
+};
+
+/// One reference over 64 hot lines × 4 words (the same lines keep
+/// colliding), weighted toward memory ops: 3 loads : 3 stores : 1 compute
+/// run : 1 barrier.
+pub fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = (0u64..64, 0u64..4).prop_map(|(line, word)| Addr::new(line * 32 + word * 8));
+    prop_oneof![
+        3 => addr.clone().prop_map(Op::Load),
+        3 => addr.prop_map(Op::Store),
+        1 => (0u32..6).prop_map(Op::Compute),
+        1 => Just(Op::Barrier),
+    ]
+}
+
+/// Any of the paper's four load-hazard policies.
+pub fn arb_hazard() -> impl Strategy<Value = LoadHazardPolicy> {
+    prop_oneof![
+        Just(LoadHazardPolicy::FlushFull),
+        Just(LoadHazardPolicy::FlushPartial),
+        Just(LoadHazardPolicy::FlushItemOnly),
+        Just(LoadHazardPolicy::ReadFromWb),
+    ]
+}
+
+/// The three flush-based hazard policies (the ones for which
+/// `cycles(real) = cycles(ideal) + stalls` holds exactly).
+pub fn arb_flush_hazard() -> impl Strategy<Value = LoadHazardPolicy> {
+    prop_oneof![
+        Just(LoadHazardPolicy::FlushFull),
+        Just(LoadHazardPolicy::FlushPartial),
+        Just(LoadHazardPolicy::FlushItemOnly),
+    ]
+}
+
+/// Any write-buffer shape: depth 1–12, coalescing or not, FIFO or LRU,
+/// retire-at-k for every feasible k, all hazard policies, both datapath
+/// widths, optional age limits, optional write-priority arbitration.
+pub fn arb_write_buffer() -> impl Strategy<Value = WriteBufferConfig> {
+    (
+        1usize..=12,
+        arb_hazard(),
+        prop_oneof![Just(1usize), Just(4usize)],
+        prop_oneof![Just(RetirementOrder::Fifo), Just(RetirementOrder::Lru)],
+        prop_oneof![Just(DatapathWidth::FullLine), Just(DatapathWidth::HalfLine)],
+        proptest::option::of(1u64..200),
+        any::<bool>(),
+    )
+        .prop_flat_map(
+            |(depth, hazard, width, order, datapath, max_age, write_prio)| {
+                (1usize..=depth).prop_map(move |hw| WriteBufferConfig {
+                    depth,
+                    width_words: width,
+                    order,
+                    retirement: RetirementPolicy::RetireAt(hw),
+                    hazard,
+                    priority: if write_prio {
+                        L2Priority::WritePriorityAbove(depth.max(2) - 1)
+                    } else {
+                        L2Priority::ReadBypass
+                    },
+                    max_age,
+                    datapath,
+                })
+            },
+        )
+}
+
+/// A perfect L2 at latency 3/6/10 (the paper's Figure 11 sweep) or the
+/// smallest realistic finite L2 (128 KiB, direct-mapped).
+pub fn arb_l2() -> impl Strategy<Value = L2Config> {
+    prop_oneof![
+        2 => Just(L2Config::Perfect { latency: 6 }),
+        1 => Just(L2Config::Perfect { latency: 3 }),
+        1 => Just(L2Config::Perfect { latency: 10 }),
+        2 => Just(L2Config::real_with_size(128 * 1024)),
+    ]
+}
+
+/// A whole machine: any write-buffer shape × both L1 write policies ×
+/// perfect and real L2s. A write-back L1's victim buffer needs line-wide
+/// entries, so that combination forces `width_words` to the line width
+/// (the only invalid corner of the product space).
+pub fn arb_machine_config() -> impl Strategy<Value = MachineConfig> {
+    (arb_write_buffer(), any::<bool>(), arb_l2()).prop_map(|(wb, write_back, l2)| {
+        let mut cfg = MachineConfig {
+            write_buffer: wb,
+            l2,
+            ..MachineConfig::baseline()
+        };
+        if write_back {
+            cfg.l1 = L1Config {
+                write_policy: L1WritePolicy::WriteBack,
+                ..L1Config::baseline()
+            };
+            cfg.write_buffer.width_words = cfg.geometry.words_per_line();
+        }
+        cfg
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::TestRng;
+
+    #[test]
+    fn generated_machine_configs_always_validate() {
+        let mut rng = TestRng::new(0xC0FF_EE00);
+        let s = arb_machine_config();
+        for _ in 0..500 {
+            let cfg = s.new_shrinkable(&mut rng).value;
+            cfg.validate().expect("strategy produced an invalid config");
+        }
+    }
+
+    #[test]
+    fn both_write_policies_and_l2s_are_reached() {
+        let mut rng = TestRng::new(0xBEEF);
+        let s = arb_machine_config();
+        let (mut wb_seen, mut wt_seen, mut real_seen, mut perfect_seen) =
+            (false, false, false, false);
+        for _ in 0..200 {
+            let cfg = s.new_shrinkable(&mut rng).value;
+            match cfg.l1.write_policy {
+                L1WritePolicy::WriteBack => wb_seen = true,
+                L1WritePolicy::WriteThrough => wt_seen = true,
+            }
+            match cfg.l2 {
+                L2Config::Real { .. } => real_seen = true,
+                L2Config::Perfect { .. } => perfect_seen = true,
+            }
+        }
+        assert!(wb_seen && wt_seen && real_seen && perfect_seen);
+    }
+}

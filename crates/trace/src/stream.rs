@@ -341,7 +341,7 @@ impl KernelWalk {
             let elem = Addr::new(STREAM_BASE + offset * WORD);
 
             // Scalar activity around the element.
-            if rng.gen_range(0..1000) < self.scalar_loads_per_mille {
+            if rng.gen_range(0u64..1000) < self.scalar_loads_per_mille {
                 let w = rng.gen_range(0..hot_words);
                 ops.push(Op::Load(Addr::new(HOT_BASE + w * WORD)));
                 emitted += 1;
@@ -370,7 +370,7 @@ impl KernelWalk {
             // coalesce even under eager retirement. The gate probability is
             // divided by 4 to keep the per-element store average at
             // `scalar_stores_per_mille`.
-            if rng.gen_range(0..4000) < self.scalar_stores_per_mille {
+            if rng.gen_range(0u64..4000) < self.scalar_stores_per_mille {
                 let words_per_line = LINE / WORD;
                 stack_cursor = (stack_cursor / LINE) * LINE; // align
                 for _ in 0..words_per_line {

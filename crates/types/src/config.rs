@@ -8,6 +8,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::addr::Geometry;
+use crate::divergence::FaultInjection;
 use crate::policy::{
     DatapathWidth, L1WritePolicy, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy,
 };
@@ -524,6 +525,10 @@ pub struct MachineConfig {
     /// functional model and a mismatch aborts the run. Costs a hash lookup
     /// per reference; on by default in tests, off in benches.
     pub check_data: bool,
+    /// Deliberately injected machine bug, used only to prove the
+    /// differential oracle detects it. `None` (no fault) everywhere except
+    /// oracle self-tests.
+    pub fault: Option<FaultInjection>,
 }
 
 impl MachineConfig {
@@ -538,6 +543,7 @@ impl MachineConfig {
             icache: IcacheConfig::Perfect,
             write_buffer: WriteBufferConfig::baseline(),
             check_data: true,
+            fault: None,
         }
     }
 

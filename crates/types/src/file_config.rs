@@ -2,7 +2,7 @@
 //!
 //! One `key = value` pair per line, `#` comments, unknown keys rejected.
 //! [`MachineConfig`] implements [`FromStr`] for parsing and
-//! [`to_config_string`](crate::file_config::to_config_string) serializes a
+//! [`to_config_string`] serializes a
 //! configuration such that it parses back identically.
 //!
 //! ```text

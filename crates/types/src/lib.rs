@@ -12,7 +12,9 @@
 //!   stalls (Table 3);
 //! * [`stats`] — counters accumulated by a simulation run and derived
 //!   metrics (stall percentages, hit rates, CPI);
-//! * [`file_config`] — a plain-text `.wbcfg` machine-configuration format.
+//! * [`file_config`] — a plain-text `.wbcfg` machine-configuration format;
+//! * [`divergence`] — differential-oracle vocabulary: divergence reports
+//!   and deliberate fault injection.
 //!
 //! The paper reproduced throughout this workspace is Kevin Skadron and
 //! Douglas W. Clark, *Design Issues and Tradeoffs for Write Buffers*,
@@ -39,6 +41,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod divergence;
 pub mod file_config;
 pub mod op;
 pub mod policy;
@@ -47,6 +50,7 @@ pub mod stats;
 
 pub use addr::{Addr, Geometry, LineAddr, WordMask};
 pub use config::{ConfigError, IcacheConfig, L1Config, L2Config, MachineConfig, WriteBufferConfig};
+pub use divergence::{Divergence, FaultInjection, LoadSource};
 pub use op::Op;
 pub use policy::{DatapathWidth, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy};
 pub use stall::{StallBreakdown, StallKind};

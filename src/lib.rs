@@ -14,6 +14,8 @@
 //!   write cache, and the ideal buffer;
 //! * [`sim`] — the cycle-level machine simulator;
 //! * [`trace`] — reference streams and synthetic benchmark models;
+//! * [`oracle`] — an untimed architectural reference model and the
+//!   differential harness that cross-checks the machine against it;
 //! * [`experiments`] — runners for every table and figure;
 //! * [`analytic`] — a first-order queueing model of write-buffer stalls.
 //!
@@ -34,6 +36,7 @@ pub use wbsim_analytic as analytic;
 pub use wbsim_core as core;
 pub use wbsim_experiments as experiments;
 pub use wbsim_mem as mem;
+pub use wbsim_oracle as oracle;
 pub use wbsim_sim as sim;
 pub use wbsim_trace as trace;
 pub use wbsim_types as types;

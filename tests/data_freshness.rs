@@ -10,68 +10,17 @@
 //!
 //! Addresses are drawn from a deliberately tiny footprint (64 lines) so
 //! stores, hazards, duplicate entries, retire/flush races, and inclusion
-//! invalidations collide as often as possible.
+//! invalidations collide as often as possible. The op-stream and
+//! configuration strategies are shared with the other property suites via
+//! [`wbsim::trace::strategies`].
 
 use proptest::prelude::*;
 
 use wbsim::sim::Machine;
+use wbsim::trace::strategies::{arb_hazard, arb_op, arb_write_buffer};
 use wbsim::types::config::L1Config;
 use wbsim::types::config::{L2Config, MachineConfig, WriteBufferConfig};
-use wbsim::types::op::Op;
-use wbsim::types::policy::{
-    DatapathWidth, L1WritePolicy, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy,
-};
-use wbsim::types::Addr;
-
-/// A reference to one of 64 hot lines (the same lines keep colliding).
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let addr = (0u64..64, 0u64..4).prop_map(|(line, word)| Addr::new(line * 32 + word * 8));
-    prop_oneof![
-        3 => addr.clone().prop_map(Op::Load),
-        3 => addr.prop_map(Op::Store),
-        1 => (0u32..6).prop_map(Op::Compute),
-        1 => Just(Op::Barrier),
-    ]
-}
-
-fn hazard_strategy() -> impl Strategy<Value = LoadHazardPolicy> {
-    prop_oneof![
-        Just(LoadHazardPolicy::FlushFull),
-        Just(LoadHazardPolicy::FlushPartial),
-        Just(LoadHazardPolicy::FlushItemOnly),
-        Just(LoadHazardPolicy::ReadFromWb),
-    ]
-}
-
-fn wb_strategy() -> impl Strategy<Value = WriteBufferConfig> {
-    (
-        1usize..=12,
-        hazard_strategy(),
-        prop_oneof![Just(1usize), Just(4usize)],
-        prop_oneof![Just(RetirementOrder::Fifo), Just(RetirementOrder::Lru)],
-        prop_oneof![Just(DatapathWidth::FullLine), Just(DatapathWidth::HalfLine)],
-        proptest::option::of(1u64..200),
-        any::<bool>(),
-    )
-        .prop_flat_map(
-            |(depth, hazard, width, order, datapath, max_age, write_prio)| {
-                (1usize..=depth).prop_map(move |hw| WriteBufferConfig {
-                    depth,
-                    width_words: width,
-                    order,
-                    retirement: RetirementPolicy::RetireAt(hw),
-                    hazard,
-                    priority: if write_prio {
-                        L2Priority::WritePriorityAbove(depth.max(2) - 1)
-                    } else {
-                        L2Priority::ReadBypass
-                    },
-                    max_age,
-                    datapath,
-                })
-            },
-        )
-}
+use wbsim::types::policy::{L1WritePolicy, LoadHazardPolicy, RetirementPolicy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -80,8 +29,8 @@ proptest! {
     /// must return the freshest value (the Machine panics otherwise).
     #[test]
     fn loads_always_fresh_perfect_l2(
-        ops in proptest::collection::vec(op_strategy(), 1..400),
-        wb in wb_strategy(),
+        ops in proptest::collection::vec(arb_op(), 1..400),
+        wb in arb_write_buffer(),
     ) {
         let cfg = MachineConfig {
             write_buffer: wb,
@@ -98,8 +47,8 @@ proptest! {
     /// write-allocate, partial-line fetches, and dirty evictions.
     #[test]
     fn loads_always_fresh_real_l2(
-        ops in proptest::collection::vec(op_strategy(), 1..300),
-        wb in wb_strategy(),
+        ops in proptest::collection::vec(arb_op(), 1..300),
+        wb in arb_write_buffer(),
         mm in 1u64..40,
     ) {
         let cfg = MachineConfig {
@@ -122,8 +71,8 @@ proptest! {
     /// waits (perfect I-cache).
     #[test]
     fn cycle_accounting_balances(
-        ops in proptest::collection::vec(op_strategy(), 1..400),
-        wb in wb_strategy(),
+        ops in proptest::collection::vec(arb_op(), 1..400),
+        wb in arb_write_buffer(),
     ) {
         let cfg = MachineConfig {
             write_buffer: wb,
@@ -145,9 +94,9 @@ proptest! {
     /// merges must all preserve freshness.
     #[test]
     fn loads_always_fresh_write_back_l1(
-        ops in proptest::collection::vec(op_strategy(), 1..400),
+        ops in proptest::collection::vec(arb_op(), 1..400),
         depth in 1usize..=8,
-        hazard in hazard_strategy(),
+        hazard in arb_hazard(),
         real_l2 in any::<bool>(),
     ) {
         let cfg = MachineConfig {
@@ -177,7 +126,7 @@ proptest! {
     /// (L1 and write-buffer hits).
     #[test]
     fn loads_always_fresh_non_blocking(
-        ops in proptest::collection::vec(op_strategy(), 1..300),
+        ops in proptest::collection::vec(arb_op(), 1..300),
         depth in 1usize..=8,
         mshrs in 1usize..=8,
     ) {
@@ -200,8 +149,8 @@ proptest! {
     /// statistics.
     #[test]
     fn simulation_is_deterministic(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-        wb in wb_strategy(),
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        wb in arb_write_buffer(),
     ) {
         let cfg = MachineConfig {
             write_buffer: wb,

@@ -7,6 +7,13 @@
 //! Pins use small runs so they stay fast in debug builds; they cover each
 //! engine path (baseline, read-from-WB, real L2, write-back L1, barriers,
 //! ideal mode).
+//!
+//! Current pins are derived from the vendored deterministic `StdRng`
+//! (xoshiro256++, see `vendor/rand`): the offline build replaced the
+//! upstream ChaCha-based generator, which changed every synthetic stream
+//! and therefore every pinned number. The engine itself is unchanged —
+//! the stall-identity, freshness, and differential-oracle suites all pass
+//! across the swap.
 
 use wbsim::sim::Machine;
 use wbsim::trace::bench_models::BenchmarkModel;
@@ -60,10 +67,10 @@ fn golden_baseline_compress() {
         "compress/baseline",
         &stats,
         &Pin {
-            cycles: 25509,
+            cycles: 25799,
             instructions: 20000,
-            stall_total: 559,
-            retirements: 1008,
+            stall_total: 687,
+            retirements: 991,
         },
     );
 }
@@ -84,10 +91,10 @@ fn golden_recommended_fft() {
         "fft/recommended",
         &stats,
         &Pin {
-            cycles: 31637,
+            cycles: 31011,
             instructions: 20000,
-            stall_total: 1503,
-            retirements: 1529,
+            stall_total: 1489,
+            retirements: 1598,
         },
     );
 }
@@ -105,10 +112,10 @@ fn golden_real_l2_su2cor() {
         "su2cor/128K-L2",
         &stats,
         &Pin {
-            cycles: 88607,
+            cycles: 88576,
             instructions: 20000,
-            stall_total: 1797,
-            retirements: 1531,
+            stall_total: 1661,
+            retirements: 1395,
         },
     );
 }
@@ -127,10 +134,10 @@ fn golden_write_back_sc() {
         "sc/write-back",
         &stats,
         &Pin {
-            cycles: 28974,
+            cycles: 28809,
             instructions: 20000,
-            stall_total: 508,
-            retirements: 565,
+            stall_total: 517,
+            retirements: 538,
         },
     );
 }
@@ -143,10 +150,10 @@ fn golden_barriers_li() {
         "li/barrier-32",
         &stats,
         &Pin {
-            cycles: 25274,
-            instructions: 20093,
-            stall_total: 1090,
-            retirements: 1783,
+            cycles: 25533,
+            instructions: 20091,
+            stall_total: 1182,
+            retirements: 1720,
         },
     );
 }
@@ -160,7 +167,7 @@ fn golden_ideal_wave5() {
         "wave5/ideal",
         &stats,
         &Pin {
-            cycles: 22898,
+            cycles: 23024,
             instructions: 20000,
             stall_total: 0,
             retirements: 0,

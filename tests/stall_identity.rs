@@ -7,11 +7,21 @@
 //! three categorized stall counts — cycle for cycle, on every benchmark.
 //! (Read-from-WB can legitimately *beat* the ideal buffer, because buffer
 //! hits avoid L2 reads entirely; there the identity becomes a bound.)
+//!
+//! The benchmark-driven checks are followed by property tests over
+//! arbitrary streams and buffer shapes (via the shared strategies in
+//! [`wbsim::trace::strategies`]); streams with barriers extend the
+//! identity with the barrier-drain term.
+
+use proptest::prelude::*;
 
 use wbsim::experiments::harness::Harness;
+use wbsim::sim::Machine;
 use wbsim::trace::bench_models::BenchmarkModel;
+use wbsim::trace::strategies::{arb_flush_hazard, arb_op, arb_write_buffer};
 use wbsim::types::config::{MachineConfig, WriteBufferConfig};
 use wbsim::types::policy::{LoadHazardPolicy, RetirementPolicy};
+use wbsim::types::stall::StallKind;
 
 fn h() -> Harness {
     Harness {
@@ -127,5 +137,52 @@ fn ideal_run_is_a_true_lower_bound() {
                 bench.name()
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The three categorized stall counters partition the total exactly —
+    /// no stall cycle is double-counted or dropped — for arbitrary streams
+    /// and arbitrary buffer shapes.
+    #[test]
+    fn stall_partition_is_exact_for_arbitrary_streams(
+        ops in proptest::collection::vec(arb_op(), 1..400),
+        wb in arb_write_buffer(),
+    ) {
+        let cfg = MachineConfig {
+            write_buffer: wb,
+            check_data: true,
+            ..MachineConfig::baseline()
+        };
+        let stats = Machine::new(cfg).unwrap().run(ops);
+        let parts: u64 = StallKind::ALL.iter().map(|&k| stats.stalls.get(k)).sum();
+        prop_assert_eq!(stats.stalls.total(), parts);
+    }
+
+    /// The §2.3 identity on arbitrary streams, not just the calibrated
+    /// benchmarks: under every flush-based hazard policy (perfect
+    /// L2/I-cache), `real = ideal + stalls + barrier drains` exactly, and
+    /// the ideal run is a true lower bound.
+    #[test]
+    fn identity_holds_for_arbitrary_streams(
+        ops in proptest::collection::vec(arb_op(), 1..400),
+        mut wb in arb_write_buffer(),
+        hazard in arb_flush_hazard(),
+    ) {
+        wb.hazard = hazard;
+        let cfg = MachineConfig {
+            write_buffer: wb,
+            check_data: true,
+            ..MachineConfig::baseline()
+        };
+        let real = Machine::new(cfg.clone()).unwrap().run(ops.clone());
+        let ideal = Machine::new(cfg).unwrap().run_ideal(ops);
+        prop_assert!(real.cycles >= ideal.cycles);
+        prop_assert_eq!(
+            real.cycles,
+            ideal.cycles + real.stalls.total() + real.barrier_stall_cycles
+        );
     }
 }

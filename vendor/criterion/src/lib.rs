@@ -1,0 +1,255 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmarking API
+//! used by wbsim (the build environment is offline, so the real crate
+//! cannot be fetched).
+//!
+//! Behaviour:
+//!
+//! * `cargo bench -- --test` (CI smoke mode) runs every benchmark body
+//!   exactly once and reports nothing but pass/fail — same contract as
+//!   upstream's test mode.
+//! * plain `cargo bench` measures each benchmark with a short adaptive
+//!   loop (up to `sample_size` timed samples after one warmup run) and
+//!   prints mean ± spread per iteration. No HTML reports, no statistics
+//!   beyond min/mean/max.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; recorded and echoed, not analyzed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (a tiny subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples a measurement takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group; `throughput` applies to subsequent benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates the work per iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `self.iters` times.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, throughput: Option<Throughput>, samples: usize, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+    // Warmup (also calibrates: very fast bodies get batched).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let batch = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / batch as f64);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let fmt = |s: f64| {
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            format!("{:.3} µs", s * 1e6)
+        } else {
+            format!("{:.1} ns", s * 1e9)
+        }
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / mean / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  ({:.2} MiB/s)", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} time: [{} {} {}]{rate}",
+        fmt(min),
+        fmt(mean),
+        fmt(max)
+    );
+}
+
+/// Declares a group of benchmark functions, in either the simple or the
+/// `name = / config = / targets =` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut ran = 0u32;
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: true,
+        };
+        c.bench_function("probe", |b| {
+            b.iter(|| {
+                ran += 1;
+            });
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_paths_and_throughput() {
+        let mut c = Criterion {
+            sample_size: 1,
+            test_mode: true,
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        let mut hits = 0;
+        g.bench_function("x", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits >= 1);
+    }
+}

@@ -1,0 +1,1268 @@
+//! Minimal, deterministic property-testing engine with the `proptest` API
+//! surface wbsim uses.
+//!
+//! The build environment is fully offline, so the real `proptest` crate
+//! cannot be fetched. This vendored replacement implements the same user
+//! contract for the subset wbsim needs:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `prop_filter` / `prop_filter_map` / `boxed`,
+//! * range, tuple, [`Just`], boolean, and `any::<T>()` strategies,
+//! * [`collection::vec`], [`collection::btree_set`], [`option::of`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] macros,
+//! * random generation plus **integrated shrinking**: failing inputs are
+//!   minimized by greedy descent through a lazy rose tree of simpler
+//!   candidates, and the minimal counterexample is printed.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! * Runs are **deterministic by default**: the RNG seed is derived from
+//!   the test name, overridable with `PROPTEST_RNG_SEED`. Case counts can
+//!   be scaled with `PROPTEST_CASES`.
+//! * `*.proptest-regressions` files are neither read nor written; rerun
+//!   with the printed seed instead.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// The generator driving test-case production: SplitMix64, seeded per test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)`; `span` must be non-zero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinkable values (lazy rose tree)
+// ---------------------------------------------------------------------------
+
+type Children<V> = Rc<dyn Fn() -> Vec<Shrinkable<V>>>;
+
+/// A generated value together with a lazy list of strictly simpler
+/// candidate values (the shrink tree).
+pub struct Shrinkable<V> {
+    /// The generated value.
+    pub value: V,
+    children: Children<V>,
+}
+
+impl<V> Clone for Shrinkable<V>
+where
+    V: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<V: Clone + 'static> Shrinkable<V> {
+    /// A value with no simpler candidates.
+    pub fn leaf(value: V) -> Self {
+        Self {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value whose simpler candidates are produced on demand.
+    pub fn with_children(value: V, children: impl Fn() -> Vec<Shrinkable<V>> + 'static) -> Self {
+        Self {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Materializes the immediate shrink candidates.
+    #[must_use]
+    pub fn children(&self) -> Vec<Shrinkable<V>> {
+        (self.children)()
+    }
+}
+
+fn map_shrinkable<V, T, F>(source: Shrinkable<V>, f: F) -> Shrinkable<T>
+where
+    V: Clone + 'static,
+    T: Clone + 'static,
+    F: Fn(V) -> T + Clone + 'static,
+{
+    let value = f(source.value.clone());
+    Shrinkable::with_children(value, move || {
+        let f = f.clone();
+        source
+            .children()
+            .into_iter()
+            .map(move |c| map_shrinkable(c, f.clone()))
+            .collect()
+    })
+}
+
+fn pair_shrinkable<A, B>(a: Shrinkable<A>, b: Shrinkable<B>) -> Shrinkable<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let value = (a.value.clone(), b.value.clone());
+    Shrinkable::with_children(value, move || {
+        let mut out = Vec::new();
+        for ca in a.children() {
+            out.push(pair_shrinkable(ca, b.clone()));
+        }
+        for cb in b.children() {
+            out.push(pair_shrinkable(a.clone(), cb));
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating (and shrinking) values of one type.
+pub trait Strategy: Clone {
+    /// The generated type.
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// Draws one value plus its shrink tree.
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value>;
+
+    /// Transforms generated values.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> T + Clone + 'static,
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from a strategy derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + Clone + 'static,
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (regenerating otherwise).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool + Clone + 'static,
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Transforms values, dropping those mapped to `None` (regenerating).
+    fn prop_filter_map<T, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        T: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> Option<T> + Clone + 'static,
+        Self: Sized,
+    {
+        FilterMap {
+            source: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies of one value
+    /// type can be mixed (as in [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + fmt::Debug + 'static,
+    F: Fn(S::Value) -> T + Clone + 'static,
+{
+    type Value = T;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<T> {
+        map_shrinkable(self.source.new_shrinkable(rng), self.f.clone())
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+fn flat_map_shrinkable<V, S2, F>(
+    outer: Shrinkable<V>,
+    f: F,
+    inner_seed: u64,
+) -> Shrinkable<S2::Value>
+where
+    V: Clone + 'static,
+    S2: Strategy,
+    F: Fn(V) -> S2 + Clone + 'static,
+{
+    let inner = f(outer.value.clone()).new_shrinkable(&mut TestRng::new(inner_seed));
+    let value = inner.value.clone();
+    Shrinkable::with_children(value, move || {
+        // Shrink the outer value first (regenerating the inner part with
+        // the same entropy), then the inner value.
+        let mut out: Vec<Shrinkable<S2::Value>> = outer
+            .children()
+            .into_iter()
+            .map(|oc| flat_map_shrinkable::<V, S2, F>(oc, f.clone(), inner_seed))
+            .collect();
+        out.extend(inner.children());
+        out
+    })
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2 + Clone + 'static,
+{
+    type Value = S2::Value;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<S2::Value> {
+        let outer = self.source.new_shrinkable(rng);
+        let inner_seed = rng.next_u64();
+        flat_map_shrinkable::<S::Value, S2, F>(outer, self.f.clone(), inner_seed)
+    }
+}
+
+const FILTER_ATTEMPTS: usize = 1000;
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    pred: F,
+}
+
+fn filter_shrinkable<V, F>(s: Shrinkable<V>, pred: F) -> Option<Shrinkable<V>>
+where
+    V: Clone + 'static,
+    F: Fn(&V) -> bool + Clone + 'static,
+{
+    if !pred(&s.value) {
+        return None;
+    }
+    let value = s.value.clone();
+    Some(Shrinkable::with_children(value, move || {
+        let pred = pred.clone();
+        s.children()
+            .into_iter()
+            .filter_map(move |c| filter_shrinkable(c, pred.clone()))
+            .collect()
+    }))
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone + 'static,
+{
+    type Value = S::Value;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<S::Value> {
+        for _ in 0..FILTER_ATTEMPTS {
+            if let Some(s) = filter_shrinkable(self.source.new_shrinkable(rng), self.pred.clone()) {
+                return s;
+            }
+        }
+        panic!(
+            "proptest: filter '{}' rejected {FILTER_ATTEMPTS} candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+fn filter_map_shrinkable<V, T, F>(s: Shrinkable<V>, f: F) -> Option<Shrinkable<T>>
+where
+    V: Clone + 'static,
+    T: Clone + 'static,
+    F: Fn(V) -> Option<T> + Clone + 'static,
+{
+    let value = f(s.value.clone())?;
+    Some(Shrinkable::with_children(value, move || {
+        let f = f.clone();
+        s.children()
+            .into_iter()
+            .filter_map(move |c| filter_map_shrinkable(c, f.clone()))
+            .collect()
+    }))
+}
+
+impl<S, T, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    T: Clone + fmt::Debug + 'static,
+    F: Fn(S::Value) -> Option<T> + Clone + 'static,
+{
+    type Value = T;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<T> {
+        for _ in 0..FILTER_ATTEMPTS {
+            if let Some(s) = filter_map_shrinkable(self.source.new_shrinkable(rng), self.f.clone())
+            {
+                return s;
+            }
+        }
+        panic!(
+            "proptest: filter_map '{}' rejected {FILTER_ATTEMPTS} candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy (cheaply clonable).
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+trait DynStrategy<V> {
+    fn dyn_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<V>;
+}
+
+impl<S: Strategy + 'static> DynStrategy<S::Value> for S {
+    fn dyn_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<S::Value> {
+        self.new_shrinkable(rng)
+    }
+}
+
+impl<V: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<V> {
+        self.0.dyn_shrinkable(rng)
+    }
+}
+
+/// Always yields its payload (no shrinking).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_shrinkable(&self, _rng: &mut TestRng) -> Shrinkable<T> {
+        Shrinkable::leaf(self.0.clone())
+    }
+}
+
+/// Weighted choice between type-erased strategies ([`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Self {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs at least one positive weight"
+        );
+        Self { arms }
+    }
+}
+
+impl<V: Clone + fmt::Debug + 'static> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<V> {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.new_shrinkable(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: integer ranges, bool, any
+// ---------------------------------------------------------------------------
+
+fn int_shrinkable(lo: u64, v: u64) -> Shrinkable<u64> {
+    Shrinkable::with_children(v, move || {
+        let mut out = Vec::new();
+        if v > lo {
+            // Bisect toward the lower bound, then single-step.
+            out.push(int_shrinkable(lo, lo));
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(int_shrinkable(lo, mid));
+            }
+            if v - 1 != lo {
+                out.push(int_shrinkable(lo, v - 1));
+            }
+        }
+        out
+    })
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let v = self.start as u64 + rng.below(span);
+                map_shrinkable(int_shrinkable(self.start as u64, v), |x| x as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                let v = if span == 0 {
+                    rng.next_u64() // full u64 domain
+                } else {
+                    lo as u64 + rng.below(span)
+                };
+                map_shrinkable(int_shrinkable(lo as u64, v), |x| x as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+fn f64_shrinkable(lo: f64, v: f64) -> Shrinkable<f64> {
+    Shrinkable::with_children(v, move || {
+        if v > lo {
+            let mid = lo + (v - lo) / 2.0;
+            let mut out = vec![Shrinkable::leaf(lo)];
+            if mid > lo && mid < v {
+                out.push(f64_shrinkable(lo, mid));
+            }
+            out
+        } else {
+            Vec::new()
+        }
+    })
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        f64_shrinkable(self.start, v)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<f64> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let unit = (rng.next_u64() >> 10) as f64 * (1.0 / ((1u64 << 54) - 1) as f64);
+        let v = lo + unit.min(1.0) * (hi - lo);
+        f64_shrinkable(lo, v)
+    }
+}
+
+/// Strategy behind `any::<bool>()`.
+#[derive(Debug, Clone)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<bool> {
+        let v = rng.next_u64() & 1 == 1;
+        Shrinkable::with_children(v, move || {
+            if v {
+                vec![Shrinkable::leaf(false)]
+            } else {
+                Vec::new()
+            }
+        })
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Clone + fmt::Debug + Sized + 'static {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+
+            fn arbitrary() -> RangeInclusive<$t> {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// The whole-domain strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+#[must_use]
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies (arity 1..=10)
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Self::Value> {
+                let ($($name,)+) = self;
+                $(let $name = $name.new_shrinkable(rng);)+
+                tuple_strategy!(@fold $($name),+)
+            }
+        }
+    };
+    // Fold a list of component shrinkables into nested pairs, then flatten.
+    (@fold $a:ident) => { map_shrinkable($a, |v| (v,)) };
+    (@fold $a:ident, $b:ident) => {
+        map_shrinkable(pair_shrinkable($a, $b), |(a, b)| (a, b))
+    };
+    (@fold $a:ident, $b:ident, $($rest:ident),+) => {{
+        let nested = tuple_strategy!(@fold $b, $($rest),+);
+        map_shrinkable(pair_shrinkable($a, nested), |(a, rest)| {
+            tuple_strategy!(@flatten a, rest, $b, $($rest),+)
+        })
+    }};
+    (@flatten $a:ident, $rest:ident, $($tail:ident),+) => {{
+        #[allow(non_snake_case)]
+        let ($($tail,)+) = $rest;
+        ($a, $($tail),+)
+    }};
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---------------------------------------------------------------------------
+// Collections and Option
+// ---------------------------------------------------------------------------
+
+/// Size bounds for collection strategies (inclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`, ...).
+pub mod collection {
+    use super::*;
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`](fn@vec).
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub(crate) fn vec_shrinkable<V: Clone + 'static>(
+        min_len: usize,
+        elems: Vec<Shrinkable<V>>,
+    ) -> Shrinkable<Vec<V>> {
+        let value: Vec<V> = elems.iter().map(|e| e.value.clone()).collect();
+        Shrinkable::with_children(value, move || {
+            let n = elems.len();
+            let mut out = Vec::new();
+            if n > min_len {
+                // Big jumps first: halves, then single-element removals.
+                let half = n / 2;
+                if half >= min_len && half < n {
+                    out.push(vec_shrinkable(min_len, elems[..half].to_vec()));
+                    out.push(vec_shrinkable(min_len, elems[n - half..].to_vec()));
+                }
+                for i in 0..n {
+                    let mut fewer = elems.clone();
+                    fewer.remove(i);
+                    out.push(vec_shrinkable(min_len, fewer));
+                }
+            }
+            // Element-wise shrinks.
+            for i in 0..n {
+                for c in elems[i].children() {
+                    let mut simpler = elems.clone();
+                    simpler[i] = c;
+                    out.push(vec_shrinkable(min_len, simpler));
+                }
+            }
+            out
+        })
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Vec<S::Value>> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            let elems: Vec<_> = (0..n).map(|_| self.element.new_shrinkable(rng)).collect();
+            vec_shrinkable(self.size.lo, elems)
+        }
+    }
+
+    /// A `BTreeSet` of roughly `size` elements drawn from `element`
+    /// (duplicates may land the set below the requested minimum, as
+    /// upstream tolerates for narrow domains).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    fn set_shrinkable<V: Clone + Ord + 'static>(
+        min_len: usize,
+        elems: Vec<V>,
+    ) -> Shrinkable<BTreeSet<V>> {
+        let value: BTreeSet<V> = elems.iter().cloned().collect();
+        Shrinkable::with_children(value, move || {
+            let mut out = Vec::new();
+            if elems.len() > min_len {
+                for i in 0..elems.len() {
+                    let mut fewer = elems.clone();
+                    fewer.remove(i);
+                    out.push(set_shrinkable(min_len, fewer));
+                }
+            }
+            out
+        })
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<BTreeSet<S::Value>> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let target = self.size.lo + rng.below(span) as usize;
+            let mut set = BTreeSet::new();
+            for _ in 0..target.saturating_mul(3).max(target) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.new_shrinkable(rng).value);
+            }
+            set_shrinkable(self.size.lo.min(set.len()), set.into_iter().collect())
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::*;
+
+    /// `Some` three times out of four; `Some(x)` shrinks to `None` first.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    fn some_shrinkable<V: Clone + 'static>(s: Shrinkable<V>) -> Shrinkable<Option<V>> {
+        let value = Some(s.value.clone());
+        Shrinkable::with_children(value, move || {
+            let mut out = vec![Shrinkable::leaf(None)];
+            out.extend(s.children().into_iter().map(some_shrinkable));
+            out
+        })
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_shrinkable(&self, rng: &mut TestRng) -> Shrinkable<Option<S::Value>> {
+            if rng.below(4) == 0 {
+                Shrinkable::leaf(None)
+            } else {
+                some_shrinkable(self.inner.new_shrinkable(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config, errors, runner
+// ---------------------------------------------------------------------------
+
+/// Per-test-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to run per test (env `PROPTEST_CASES` overrides).
+    pub cases: u32,
+    /// Cap on shrink candidates evaluated while minimizing a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why one test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input should not count (skipped, not failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejection with a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "{m}"),
+            Self::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// What a property body returns (via the `prop_assert*` early returns).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn run_case<V, F>(test: &F, value: &V) -> Result<(), String>
+where
+    V: Clone,
+    F: Fn(V) -> TestCaseResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value.clone()))) {
+        Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => Ok(()),
+        Ok(Err(TestCaseError::Fail(m))) => Err(m),
+        Err(payload) => Err(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Drives one property: generates `config.cases` inputs, runs the body on
+/// each, and on failure shrinks to a minimal counterexample before
+/// panicking with a reproducible report. This is what [`proptest!`]
+/// expands to.
+pub fn run_proptest<S, F>(mut config: ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    if let Ok(cases) = std::env::var("PROPTEST_CASES") {
+        if let Ok(cases) = cases.parse::<u32>() {
+            config.cases = cases;
+        }
+    }
+    let seed = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let mut rng = TestRng::new(seed);
+
+    for case in 0..config.cases {
+        let shrinkable = strategy.new_shrinkable(&mut rng);
+        if let Err(first_msg) = run_case(&test, &shrinkable.value) {
+            let (minimal, msg, steps) =
+                shrink_failure(shrinkable, &test, first_msg, config.max_shrink_iters);
+            panic!(
+                "proptest: property '{name}' falsified (seed {seed}, case {case} of {cases})\n\
+                 shrunk for {steps} steps; minimal failing input:\n{minimal:#?}\n\
+                 cause: {msg}\n\
+                 (rerun deterministically with PROPTEST_RNG_SEED={seed})",
+                cases = config.cases,
+            );
+        }
+    }
+}
+
+/// Greedy descent: repeatedly move to the first simpler candidate that
+/// still fails, until none does or the iteration budget runs out.
+fn shrink_failure<V, F>(
+    start: Shrinkable<V>,
+    test: &F,
+    first_msg: String,
+    max_iters: u32,
+) -> (V, String, u32)
+where
+    V: Clone + 'static,
+    F: Fn(V) -> TestCaseResult,
+{
+    let mut current = start;
+    let mut msg = first_msg;
+    let mut iters = 0u32;
+    'descend: loop {
+        for child in current.children() {
+            if iters >= max_iters {
+                break 'descend;
+            }
+            iters += 1;
+            if let Err(m) = run_case(test, &child.value) {
+                current = child;
+                msg = m;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current.value, msg, iters)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` driven by [`run_proptest`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_proptest(config, stringify!($name), strategy, |($($arg,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies producing
+/// one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current test case (with shrinking) if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case (with shrinking) unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current test case (with shrinking) if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{collection, option, ProptestConfig, Shrinkable, Strategy, TestRng};
+
+    fn gen_one<S: Strategy>(s: &S, seed: u64) -> Shrinkable<S::Value> {
+        s.new_shrinkable(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let s = 10u64..20;
+        for seed in 0..200 {
+            let v = gen_one(&s, seed).value;
+            assert!((10..20).contains(&v), "{v}");
+        }
+        let si = 3u32..=9;
+        for seed in 0..200 {
+            let v = gen_one(&si, seed).value;
+            assert!((3..=9).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn shrinking_an_int_reaches_the_lower_bound() {
+        let s = 0u64..1000;
+        let sh = gen_one(&s, 7);
+        // Descend always taking the first child: must terminate at 0.
+        let mut cur = sh;
+        let mut guard = 0;
+        while let Some(c) = cur.children().into_iter().next() {
+            cur = c;
+            guard += 1;
+            assert!(guard < 10_000);
+        }
+        assert_eq!(cur.value, 0);
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_vec_length() {
+        // Property: "vectors shorter than 3 pass". Minimal failure: len 3.
+        let strat = collection::vec(0u8..10, 0..40);
+        let test = |v: Vec<u8>| -> TestCaseResult {
+            prop_assert!(v.len() < 3, "too long");
+            Ok(())
+        };
+        let mut rng = TestRng::new(99);
+        let failing = loop {
+            let sh = strat.new_shrinkable(&mut rng);
+            if sh.value.len() >= 3 {
+                break sh;
+            }
+        };
+        let (min, _msg, _iters) = super::shrink_failure(failing, &test, "seed".into(), 4096);
+        assert_eq!(min.len(), 3, "greedy shrink should reach the boundary");
+        assert!(min.iter().all(|&x| x == 0), "elements also minimized");
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let s =
+            (1usize..=12).prop_flat_map(|depth| (1usize..=depth).prop_map(move |hw| (depth, hw)));
+        for seed in 0..100 {
+            let (depth, hw) = gen_one(&s, seed).value;
+            assert!(hw <= depth && depth <= 12 && hw >= 1);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let s = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = TestRng::new(5);
+        let ones = (0..1000)
+            .filter(|_| s.new_shrinkable(&mut rng).value == 1)
+            .count();
+        assert!(ones > 800, "9:1 weighting, got {ones}/1000 ones");
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        let s = option::of(1u64..200);
+        let mut rng = TestRng::new(6);
+        let mut none = 0;
+        let mut some = 0;
+        for _ in 0..200 {
+            match s.new_shrinkable(&mut rng).value {
+                None => none += 1,
+                Some(v) => {
+                    assert!((1..200).contains(&v));
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 10 && some > 100);
+    }
+
+    #[test]
+    fn btree_set_respects_bounds() {
+        let s = collection::btree_set(0usize..64, 0..20);
+        let mut rng = TestRng::new(8);
+        for _ in 0..100 {
+            let set = s.new_shrinkable(&mut rng).value;
+            assert!(set.len() < 20);
+            assert!(set.iter().all(|&x| x < 64));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro path end to end: generation, tuple destructuring,
+        /// prop_assert early-return.
+        #[test]
+        fn macro_roundtrip(x in 0u64..50, flip in any::<bool>()) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics_with_minimal_input() {
+        super::run_proptest(
+            ProptestConfig::with_cases(256),
+            "demo",
+            collection::vec(0u8..10, 0..40),
+            |v: Vec<u8>| {
+                prop_assert!(v.len() < 3, "too long");
+                Ok(())
+            },
+        );
+    }
+}

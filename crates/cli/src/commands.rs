@@ -2,11 +2,11 @@
 
 use std::error::Error;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{self, BufRead as _, BufReader, BufWriter};
 
 use wbsim_experiments::harness::Harness;
 use wbsim_experiments::{ablations, figures, render, tables};
-use wbsim_sim::Machine;
+use wbsim_sim::{Event, Machine, Observer};
 use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_trace::file as trace_file;
 use wbsim_trace::stats::TraceStats;
@@ -46,7 +46,7 @@ wbsim — reproduction of 'Design Issues and Tradeoffs for Write Buffers' (HPCA 
 
 USAGE:
   wbsim figure <3..13|all> [--instructions N] [--seed S] [--csv] [--svg DIR]
-  wbsim table <1..7|all>   [--instructions N] [--seed S]
+  wbsim table <1..7|wb|all> [--instructions N] [--seed S]
   wbsim ablation <a1..a10|all> [--instructions N] [--seed S]
   wbsim run --bench NAME [--seeds N] [--config FILE.wbcfg] [--depth N] [--retire-at N] [--hazard P]
             [--l1-kb N] [--l2-latency N] [--l2-kb N] [--mm N] [--issue W]
@@ -63,6 +63,9 @@ USAGE:
         [--instructions N] [--seed S] [--binary]
   wbsim trace stats <FILE>
   wbsim trace run <FILE> [--depth N] [--retire-at N] [--hazard P] [--check-data]
+  wbsim trace events --bench NAME [--out FILE] [--mshrs N] [config flags as for run]
+        (emits the machine's structured event stream as JSON lines)
+  wbsim trace validate <FILE.jsonl>
   wbsim list
 
 HAZARD POLICIES: flush-full | flush-partial | flush-item-only | read-from-wb
@@ -130,7 +133,7 @@ fn cmd_table(p: &Parsed) -> CmdResult {
     let which = p
         .positionals
         .get(1)
-        .ok_or_else(|| ArgError("table: which one? (1..7 or all)".into()))?;
+        .ok_or_else(|| ArgError("table: which one? (1..7, wb, or all)".into()))?;
     let h = harness(p)?;
     let cfg = MachineConfig::baseline();
     let one = |n: &str| -> Result<tables::TableResult, ArgError> {
@@ -142,11 +145,16 @@ fn cmd_table(p: &Parsed) -> CmdResult {
             "5" => tables::table5(&h),
             "6" => tables::table6(&h),
             "7" => tables::table7(&h),
-            _ => return Err(ArgError(format!("no table {n} (the paper has 1..7)"))),
+            "wb" => tables::table_wb(&h),
+            _ => {
+                return Err(ArgError(format!(
+                "no table {n} (the paper has 1..7; `wb` is the event-derived utilization table)"
+            )))
+            }
         })
     };
     let list = if which == "all" {
-        ["1", "2", "3", "4", "5", "6", "7"]
+        ["1", "2", "3", "4", "5", "6", "7", "wb"]
             .iter()
             .map(|n| one(n))
             .collect::<Result<Vec<_>, _>>()?
@@ -281,7 +289,7 @@ fn cmd_run(p: &Parsed) -> CmdResult {
     let stats = if mshrs > 0 {
         wbsim_sim::NonBlockingMachine::new(cfg, mshrs)?.run(ops)
     } else {
-        let machine = Machine::new(cfg)?;
+        let mut machine = Machine::new(cfg)?;
         if p.has_flag("ideal") {
             machine.run_ideal_with_warmup(ops, h.warmup)
         } else {
@@ -539,6 +547,7 @@ fn cmd_report(p: &Parsed) -> CmdResult {
         tables::table5(&h),
         tables::table6(&h),
         tables::table7(&h),
+        tables::table_wb(&h),
     ] {
         out.push_str(&render::table_markdown(&t));
     }
@@ -568,11 +577,50 @@ fn cmd_report(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+/// An [`Observer`] that writes every event as one JSON line. I/O errors
+/// are latched rather than panicking mid-simulation; callers check
+/// [`JsonlWriter::finish`] after the run.
+struct JsonlWriter<W: io::Write> {
+    w: W,
+    count: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlWriter<W> {
+    fn new(w: W) -> Self {
+        Self {
+            w,
+            count: 0,
+            err: None,
+        }
+    }
+
+    fn finish(mut self) -> Result<u64, io::Error> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.count)
+    }
+}
+
+impl<W: io::Write> Observer for JsonlWriter<W> {
+    fn event(&mut self, ev: &Event) {
+        if self.err.is_some() {
+            return;
+        }
+        match writeln!(self.w, "{}", ev.to_json()) {
+            Ok(()) => self.count += 1,
+            Err(e) => self.err = Some(e),
+        }
+    }
+}
+
 fn cmd_trace(p: &Parsed) -> CmdResult {
     let sub = p
         .positionals
         .get(1)
-        .ok_or_else(|| ArgError("trace: gen | stats | run".into()))?;
+        .ok_or_else(|| ArgError("trace: gen | synth | stats | run | events | validate".into()))?;
     match sub.as_str() {
         "gen" => {
             let bench_name = p
@@ -660,6 +708,59 @@ fn cmd_trace(p: &Parsed) -> CmdResult {
             let cfg = machine_from(p)?;
             let stats = Machine::new(cfg)?.run(ops);
             print_stats(&stats);
+            Ok(())
+        }
+        "events" => {
+            let bench_name = p
+                .options
+                .get("bench")
+                .ok_or_else(|| ArgError("trace events: --bench NAME required".into()))?;
+            let bench = BenchmarkModel::from_name(bench_name)
+                .ok_or_else(|| ArgError(format!("unknown benchmark {bench_name:?}")))?;
+            let h = harness(p)?;
+            let cfg = machine_from(p)?;
+            let ops = bench.stream(h.seed, h.instructions);
+            let mshrs = p.get_or("mshrs", 0usize)?;
+            let sink: Box<dyn io::Write> = match p.options.get("out") {
+                Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+                None => Box::new(io::stdout().lock()),
+            };
+            let mut w = JsonlWriter::new(sink);
+            let _stats = if mshrs > 0 {
+                wbsim_sim::NonBlockingMachine::new(cfg, mshrs)?.run_observed(ops, &mut w)
+            } else {
+                Machine::new(cfg)?.run_observed(ops, &mut w)
+            };
+            let count = w.finish()?;
+            if let Some(path) = p.options.get("out") {
+                println!("wrote {count} events to {path}");
+            }
+            Ok(())
+        }
+        "validate" => {
+            let path = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| ArgError("trace validate: FILE required".into()))?;
+            let f = BufReader::new(File::open(path)?);
+            let mut count = 0u64;
+            let mut cycles = 0u64;
+            for (i, line) in f.lines().enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let ev = Event::from_json(&line)
+                    .map_err(|e| ArgError(format!("{path}:{}: {e}", i + 1)))?;
+                count += 1;
+                if matches!(ev, Event::CycleEnd { .. }) {
+                    cycles += 1;
+                }
+            }
+            if count == 0 {
+                return Err(ArgError(format!("{path}: no events")).into());
+            }
+            println!("{path}: {count} events over {cycles} cycles, all valid");
             Ok(())
         }
         other => Err(ArgError(format!("trace: unknown subcommand {other:?}")).into()),
@@ -897,6 +998,71 @@ wb.retirement = retire-at-8
         .is_ok());
         assert!(dispatch(&v(&["trace", "run", path_s, "--check-data"])).is_ok());
         assert!(dispatch(&v(&["trace", "synth"])).is_err());
+    }
+
+    #[test]
+    fn trace_events_roundtrip_and_validate() {
+        let dir = std::env::temp_dir().join("wbsim-events-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.jsonl");
+        let path_s = path.to_str().unwrap();
+        assert!(dispatch(&v(&[
+            "trace",
+            "events",
+            "--bench",
+            "compress",
+            "--out",
+            path_s,
+            "--instructions",
+            "800",
+            "--check-data"
+        ]))
+        .is_ok());
+        // Every line parses back into an event, and the stream has cycles.
+        assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().count() > 800,
+            "one CycleEnd per cycle at least"
+        );
+        assert!(text.contains("\"event\":"));
+        // The non-blocking machine emits through the same writer.
+        assert!(dispatch(&v(&[
+            "trace",
+            "events",
+            "--bench",
+            "compress",
+            "--out",
+            path_s,
+            "--instructions",
+            "500",
+            "--hazard",
+            "read-from-wb",
+            "--mshrs",
+            "2"
+        ]))
+        .is_ok());
+        assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
+        // A corrupted file is rejected with a line number.
+        std::fs::write(&path, "{\"event\":\"nonsense\"}\n").unwrap();
+        let err = dispatch(&v(&["trace", "validate", path_s])).unwrap_err();
+        assert!(err.to_string().contains(":1:"), "{err}");
+        assert!(dispatch(&v(&["trace", "validate"])).is_err());
+        assert!(dispatch(&v(&["trace", "events"])).is_err());
+        assert!(dispatch(&v(&["trace", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn table_wb_via_cli() {
+        assert!(dispatch(&v(&[
+            "table",
+            "wb",
+            "--instructions",
+            "1200",
+            "--warmup",
+            "200"
+        ]))
+        .is_ok());
     }
 
     #[test]

@@ -392,10 +392,7 @@ mod tests {
         WriteBuffer::new(&cfg, &g()).unwrap()
     }
 
-    /// Byte address of word `w` of line `l`.
-    fn a(l: u64, w: u64) -> Addr {
-        Addr::new(l * 32 + w * 8)
-    }
+    use wbsim_types::testutil::a;
 
     #[test]
     fn sequential_stores_coalesce() {

@@ -4,7 +4,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use wbsim_sim::Machine;
+use wbsim_sim::{HistogramObserver, Machine};
 use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_types::config::MachineConfig;
 use wbsim_types::stall::StallKind;
@@ -90,6 +90,29 @@ impl Harness {
         Machine::new(cfg)
             .expect("experiment configurations are valid by construction")
             .run_with_warmup(ops, self.warmup)
+    }
+
+    /// Runs one benchmark through one configuration with a
+    /// [`HistogramObserver`] attached, returning both the run's statistics
+    /// and the filled observer.
+    ///
+    /// The statistics respect this harness's warmup (counters reset at the
+    /// warmup boundary, as in [`Harness::run`]); the observer watches the
+    /// whole run including warmup, so its burst and retirement-latency
+    /// figures cover every simulated cycle.
+    #[must_use]
+    pub fn run_detailed(
+        &self,
+        bench: BenchmarkModel,
+        mut cfg: MachineConfig,
+    ) -> (SimStats, HistogramObserver) {
+        cfg.check_data = self.check_data;
+        let mut obs = HistogramObserver::new(cfg.write_buffer.depth);
+        let ops = bench.stream(self.seed, self.instructions + self.warmup);
+        let stats = Machine::new(cfg)
+            .expect("experiment configurations are valid by construction")
+            .run_observed_with_warmup(ops, self.warmup, &mut obs);
+        (stats, obs)
     }
 
     /// Runs one benchmark through the ideal-buffer lower bound.
@@ -493,6 +516,23 @@ mod tests {
         assert!(s.instructions <= h.instructions + h.warmup);
         assert!(s.cycles >= s.instructions);
         assert!(s.loads > 0 && s.stores > 0);
+    }
+
+    #[test]
+    fn detailed_run_observer_covers_warmup() {
+        let h = Harness {
+            instructions: 5_000,
+            warmup: 1_000,
+            seed: 1,
+            check_data: true,
+        };
+        let (stats, obs) = h.run_detailed(BenchmarkModel::Compress, MachineConfig::baseline());
+        // The observer watches the whole run; the statistics only the
+        // measured window after the warmup reset.
+        assert!(obs.cycles() > stats.cycles);
+        assert!(obs.high_water() >= stats.wb_detail.high_water);
+        assert!(obs.retirements() > 0);
+        assert!(obs.mean_occupancy() > 0.0);
     }
 
     #[test]

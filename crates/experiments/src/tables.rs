@@ -350,6 +350,100 @@ pub fn table7(h: &Harness) -> TableResult {
     }
 }
 
+/// One row of the write-buffer utilization table with numeric fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WbRow {
+    /// The benchmark.
+    pub bench: BenchmarkModel,
+    /// Mean end-of-cycle occupancy in entries (measured window).
+    pub mean_occ: f64,
+    /// Highest occupancy any measured cycle ended with.
+    pub high_water: u64,
+    /// `depth - high_water`: entries that were never simultaneously in use.
+    pub headroom: u64,
+    /// Mean allocation-to-completion lifetime of retired entries, cycles.
+    pub mean_life: f64,
+    /// Stall bursts (maximal runs of consecutive stalled cycles).
+    pub bursts: u64,
+    /// Mean stall-burst length in cycles.
+    pub mean_burst: f64,
+    /// Longest stall burst in cycles.
+    pub max_burst: u64,
+}
+
+/// Write-buffer utilization table (numeric form): occupancy high-water
+/// mark, headroom, entry lifetimes, and stall-burst shape under the
+/// baseline model. The occupancy columns come from the run statistics and
+/// respect the harness warmup; the lifetime and burst columns come from a
+/// [`wbsim_sim::HistogramObserver`] watching the whole run.
+#[must_use]
+pub fn table_wb_rows(h: &Harness) -> Vec<WbRow> {
+    let depth = MachineConfig::baseline().write_buffer.depth;
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = BenchmarkModel::ALL
+            .iter()
+            .map(|m| {
+                sc.spawn(move || {
+                    let (stats, obs) = h.run_detailed(*m, MachineConfig::baseline());
+                    WbRow {
+                        bench: *m,
+                        mean_occ: stats.wb_detail.mean_occupancy(),
+                        high_water: stats.wb_detail.high_water,
+                        headroom: stats.wb_detail.headroom(depth),
+                        mean_life: obs.mean_retirement_latency(),
+                        bursts: obs.burst_count(),
+                        mean_burst: obs.mean_burst_len(),
+                        max_burst: obs.max_burst_len(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|j| j.join().expect("table-wb thread panicked"))
+            .collect()
+    })
+}
+
+/// Write-buffer utilization table: how close to full the baseline buffer
+/// runs on each benchmark, and how its stalls cluster. Not a table of the
+/// paper — it operationalizes the paper's depth-vs-headroom guidance
+/// (§3.1) from the structured event stream.
+#[must_use]
+pub fn table_wb(h: &Harness) -> TableResult {
+    let rows = table_wb_rows(h)
+        .into_iter()
+        .map(|r| {
+            vec![
+                s(r.bench.name()),
+                format!("{:.3}", r.mean_occ),
+                s(r.high_water),
+                s(r.headroom),
+                format!("{:.2}", r.mean_life),
+                s(r.bursts),
+                format!("{:.2}", r.mean_burst),
+                s(r.max_burst),
+            ]
+        })
+        .collect();
+    TableResult {
+        id: "Table WB",
+        title: "Write-buffer occupancy high-water mark, headroom, and stall bursts (baseline)"
+            .into(),
+        header: vec![
+            s("Benchmark"),
+            s("Mean occ"),
+            s("High water"),
+            s("Headroom"),
+            s("Mean life"),
+            s("Bursts"),
+            s("Mean burst"),
+            s("Max burst"),
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +472,34 @@ mod tests {
         let t = table4(&h);
         assert_eq!(t.rows.len(), 17);
         assert_eq!(t.rows[0][0], "espresso");
+    }
+
+    #[test]
+    fn table_wb_covers_suite_and_respects_depth() {
+        let h = Harness {
+            instructions: 4_000,
+            warmup: 1_000,
+            seed: 1,
+            check_data: true,
+        };
+        let depth = MachineConfig::baseline().write_buffer.depth as u64;
+        let rows = table_wb_rows(&h);
+        assert_eq!(rows.len(), BenchmarkModel::ALL.len());
+        for r in &rows {
+            assert!(
+                r.high_water <= depth,
+                "{}: {}",
+                r.bench.name(),
+                r.high_water
+            );
+            assert_eq!(r.headroom, depth - r.high_water);
+            assert!(r.mean_occ <= r.high_water as f64);
+        }
+        // At least one benchmark pushes the baseline buffer to its limit.
+        assert!(rows.iter().any(|r| r.high_water == depth));
+        let t = table_wb(&h);
+        assert_eq!(t.header.len(), 8);
+        assert_eq!(t.rows.len(), rows.len());
     }
 
     #[test]

@@ -106,12 +106,10 @@ impl ArchModel {
 mod tests {
     use super::*;
 
+    use wbsim_sim::testutil::a;
+
     fn model() -> ArchModel {
         ArchModel::new(Geometry::alpha_baseline())
-    }
-
-    fn a(line: u64, word: u64) -> Addr {
-        Addr::new(line * 32 + word * 8)
     }
 
     #[test]

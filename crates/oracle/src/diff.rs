@@ -3,15 +3,14 @@
 
 use std::collections::BTreeMap;
 
-use wbsim_sim::machine::{Inspector, Machine};
+use wbsim_sim::{Event, Machine, NonBlockingMachine, Observer};
 use wbsim_types::addr::Addr;
-use wbsim_types::config::{IcacheConfig, L2Config, MachineConfig};
+use wbsim_types::config::{ConfigError, IcacheConfig, L2Config, MachineConfig};
 use wbsim_types::divergence::{Divergence, LoadSource};
 use wbsim_types::op::Op;
 use wbsim_types::policy::LoadHazardPolicy;
 use wbsim_types::stall::StallKind;
 use wbsim_types::stats::SimStats;
-use wbsim_types::Cycle;
 
 use crate::arch::ArchModel;
 
@@ -30,20 +29,26 @@ pub struct DiffReport {
     pub words_checked: u64,
 }
 
-/// Records every architecturally visible load, plus per-cycle coverage.
+/// Records every architecturally visible load, plus per-cycle coverage,
+/// from the structured event stream.
 #[derive(Debug, Default)]
 struct Recorder {
     loads: Vec<(Addr, u64, LoadSource)>,
     cycles_seen: u64,
 }
 
-impl Inspector for Recorder {
-    fn cycle(&mut self, _now: Cycle, _wb_occupancy: usize) {
-        self.cycles_seen += 1;
-    }
-
-    fn load(&mut self, addr: Addr, value: u64, source: LoadSource) {
-        self.loads.push((addr, value, source));
+impl Observer for Recorder {
+    fn event(&mut self, ev: &Event) {
+        match *ev {
+            Event::CycleEnd { .. } => self.cycles_seen += 1,
+            Event::LoadResolved {
+                addr,
+                value,
+                source,
+                ..
+            } => self.loads.push((addr, value, source)),
+            _ => {}
+        }
     }
 }
 
@@ -82,7 +87,7 @@ pub fn diff_run(cfg: &MachineConfig, ops: &[Op]) -> Result<DiffReport, Divergenc
 
     let mut machine = Machine::new(cfg.clone()).expect("diff_run requires a valid configuration");
     let mut rec = Recorder::default();
-    let stats = machine.run_inspected(ops.iter().copied(), &mut rec);
+    let stats = machine.run_observed(ops.iter().copied(), &mut rec);
 
     // 1 + 2: load values in program order, then the load count.
     let mut oracle = ArchModel::new(g);
@@ -107,18 +112,9 @@ pub fn diff_run(cfg: &MachineConfig, ops: &[Op]) -> Result<DiffReport, Divergenc
         });
     }
 
-    // 3: final memory over every word the stream touched. Keyed by global
-    // word address; the value is a representative byte address for the
-    // report.
-    let mut touched: BTreeMap<u64, Addr> = BTreeMap::new();
-    for op in ops {
-        if let Op::Load(addr) | Op::Store(addr) = *op {
-            touched.entry(g.word_addr(addr)).or_insert(addr);
-        }
-    }
-    for &addr in touched.values() {
+    // 3: final memory over every word the stream touched.
+    for (&addr, &oracle_v) in final_words(&g, ops, &oracle).iter() {
         let machine_v = machine.read_word_architectural(addr);
-        let oracle_v = oracle.read_word(addr);
         if machine_v != oracle_v {
             return Err(Divergence::FinalMemory {
                 addr,
@@ -129,7 +125,14 @@ pub fn diff_run(cfg: &MachineConfig, ops: &[Op]) -> Result<DiffReport, Divergenc
     }
 
     // 4: conservation identities.
-    check_conservation(&cfg, &stats, &machine, &rec)?;
+    check_conservation(
+        &cfg,
+        &stats,
+        machine.wb_victim_allocs(),
+        machine.wb_occupancy() as u64,
+        rec.cycles_seen,
+        true,
+    )?;
 
     // 5: ideal bounds, where the configuration admits them.
     let flush_policy = cfg.write_buffer.hazard != LoadHazardPolicy::ReadFromWb;
@@ -158,19 +161,167 @@ pub fn diff_run(cfg: &MachineConfig, ops: &[Op]) -> Result<DiffReport, Divergenc
         None
     };
 
+    let words = final_words(&g, ops, &oracle).len() as u64;
     Ok(DiffReport {
         stats,
         ideal,
         loads_checked: expected.len() as u64,
-        words_checked: touched.len() as u64,
+        words_checked: words,
     })
+}
+
+/// Program-order load recorder for the non-blocking machine: a load's
+/// terminal event is either [`Event::LoadResolved`] (value known at issue)
+/// or [`Event::LoadMiss`] (went to an MSHR; no architectural value to
+/// compare, the fill is verified when later hits re-read it).
+#[derive(Debug, Default)]
+struct NbRecorder {
+    /// `(program-order ordinal, addr, value, source)` of resolved loads.
+    resolved: Vec<(usize, Addr, u64, LoadSource)>,
+    /// Terminal events seen (resolved + missed) = loads issued.
+    total_loads: usize,
+    cycles_seen: u64,
+}
+
+impl Observer for NbRecorder {
+    fn event(&mut self, ev: &Event) {
+        match *ev {
+            Event::CycleEnd { .. } => self.cycles_seen += 1,
+            Event::LoadResolved {
+                addr,
+                value,
+                source,
+                ..
+            } => {
+                self.resolved.push((self.total_loads, addr, value, source));
+                self.total_loads += 1;
+            }
+            Event::LoadMiss { .. } => {
+                self.total_loads += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// [`diff_run`] for the non-blocking machine (paper §4.3).
+///
+/// Loads that resolve at issue (L1 or write-buffer hits) are checked
+/// against the model at their program-order position; loads that go to an
+/// MSHR have no architecturally returned value in a trace-driven model,
+/// so they are checked through **final memory** and through every later
+/// hit to the filled line instead. The load *count* (resolved + missed)
+/// must still match the stream exactly, and the conservation identities
+/// hold minus cycle accounting (overlap is the whole point) and the ideal
+/// bound (read-from-WB only).
+///
+/// # Errors
+///
+/// Returns the configuration error when `cfg`/`mshrs` are rejected by
+/// [`NonBlockingMachine::new`] (notably: the hazard policy must be
+/// read-from-WB), so property harnesses can skip invalid combinations;
+/// behavioral divergences are reported in the inner `Result`.
+#[allow(clippy::missing_panics_doc)] // the inner expect is unreachable: new() validated
+pub fn diff_run_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+    ops: &[Op],
+) -> Result<Result<DiffReport, Divergence>, ConfigError> {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let g = cfg.geometry;
+
+    let mut machine = NonBlockingMachine::new(cfg.clone(), mshrs)?;
+    let mut rec = NbRecorder::default();
+    let stats = machine.run_observed(ops.iter().copied(), &mut rec);
+
+    let mut oracle = ArchModel::new(g);
+    let expected = oracle.run(ops);
+
+    // 1: resolved loads at their program-order ordinal.
+    for &(index, addr, machine_v, source) in &rec.resolved {
+        let oracle_v = expected
+            .get(index)
+            .copied()
+            .expect("ordinal bounded by the load-count check below");
+        if machine_v != oracle_v {
+            return Ok(Err(Divergence::LoadValue {
+                index,
+                addr,
+                machine: machine_v,
+                oracle: oracle_v,
+                source,
+            }));
+        }
+    }
+    // 2: every load got exactly one terminal event.
+    if rec.total_loads != expected.len() {
+        return Ok(Err(Divergence::LoadCount {
+            machine: rec.total_loads,
+            oracle: expected.len(),
+        }));
+    }
+
+    // 3: final memory.
+    for (&addr, &oracle_v) in final_words(&g, ops, &oracle).iter() {
+        let machine_v = machine.read_word_architectural(addr);
+        if machine_v != oracle_v {
+            return Ok(Err(Divergence::FinalMemory {
+                addr,
+                machine: machine_v,
+                oracle: oracle_v,
+            }));
+        }
+    }
+
+    // 4: conservation (no cycle accounting: misses overlap execution, so
+    // a cycle may be an instruction *and* a miss wait).
+    if let Err(d) = check_conservation(
+        &cfg,
+        &stats,
+        0, // the non-blocking machine has no victim path
+        machine.wb_occupancy() as u64,
+        rec.cycles_seen,
+        false,
+    ) {
+        return Ok(Err(d));
+    }
+
+    let words = final_words(&g, ops, &oracle).len() as u64;
+    Ok(Ok(DiffReport {
+        stats,
+        ideal: None,
+        loads_checked: rec.resolved.len() as u64,
+        words_checked: words,
+    }))
+}
+
+/// Every word the stream touched, with the model's final value. Keyed by
+/// a representative byte address.
+fn final_words(
+    g: &wbsim_types::addr::Geometry,
+    ops: &[Op],
+    oracle: &ArchModel,
+) -> BTreeMap<Addr, u64> {
+    let mut touched: BTreeMap<u64, Addr> = BTreeMap::new();
+    for op in ops {
+        if let Op::Load(addr) | Op::Store(addr) = *op {
+            touched.entry(g.word_addr(addr)).or_insert(addr);
+        }
+    }
+    touched
+        .values()
+        .map(|&addr| (addr, oracle.read_word(addr)))
+        .collect()
 }
 
 fn check_conservation(
     cfg: &MachineConfig,
     stats: &SimStats,
-    machine: &Machine,
-    rec: &Recorder,
+    victim_allocs: u64,
+    residual: u64,
+    cycles_seen: u64,
+    cycle_accounting: bool,
 ) -> Result<(), Divergence> {
     // Every stall cycle lands in exactly one of the paper's three
     // categories.
@@ -187,8 +338,9 @@ fn check_conservation(
     // Every cycle is an instruction, a categorized stall, a miss wait, a
     // barrier drain, or an I-fetch wait. Exact only when the front end is
     // single-issue (wider issue retires several compute instructions per
-    // cycle).
-    if cfg.issue_width == 1 {
+    // cycle) and blocking (the non-blocking machine overlaps misses with
+    // execution by design).
+    if cycle_accounting && cfg.issue_width == 1 {
         let accounted = stats.instructions
             + stats.stalls.total()
             + stats.miss_wait_cycles
@@ -202,12 +354,12 @@ fn check_conservation(
         }
     }
 
-    // The occupancy histogram (and the inspector's cycle hook) covers
-    // every cycle exactly once.
+    // The occupancy histogram (and the observer's CycleEnd coverage)
+    // covers every cycle exactly once.
     let hist_sum: u64 = stats.wb_detail.occupancy_hist.iter().sum();
-    if hist_sum != stats.cycles || rec.cycles_seen != stats.cycles {
+    if hist_sum != stats.cycles || cycles_seen != stats.cycles {
         return Err(Divergence::OccupancyAccounting {
-            hist_sum: hist_sum.min(rec.cycles_seen),
+            hist_sum: hist_sum.min(cycles_seen),
             cycles: stats.cycles,
         });
     }
@@ -228,13 +380,12 @@ fn check_conservation(
     // Entry conservation: entries are created by store allocations and
     // victim inserts, and destroyed by retirements and flushes; whatever
     // remains is the residual occupancy.
-    let created = stats.wb_allocations + machine.wb_victim_allocs();
+    let created = stats.wb_allocations + victim_allocs;
     let destroyed = stats.wb_retirements + stats.wb_flushes;
-    let residual = machine.wb_occupancy() as u64;
     if created != destroyed + residual {
         return Err(Divergence::StoreConservation {
             allocations: stats.wb_allocations,
-            victim_allocs: machine.wb_victim_allocs(),
+            victim_allocs,
             retirements: stats.wb_retirements,
             flushes: stats.wb_flushes,
             residual,
@@ -247,13 +398,10 @@ fn check_conservation(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wbsim_sim::testutil::a;
     use wbsim_types::config::{L1Config, WriteBufferConfig};
     use wbsim_types::divergence::FaultInjection;
     use wbsim_types::policy::{L1WritePolicy, RetirementPolicy};
-
-    fn a(line: u64, word: u64) -> Addr {
-        Addr::new(line * 32 + word * 8)
-    }
 
     #[test]
     fn baseline_store_load_interleavings_agree() {
@@ -310,9 +458,8 @@ mod tests {
         assert!(r.loads_checked == 25);
     }
 
-    #[test]
-    fn injected_forwarding_bug_is_caught() {
-        let cfg = MachineConfig {
+    fn rfwb_cfg() -> MachineConfig {
+        MachineConfig {
             write_buffer: WriteBufferConfig {
                 hazard: LoadHazardPolicy::ReadFromWb,
                 // Lazy retirement keeps the store in the buffer so the
@@ -320,8 +467,15 @@ mod tests {
                 retirement: RetirementPolicy::RetireAt(4),
                 ..WriteBufferConfig::baseline()
             },
-            fault: Some(FaultInjection::SkipWbForwarding),
             ..MachineConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn injected_forwarding_bug_is_caught() {
+        let cfg = MachineConfig {
+            fault: Some(FaultInjection::SkipWbForwarding),
+            ..rfwb_cfg()
         };
         // Write-around L1 never holds the stored line, so the only fresh
         // copy is in the buffer; with forwarding skipped the load installs
@@ -357,5 +511,62 @@ mod tests {
         let r = diff_run(&MachineConfig::baseline(), &[Op::Compute(50)]).unwrap();
         assert_eq!(r.loads_checked, 0);
         assert_eq!(r.words_checked, 0);
+    }
+
+    #[test]
+    fn nonblocking_overlapped_stream_agrees() {
+        let mut ops = Vec::new();
+        for i in 0..60u64 {
+            ops.push(Op::Store(a(i % 8, i % 4)));
+            ops.push(Op::Load(a((i + 3) % 24, i % 4)));
+            if i % 5 == 0 {
+                ops.push(Op::Compute(2));
+            }
+        }
+        let r = diff_run_nonblocking(&rfwb_cfg(), 4, &ops)
+            .expect("valid config")
+            .unwrap();
+        assert!(r.loads_checked > 0, "some loads resolve at issue");
+        assert!(r.words_checked > 0);
+        assert!(r.ideal.is_none());
+    }
+
+    #[test]
+    fn nonblocking_rejects_flush_policies() {
+        assert!(diff_run_nonblocking(&MachineConfig::baseline(), 4, &[]).is_err());
+    }
+
+    #[test]
+    fn nonblocking_injected_forwarding_bug_is_caught() {
+        let cfg = MachineConfig {
+            fault: Some(FaultInjection::SkipWbForwarding),
+            ..rfwb_cfg()
+        };
+        // The first load misses (forwarding skipped) and its fill skips
+        // the buffer merge, installing stale zeros into L1; after the
+        // fill lands, the second load L1-hits the stale word at ordinal 1
+        // while the model expects the store's value.
+        let ops = vec![
+            Op::Store(a(1, 0)),
+            Op::Load(a(1, 0)),
+            Op::Compute(40),
+            Op::Load(a(1, 0)),
+        ];
+        let d = diff_run_nonblocking(&cfg, 4, &ops)
+            .expect("valid config")
+            .unwrap_err();
+        match d {
+            Divergence::LoadValue {
+                index,
+                machine,
+                oracle,
+                ..
+            } => {
+                assert_eq!(index, 1, "the post-fill load");
+                assert_eq!(machine, 0, "stale fill data");
+                assert_eq!(oracle, 1, "the store's value");
+            }
+            other => panic!("expected a load-value divergence, got {other}"),
+        }
     }
 }

@@ -1,0 +1,633 @@
+//! The structured event taxonomy emitted by the simulated machines.
+//!
+//! Every architecturally or microarchitecturally interesting moment in the
+//! hierarchy datapath is described by one [`Event`] value: stores entering
+//! the buffer, retirements starting and completing, hazards firing, stall
+//! cycles with their Table-3 attribution, fills installing, victims
+//! writing back, port grants, and load resolutions. Events are plain
+//! `Copy` scalars so that the null observer compiles down to nothing (see
+//! [`crate::observer`]), and every event carries the cycle (`now`) it was
+//! emitted on.
+//!
+//! Events serialize to single-line JSON objects ([`Event::to_json`]) and
+//! parse back losslessly ([`Event::from_json`]) — the `wbsim trace events`
+//! subcommand streams them as JSONL, and CI validates the round trip. The
+//! encoding is hand-rolled (no serde in the dependency tree): every field
+//! is an unsigned integer, a boolean, or one of a small closed set of
+//! string tokens.
+
+use std::fmt;
+
+use wbsim_types::addr::Addr;
+use wbsim_types::divergence::LoadSource;
+use wbsim_types::policy::LoadHazardPolicy;
+use wbsim_types::stall::StallKind;
+use wbsim_types::Cycle;
+
+/// Which agent a port grant went to (the event-stream mirror of
+/// `PortOwner`, without the entry id — that is on the retirement events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortUse {
+    /// A write-buffer entry's retirement or flush transaction.
+    WbWrite,
+    /// A CPU data read (load miss or write-allocate fetch).
+    CpuRead,
+    /// An instruction fetch.
+    IFetch,
+}
+
+/// One observable step of the memory hierarchy. See the module docs for
+/// the taxonomy; [`crate::observer::Observer`] receives these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A store entered the write buffer (allocating a new entry, or
+    /// merging into an existing entry for the same line).
+    StoreAccepted {
+        /// Cycle of acceptance.
+        now: Cycle,
+        /// The store's byte address.
+        addr: Addr,
+        /// `true` if the store coalesced into an existing entry.
+        merged: bool,
+    },
+    /// A write-buffer entry began its L2 write transaction.
+    RetireStart {
+        /// Cycle the transaction was issued.
+        now: Cycle,
+        /// The entry's id.
+        id: u64,
+        /// `true` for a hazard-triggered flush, `false` for an autonomous
+        /// (policy- or age-driven) retirement.
+        flush: bool,
+    },
+    /// A write-buffer entry's L2 write transaction completed and the
+    /// entry was freed.
+    RetireComplete {
+        /// Cycle of completion.
+        now: Cycle,
+        /// The entry's id.
+        id: u64,
+        /// The line the entry held.
+        line: u64,
+        /// Cycles from the entry's allocation to this completion.
+        lifetime: u64,
+        /// How many words of the entry were valid.
+        valid_words: u32,
+        /// `true` for a hazard-triggered flush.
+        flush: bool,
+    },
+    /// A load collided with buffered data and the hazard policy acted.
+    HazardTriggered {
+        /// Cycle the hazard was detected.
+        now: Cycle,
+        /// The load's byte address.
+        addr: Addr,
+        /// The policy that handled it.
+        policy: LoadHazardPolicy,
+        /// Entries the policy will flush (0 under read-from-WB, where the
+        /// hazard is a word miss merged into the fill instead).
+        flush_entries: u64,
+    },
+    /// One CPU stall cycle, attributed to the paper's Table-3 taxonomy.
+    StallCycle {
+        /// The stalled cycle.
+        now: Cycle,
+        /// Which of the three write-buffer stall categories it lands in.
+        kind: StallKind,
+    },
+    /// A fetched line was installed into L1.
+    FillInstalled {
+        /// Cycle of installation.
+        now: Cycle,
+        /// The installed line.
+        line: u64,
+        /// `true` when the fill completes a write-allocate store miss.
+        for_store: bool,
+        /// `true` when buffered words were merged into the fill data.
+        merged_wb: bool,
+    },
+    /// A dirty L1 victim entered the write buffer (write-back L1 only).
+    VictimWriteback {
+        /// Cycle the victim was displaced.
+        now: Cycle,
+        /// The victim's line.
+        line: u64,
+        /// `true` if it merged into an existing entry for the same line.
+        merged: bool,
+    },
+    /// The L2 port was granted to an agent.
+    PortGranted {
+        /// Cycle of the grant.
+        now: Cycle,
+        /// Who got the port.
+        owner: PortUse,
+        /// First cycle the port is free again.
+        until: Cycle,
+    },
+    /// A load's value became architecturally visible.
+    LoadResolved {
+        /// Cycle of resolution.
+        now: Cycle,
+        /// The load's byte address.
+        addr: Addr,
+        /// The observed value.
+        value: u64,
+        /// The datapath that produced it.
+        source: LoadSource,
+    },
+    /// A load left the blocking path without resolving this event stream's
+    /// value: it allocated or merged into an MSHR (non-blocking machine).
+    /// Together with [`Event::LoadResolved`] this preserves program-order
+    /// load ordinals.
+    LoadMiss {
+        /// Cycle the miss was issued to an MSHR.
+        now: Cycle,
+        /// The load's byte address.
+        addr: Addr,
+    },
+    /// End-of-cycle heartbeat with the write-buffer occupancy after this
+    /// cycle's work (emitted exactly once per simulated cycle).
+    CycleEnd {
+        /// The cycle that just completed.
+        now: Cycle,
+        /// Write-buffer occupancy in entries.
+        occupancy: u64,
+    },
+}
+
+fn stall_kind_token(kind: StallKind) -> &'static str {
+    match kind {
+        StallKind::BufferFull => "buffer-full",
+        StallKind::L2ReadAccess => "l2-read-access",
+        StallKind::LoadHazard => "load-hazard",
+    }
+}
+
+fn stall_kind_from(token: &str) -> Option<StallKind> {
+    Some(match token {
+        "buffer-full" => StallKind::BufferFull,
+        "l2-read-access" => StallKind::L2ReadAccess,
+        "load-hazard" => StallKind::LoadHazard,
+        _ => return None,
+    })
+}
+
+fn source_token(source: LoadSource) -> &'static str {
+    match source {
+        LoadSource::L1 => "l1",
+        LoadSource::WriteBuffer => "write-buffer",
+        LoadSource::L2Fill => "l2-fill",
+    }
+}
+
+fn source_from(token: &str) -> Option<LoadSource> {
+    Some(match token {
+        "l1" => LoadSource::L1,
+        "write-buffer" => LoadSource::WriteBuffer,
+        "l2-fill" => LoadSource::L2Fill,
+        _ => return None,
+    })
+}
+
+fn policy_token(policy: LoadHazardPolicy) -> &'static str {
+    match policy {
+        LoadHazardPolicy::FlushFull => "flush-full",
+        LoadHazardPolicy::FlushPartial => "flush-partial",
+        LoadHazardPolicy::FlushItemOnly => "flush-item-only",
+        LoadHazardPolicy::ReadFromWb => "read-from-wb",
+    }
+}
+
+fn policy_from(token: &str) -> Option<LoadHazardPolicy> {
+    Some(match token {
+        "flush-full" => LoadHazardPolicy::FlushFull,
+        "flush-partial" => LoadHazardPolicy::FlushPartial,
+        "flush-item-only" => LoadHazardPolicy::FlushItemOnly,
+        "read-from-wb" => LoadHazardPolicy::ReadFromWb,
+        _ => return None,
+    })
+}
+
+fn port_use_token(owner: PortUse) -> &'static str {
+    match owner {
+        PortUse::WbWrite => "wb-write",
+        PortUse::CpuRead => "cpu-read",
+        PortUse::IFetch => "ifetch",
+    }
+}
+
+fn port_use_from(token: &str) -> Option<PortUse> {
+    Some(match token {
+        "wb-write" => PortUse::WbWrite,
+        "cpu-read" => PortUse::CpuRead,
+        "ifetch" => PortUse::IFetch,
+        _ => return None,
+    })
+}
+
+impl Event {
+    /// Serializes the event as a single-line JSON object. The `"event"`
+    /// key identifies the variant; the remaining keys are its fields.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match *self {
+            Event::StoreAccepted { now, addr, merged } => format!(
+                r#"{{"event":"store-accepted","now":{now},"addr":{},"merged":{merged}}}"#,
+                addr.as_u64()
+            ),
+            Event::RetireStart { now, id, flush } => {
+                format!(r#"{{"event":"retire-start","now":{now},"id":{id},"flush":{flush}}}"#)
+            }
+            Event::RetireComplete {
+                now,
+                id,
+                line,
+                lifetime,
+                valid_words,
+                flush,
+            } => format!(
+                r#"{{"event":"retire-complete","now":{now},"id":{id},"line":{line},"lifetime":{lifetime},"valid_words":{valid_words},"flush":{flush}}}"#
+            ),
+            Event::HazardTriggered {
+                now,
+                addr,
+                policy,
+                flush_entries,
+            } => format!(
+                r#"{{"event":"hazard-triggered","now":{now},"addr":{},"policy":"{}","flush_entries":{flush_entries}}}"#,
+                addr.as_u64(),
+                policy_token(policy)
+            ),
+            Event::StallCycle { now, kind } => format!(
+                r#"{{"event":"stall-cycle","now":{now},"kind":"{}"}}"#,
+                stall_kind_token(kind)
+            ),
+            Event::FillInstalled {
+                now,
+                line,
+                for_store,
+                merged_wb,
+            } => format!(
+                r#"{{"event":"fill-installed","now":{now},"line":{line},"for_store":{for_store},"merged_wb":{merged_wb}}}"#
+            ),
+            Event::VictimWriteback { now, line, merged } => format!(
+                r#"{{"event":"victim-writeback","now":{now},"line":{line},"merged":{merged}}}"#
+            ),
+            Event::PortGranted { now, owner, until } => format!(
+                r#"{{"event":"port-granted","now":{now},"owner":"{}","until":{until}}}"#,
+                port_use_token(owner)
+            ),
+            Event::LoadResolved {
+                now,
+                addr,
+                value,
+                source,
+            } => format!(
+                r#"{{"event":"load-resolved","now":{now},"addr":{},"value":{value},"source":"{}"}}"#,
+                addr.as_u64(),
+                source_token(source)
+            ),
+            Event::LoadMiss { now, addr } => format!(
+                r#"{{"event":"load-miss","now":{now},"addr":{}}}"#,
+                addr.as_u64()
+            ),
+            Event::CycleEnd { now, occupancy } => {
+                format!(r#"{{"event":"cycle-end","now":{now},"occupancy":{occupancy}}}"#)
+            }
+        }
+    }
+
+    /// Parses a single-line JSON object produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventParseError`] on malformed JSON, an unknown
+    /// `"event"` tag, a missing or mistyped field, or an unknown token.
+    pub fn from_json(text: &str) -> Result<Self, EventParseError> {
+        let fields = parse_flat_object(text)?;
+        let tag = get_str(&fields, "event")?;
+        let now = get_u64(&fields, "now")?;
+        let ev = match tag {
+            "store-accepted" => Event::StoreAccepted {
+                now,
+                addr: Addr::new(get_u64(&fields, "addr")?),
+                merged: get_bool(&fields, "merged")?,
+            },
+            "retire-start" => Event::RetireStart {
+                now,
+                id: get_u64(&fields, "id")?,
+                flush: get_bool(&fields, "flush")?,
+            },
+            "retire-complete" => Event::RetireComplete {
+                now,
+                id: get_u64(&fields, "id")?,
+                line: get_u64(&fields, "line")?,
+                lifetime: get_u64(&fields, "lifetime")?,
+                valid_words: u32::try_from(get_u64(&fields, "valid_words")?)
+                    .map_err(|_| EventParseError::field("valid_words", "exceeds u32"))?,
+                flush: get_bool(&fields, "flush")?,
+            },
+            "hazard-triggered" => Event::HazardTriggered {
+                now,
+                addr: Addr::new(get_u64(&fields, "addr")?),
+                policy: policy_from(get_str(&fields, "policy")?)
+                    .ok_or_else(|| EventParseError::field("policy", "unknown token"))?,
+                flush_entries: get_u64(&fields, "flush_entries")?,
+            },
+            "stall-cycle" => Event::StallCycle {
+                now,
+                kind: stall_kind_from(get_str(&fields, "kind")?)
+                    .ok_or_else(|| EventParseError::field("kind", "unknown token"))?,
+            },
+            "fill-installed" => Event::FillInstalled {
+                now,
+                line: get_u64(&fields, "line")?,
+                for_store: get_bool(&fields, "for_store")?,
+                merged_wb: get_bool(&fields, "merged_wb")?,
+            },
+            "victim-writeback" => Event::VictimWriteback {
+                now,
+                line: get_u64(&fields, "line")?,
+                merged: get_bool(&fields, "merged")?,
+            },
+            "port-granted" => Event::PortGranted {
+                now,
+                owner: port_use_from(get_str(&fields, "owner")?)
+                    .ok_or_else(|| EventParseError::field("owner", "unknown token"))?,
+                until: get_u64(&fields, "until")?,
+            },
+            "load-resolved" => Event::LoadResolved {
+                now,
+                addr: Addr::new(get_u64(&fields, "addr")?),
+                value: get_u64(&fields, "value")?,
+                source: source_from(get_str(&fields, "source")?)
+                    .ok_or_else(|| EventParseError::field("source", "unknown token"))?,
+            },
+            "load-miss" => Event::LoadMiss {
+                now,
+                addr: Addr::new(get_u64(&fields, "addr")?),
+            },
+            "cycle-end" => Event::CycleEnd {
+                now,
+                occupancy: get_u64(&fields, "occupancy")?,
+            },
+            other => {
+                return Err(EventParseError {
+                    msg: format!("unknown event tag {other:?}"),
+                })
+            }
+        };
+        Ok(ev)
+    }
+}
+
+/// Why a line failed to parse back into an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventParseError {
+    msg: String,
+}
+
+impl EventParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    fn field(name: &str, why: &str) -> Self {
+        Self {
+            msg: format!("field {name:?}: {why}"),
+        }
+    }
+}
+
+impl fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for EventParseError {}
+
+/// One parsed JSON scalar (the only shapes the event encoding produces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonValue {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Parses a flat `{"key":scalar,...}` object: no nesting, no escapes, no
+/// floats — exactly the grammar [`Event::to_json`] emits.
+fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, EventParseError> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| EventParseError::new("not a JSON object"))?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| EventParseError::new("expected a quoted key"))?;
+        let key_end = after_quote
+            .find('"')
+            .ok_or_else(|| EventParseError::new("unterminated key"))?;
+        let key = &after_quote[..key_end];
+        let after_key = after_quote[key_end + 1..].trim_start();
+        rest = after_key
+            .strip_prefix(':')
+            .ok_or_else(|| EventParseError::new("expected ':' after key"))?
+            .trim_start();
+        let value;
+        if let Some(after) = rest.strip_prefix('"') {
+            let end = after
+                .find('"')
+                .ok_or_else(|| EventParseError::new("unterminated string value"))?;
+            value = JsonValue::Str(after[..end].to_string());
+            rest = after[end + 1..].trim_start();
+        } else if let Some(after) = rest.strip_prefix("true") {
+            value = JsonValue::Bool(true);
+            rest = after.trim_start();
+        } else if let Some(after) = rest.strip_prefix("false") {
+            value = JsonValue::Bool(false);
+            rest = after.trim_start();
+        } else {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return Err(EventParseError::new("expected a scalar value"));
+            }
+            let n: u64 = rest[..end]
+                .parse()
+                .map_err(|_| EventParseError::new("number out of range"))?;
+            value = JsonValue::Num(n);
+            rest = rest[end..].trim_start();
+        }
+        fields.push((key.to_string(), value));
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+            if rest.is_empty() {
+                return Err(EventParseError::new("trailing comma"));
+            }
+        } else if !rest.is_empty() {
+            return Err(EventParseError::new("expected ',' between fields"));
+        }
+    }
+    Ok(fields)
+}
+
+fn get<'a>(
+    fields: &'a [(String, JsonValue)],
+    name: &str,
+) -> Result<&'a JsonValue, EventParseError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| EventParseError::field(name, "missing"))
+}
+
+fn get_u64(fields: &[(String, JsonValue)], name: &str) -> Result<u64, EventParseError> {
+    match get(fields, name)? {
+        JsonValue::Num(n) => Ok(*n),
+        _ => Err(EventParseError::field(name, "expected a number")),
+    }
+}
+
+fn get_bool(fields: &[(String, JsonValue)], name: &str) -> Result<bool, EventParseError> {
+    match get(fields, name)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(EventParseError::field(name, "expected a boolean")),
+    }
+}
+
+fn get_str<'a>(fields: &'a [(String, JsonValue)], name: &str) -> Result<&'a str, EventParseError> {
+    match get(fields, name)? {
+        JsonValue::Str(s) => Ok(s),
+        _ => Err(EventParseError::field(name, "expected a string")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<Event> {
+        vec![
+            Event::StoreAccepted {
+                now: 3,
+                addr: Addr::new(0x40),
+                merged: true,
+            },
+            Event::RetireStart {
+                now: 5,
+                id: 7,
+                flush: false,
+            },
+            Event::RetireComplete {
+                now: 11,
+                id: 7,
+                line: 2,
+                lifetime: 8,
+                valid_words: 3,
+                flush: true,
+            },
+            Event::HazardTriggered {
+                now: 4,
+                addr: Addr::new(0x20),
+                policy: LoadHazardPolicy::FlushPartial,
+                flush_entries: 2,
+            },
+            Event::StallCycle {
+                now: 6,
+                kind: StallKind::L2ReadAccess,
+            },
+            Event::FillInstalled {
+                now: 9,
+                line: 1,
+                for_store: false,
+                merged_wb: true,
+            },
+            Event::VictimWriteback {
+                now: 9,
+                line: 3,
+                merged: false,
+            },
+            Event::PortGranted {
+                now: 5,
+                owner: PortUse::IFetch,
+                until: 11,
+            },
+            Event::LoadResolved {
+                now: 4,
+                addr: Addr::new(0x28),
+                value: 17,
+                source: LoadSource::WriteBuffer,
+            },
+            Event::LoadMiss {
+                now: 4,
+                addr: Addr::new(0x30),
+            },
+            Event::CycleEnd {
+                now: 4,
+                occupancy: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for ev in all_variants() {
+            let json = ev.to_json();
+            let back = Event::from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            assert_eq!(ev, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn every_token_round_trips() {
+        for kind in StallKind::ALL {
+            assert_eq!(stall_kind_from(stall_kind_token(kind)), Some(kind));
+        }
+        for policy in LoadHazardPolicy::ALL {
+            assert_eq!(policy_from(policy_token(policy)), Some(policy));
+        }
+        for source in [LoadSource::L1, LoadSource::WriteBuffer, LoadSource::L2Fill] {
+            assert_eq!(source_from(source_token(source)), Some(source));
+        }
+        for owner in [PortUse::WbWrite, PortUse::CpuRead, PortUse::IFetch] {
+            assert_eq!(port_use_from(port_use_token(owner)), Some(owner));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"event":"store-accepted"}"#,        // missing fields
+            r#"{"event":"no-such-event","now":1}"#, // unknown tag
+            r#"{"event":"cycle-end","now":1,}"#,    // trailing comma
+            r#"{"event":"stall-cycle","now":1,"kind":"coffee-break"}"#, // unknown token
+            r#"{"event":"cycle-end","now":"1","occupancy":0}"#, // mistyped field
+        ] {
+            assert!(Event::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn output_is_stable_json() {
+        let ev = Event::LoadResolved {
+            now: 10,
+            addr: Addr::new(0x20),
+            value: 1,
+            source: LoadSource::L1,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"event":"load-resolved","now":10,"addr":32,"value":1,"source":"l1"}"#
+        );
+    }
+}

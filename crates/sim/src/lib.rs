@@ -9,6 +9,14 @@
 //! write-buffer-induced stall cycle to exactly one of the paper's three
 //! categories (§2.3, Table 3).
 //!
+//! The crate is layered: the private `hierarchy` module owns the shared
+//! datapath (caches, write buffer, L2 port, memory, golden shadow) used
+//! by both [`Machine`] (blocking) and [`NonBlockingMachine`] (§4.3);
+//! each machine is a thin CPU state machine over it. Everything the
+//! datapath does is reported as structured [`Event`]s to an [`Observer`]
+//! — [`NullObserver`] for plain runs (zero cost), [`HistogramObserver`]
+//! for occupancy/latency/burst distributions, or your own.
+//!
 //! [`Machine::run`] simulates a reference stream against a configured
 //! machine; [`Machine::run_ideal`] simulates the paper's implicit lower
 //! bound — "a perfect buffer that never overflows and never delays loads"
@@ -40,10 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event;
+mod hierarchy;
 pub mod machine;
 pub mod nonblocking;
+pub mod observer;
 pub mod port;
+pub mod testutil;
 
-pub use machine::{Inspector, Machine, NullInspector};
+pub use event::{Event, EventParseError, PortUse};
+pub use machine::Machine;
 pub use nonblocking::NonBlockingMachine;
+pub use observer::{HistogramObserver, NullObserver, Observer};
 pub use port::{L2Port, PortOwner};

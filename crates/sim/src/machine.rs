@@ -24,30 +24,30 @@
 //!   retirement, plus the flush transactions themselves) → **load-hazard**.
 //! * The load's own L2/memory read is charged to the miss
 //!   (`miss_wait_cycles`), never to the write buffer.
+//!
+//! The datapath below the CPU (caches, buffer, port, shadow model) is the
+//! shared `Hierarchy` (`hierarchy.rs`, crate-private — see
+//! `docs/architecture.md`); this module owns only the blocking CPU state
+//! machine and the I-cache front end. Observability is structured: the
+//! run loop is generic over an [`Observer`] receiving [`Event`]s, and
+//! the plain entry points run under the zero-cost
+//! [`crate::NullObserver`].
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use wbsim_core::buffer::{StoreOutcome, WriteBuffer};
 use wbsim_core::entry::EntryId;
-use wbsim_mem::{Icache, L1Cache, L2Cache, MainMemory};
-use wbsim_types::addr::{Addr, Geometry};
-use wbsim_types::config::{ConfigError, L2Config, MachineConfig};
-use wbsim_types::divergence::{FaultInjection, LoadSource};
+use wbsim_mem::Icache;
+use wbsim_types::addr::Addr;
+use wbsim_types::config::{ConfigError, MachineConfig};
 use wbsim_types::op::Op;
 use wbsim_types::policy::{L1WritePolicy, L2Priority, LoadHazardPolicy};
-use wbsim_types::stall::StallKind;
 use wbsim_types::stats::SimStats;
 use wbsim_types::Cycle;
 
-use crate::port::{L2Port, PortOwner};
-
-/// An L2 write transaction in flight (autonomous retirement or flush).
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    id: EntryId,
-    done_at: Cycle,
-}
+use crate::event::{Event, PortUse};
+use crate::hierarchy::{Hierarchy, Pending};
+use crate::observer::{NullObserver, Observer};
+use crate::port::PortOwner;
 
 /// What the CPU resumes with after an I-fetch fill.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +94,7 @@ enum CpuState {
     VictimWait {
         addr: Addr,
         data: Vec<u64>,
+        merge_wb: bool,
         for_store: bool,
     },
     /// A barrier's own 1-cycle execution slot.
@@ -109,62 +110,14 @@ enum CpuState {
     Finished,
 }
 
-/// Observation hook for [`Machine::run_inspected`].
-///
-/// The machine calls `load` at the moment each load's value becomes
-/// architecturally visible (in program order — the CPU is blocking), and
-/// `cycle` once per simulated cycle. Both default to no-ops so an
-/// implementation only overrides what it needs. The hooks are pure
-/// observers: the machine's behavior is identical under any inspector.
-pub trait Inspector {
-    /// Called once per simulated cycle, after that cycle's work, with the
-    /// current write-buffer occupancy.
-    fn cycle(&mut self, now: Cycle, wb_occupancy: usize) {
-        let _ = (now, wb_occupancy);
-    }
-
-    /// Called when a load's value is architecturally determined, with the
-    /// datapath that produced it.
-    fn load(&mut self, addr: Addr, value: u64, source: LoadSource) {
-        let _ = (addr, value, source);
-    }
-}
-
-/// An [`Inspector`] that observes nothing — [`Machine::run`] is
-/// `run_inspected` under this.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NullInspector;
-
-impl Inspector for NullInspector {}
-
-/// The simulated machine. Build one with [`Machine::new`], then consume it
-/// with [`Machine::run`].
+/// The simulated machine. Build one with [`Machine::new`], then drive it
+/// with [`Machine::run`] (or [`Machine::run_observed`] to receive the
+/// structured event stream).
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    g: Geometry,
-    mem: MainMemory,
-    l1: L1Cache,
-    l2: L2Cache,
+    hier: Hierarchy,
     icache: Icache,
-    wb: WriteBuffer,
-    port: L2Port,
-    stats: SimStats,
-    now: Cycle,
     cpu: CpuState,
-    /// Autonomous retirement in flight (flushes live in `CpuState`).
-    wb_retire: Option<Pending>,
-    last_retire_start: Cycle,
-    store_seq: u64,
-    /// Dirty L1 victims that allocated a fresh write-buffer entry (as
-    /// opposed to merging into one) — the write-back side of entry
-    /// conservation.
-    victim_inserts: u64,
-    /// Golden functional model: freshest value of every written word.
-    shadow: HashMap<u64, u64>,
-    read_time: u64,
-    write_time: u64,
-    mm_latency: u64,
 }
 
 impl Machine {
@@ -184,48 +137,25 @@ impl Machine {
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn with_seed(cfg: MachineConfig, seed: u64) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let g = cfg.geometry;
-        let l1 = L1Cache::new(&cfg.l1, &g)?;
-        let l2 = L2Cache::new(&cfg.l2, &g)?;
         let icache = Icache::new(&cfg.icache, seed)?;
-        let wb = WriteBuffer::new(&cfg.write_buffer, &g)?;
-        let latency = cfg.l2.latency();
-        let txns = cfg.write_buffer.datapath.transactions_per_line();
-        let mm_latency = match cfg.l2 {
-            L2Config::Perfect { .. } => 0,
-            L2Config::Real { mm_latency, .. } => mm_latency,
-        };
+        let hier = Hierarchy::new(cfg)?;
         Ok(Self {
-            cfg,
-            g,
-            mem: MainMemory::new(),
-            l1,
-            l2,
+            hier,
             icache,
-            wb,
-            port: L2Port::new(),
-            stats: SimStats::default(),
-            now: 0,
             cpu: CpuState::NeedOp,
-            wb_retire: None,
-            last_retire_start: 0,
-            store_seq: 0,
-            victim_inserts: 0,
-            shadow: HashMap::new(),
-            read_time: latency,
-            write_time: latency * txns,
-            mm_latency,
         })
     }
 
     /// Runs the reference stream to completion and returns the statistics.
+    /// The machine stays alive for post-run architectural queries
+    /// ([`Machine::read_word_architectural`], [`Machine::wb_occupancy`]).
     ///
     /// # Panics
     ///
     /// Panics if `check_data` is enabled and a load observes a value other
     /// than the freshest store — which would be a simulator bug, never a
     /// property of a configuration.
-    pub fn run<I>(self, ops: I) -> SimStats
+    pub fn run<I>(&mut self, ops: I) -> SimStats
     where
         I: IntoIterator<Item = Op>,
     {
@@ -242,64 +172,84 @@ impl Machine {
     ///
     /// Panics on a data-freshness violation when `check_data` is enabled,
     /// as in [`Machine::run`].
-    pub fn run_with_warmup<I>(mut self, ops: I, warmup_instructions: u64) -> SimStats
+    pub fn run_with_warmup<I>(&mut self, ops: I, warmup_instructions: u64) -> SimStats
     where
         I: IntoIterator<Item = Op>,
     {
-        self.run_loop(
-            &mut ops.into_iter(),
-            warmup_instructions,
-            &mut NullInspector,
-        );
-        self.stats
+        self.run_observed_with_warmup(ops, warmup_instructions, &mut NullObserver)
     }
 
-    /// Runs the reference stream to completion under an observation hook,
-    /// leaving the machine alive for post-run architectural queries
-    /// ([`Machine::read_word_architectural`], [`Machine::wb_occupancy`]).
-    /// Returns a copy of the statistics; no warmup (the differential
-    /// oracle needs every cycle accounted).
+    /// Runs the reference stream to completion under an [`Observer`]
+    /// receiving the structured [`Event`] stream. No warmup (the
+    /// differential oracle needs every cycle accounted); see
+    /// [`Machine::run_observed_with_warmup`].
     ///
     /// # Panics
     ///
     /// Panics on a data-freshness violation when `check_data` is enabled,
     /// as in [`Machine::run`]. Differential harnesses should disable
     /// `check_data` and compare against their own model instead.
-    pub fn run_inspected<I>(&mut self, ops: I, inspector: &mut dyn Inspector) -> SimStats
+    pub fn run_observed<I, O>(&mut self, ops: I, obs: &mut O) -> SimStats
     where
         I: IntoIterator<Item = Op>,
+        O: Observer,
     {
-        self.run_loop(&mut ops.into_iter(), 0, inspector);
-        self.stats
+        self.run_observed_with_warmup(ops, 0, obs)
     }
 
-    fn run_loop<I>(&mut self, iter: &mut I, warmup_instructions: u64, insp: &mut dyn Inspector)
+    /// [`Machine::run_observed`] with the warmup semantics of
+    /// [`Machine::run_with_warmup`]. The observer sees the *entire* run,
+    /// warmup included — only the returned statistics are reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a data-freshness violation when `check_data` is enabled.
+    pub fn run_observed_with_warmup<I, O>(
+        &mut self,
+        ops: I,
+        warmup_instructions: u64,
+        obs: &mut O,
+    ) -> SimStats
+    where
+        I: IntoIterator<Item = Op>,
+        O: Observer,
+    {
+        self.run_loop(&mut ops.into_iter(), warmup_instructions, obs);
+        self.hier.stats
+    }
+
+    fn run_loop<I, O>(&mut self, iter: &mut I, warmup_instructions: u64, obs: &mut O)
     where
         I: Iterator<Item = Op>,
+        O: Observer,
     {
         let mut warm = warmup_instructions == 0;
         let mut cycle_base = 0;
         loop {
-            self.complete_retirement();
+            self.hier.complete_retirement(obs);
             if self.write_priority_active() {
-                self.wb_try_retire();
+                self.wb_try_retire(obs);
             }
-            if !self.cpu_step(iter, insp) {
+            if !self.cpu_step(iter, obs) {
                 break;
             }
             if !matches!(self.cpu, CpuState::HazardWait { .. }) {
-                self.wb_try_retire();
+                self.wb_try_retire(obs);
             }
-            self.stats.wb_detail.record_occupancy(self.wb.occupancy());
-            insp.cycle(self.now, self.wb.occupancy());
-            self.now += 1;
-            if !warm && self.stats.instructions >= warmup_instructions {
+            let occupancy = self.hier.wb.occupancy();
+            self.hier.stats.wb_detail.record_occupancy(occupancy);
+            obs.event(&Event::CycleEnd {
+                now: self.hier.now,
+                occupancy: occupancy as u64,
+            });
+            self.hier.now += 1;
+            if !warm && self.hier.stats.instructions >= warmup_instructions {
                 warm = true;
-                self.stats = SimStats::default();
-                cycle_base = self.now;
+                self.hier.stats = SimStats::default();
+                cycle_base = self.hier.now;
             }
         }
-        self.stats.cycles = self.now - cycle_base;
+        self.hier.stats.cycles = self.hier.now - cycle_base;
     }
 
     /// Simulates the paper's implicit lower bound: "a perfect buffer that
@@ -308,7 +258,7 @@ impl Machine {
     /// and never hazard. Cache *contents* evolve exactly as in a real run,
     /// so `cycles(real) - cycles(ideal)` equals the total write-buffer
     /// stall cycles for flush-based hazard policies over a perfect L2.
-    pub fn run_ideal<I>(self, ops: I) -> SimStats
+    pub fn run_ideal<I>(&mut self, ops: I) -> SimStats
     where
         I: IntoIterator<Item = Op>,
     {
@@ -317,32 +267,32 @@ impl Machine {
 
     /// [`Machine::run_ideal`] with the warmup semantics of
     /// [`Machine::run_with_warmup`].
-    pub fn run_ideal_with_warmup<I>(mut self, ops: I, warmup_instructions: u64) -> SimStats
+    pub fn run_ideal_with_warmup<I>(&mut self, ops: I, warmup_instructions: u64) -> SimStats
     where
         I: IntoIterator<Item = Op>,
     {
         use wbsim_types::addr::WordMask;
-        let check = self.cfg.check_data;
+        let check = self.hier.cfg.check_data;
         let mut warm = warmup_instructions == 0;
         let mut cycle_base: u64 = 0;
         let mut cycles: u64 = 0;
         for op in ops {
-            if !warm && self.stats.instructions >= warmup_instructions {
+            if !warm && self.hier.stats.instructions >= warmup_instructions {
                 warm = true;
-                self.stats = SimStats::default();
+                self.hier.stats = SimStats::default();
                 cycle_base = cycles;
             }
-            self.stats.instructions += op.instructions();
+            self.hier.stats.instructions += op.instructions();
             match op {
                 Op::Compute(n) => {
-                    let w = self.cfg.issue_width;
+                    let w = self.hier.cfg.issue_width;
                     cycles += u64::from(n.div_ceil(w));
                     if !self.icache.is_perfect() {
                         for _ in 0..n {
                             if self.icache.fetch() {
-                                self.stats.icache_misses += 1;
-                                self.stats.l2_reads += 1;
-                                cycles += self.read_time;
+                                self.hier.stats.icache_misses += 1;
+                                self.hier.stats.l2_reads += 1;
+                                cycles += self.hier.read_time;
                             }
                         }
                     }
@@ -350,74 +300,80 @@ impl Machine {
                 Op::Barrier => {
                     // The ideal buffer is always empty: a barrier costs its
                     // own cycle and never stalls.
-                    self.stats.barriers += 1;
+                    self.hier.stats.barriers += 1;
                     cycles += 1;
                 }
                 Op::Store(addr) => {
-                    self.stats.stores += 1;
+                    self.hier.stats.stores += 1;
                     cycles += self.ifetch_cost();
                     cycles += 1;
-                    let line = self.g.line_of(addr);
-                    let word = self.g.word_index(addr);
-                    if self.cfg.l1.write_policy == L1WritePolicy::WriteBack {
-                        self.store_seq += 1;
-                        let v = self.store_seq;
-                        if self.l1.store_word_dirty(line, word, v) {
-                            self.stats.l1_store_hits += 1;
+                    let line = self.hier.g.line_of(addr);
+                    let word = self.hier.g.word_index(addr);
+                    if self.hier.cfg.l1.write_policy == L1WritePolicy::WriteBack {
+                        self.hier.store_seq += 1;
+                        let v = self.hier.store_seq;
+                        if self.hier.l1.store_word_dirty(line, word, v) {
+                            self.hier.stats.l1_store_hits += 1;
                         } else {
                             // Write-allocate fetch, charged to the miss.
-                            let miss = !self.l2.contains(line);
-                            cycles += self.read_time + if miss { self.mm_latency } else { 0 };
-                            self.stats.l2_reads += 1;
+                            let miss = !self.hier.l2.contains(line);
+                            cycles +=
+                                self.hier.read_time + if miss { self.hier.mm_latency } else { 0 };
+                            self.hier.stats.l2_reads += 1;
                             self.ideal_fill(line, miss);
-                            self.l1.store_word_dirty(line, word, v);
+                            self.hier.l1.store_word_dirty(line, word, v);
                         }
                         if check {
-                            self.shadow.insert(self.g.word_addr(addr), v);
+                            self.hier.shadow.insert(self.hier.g.word_addr(addr), v);
                         }
                         continue;
                     }
-                    self.store_seq += 1;
-                    let v = self.store_seq;
-                    if self.l1.store_word(line, word, v) {
-                        self.stats.l1_store_hits += 1;
+                    self.hier.store_seq += 1;
+                    let v = self.hier.store_seq;
+                    if self.hier.l1.store_word(line, word, v) {
+                        self.hier.stats.l1_store_hits += 1;
                     }
                     let mut mask = WordMask::empty();
                     mask.set(word);
-                    let mut data = vec![0; self.g.words_per_line()];
+                    let mut data = vec![0; self.hier.g.words_per_line()];
                     data[word] = v;
-                    let out = self
-                        .l2
-                        .write_line_masked(&self.g, line, mask, &data, &mut self.mem);
+                    let out = self.hier.l2.write_line_masked(
+                        &self.hier.g,
+                        line,
+                        mask,
+                        &data,
+                        &mut self.hier.mem,
+                    );
                     if let Some(ev) = out.evicted {
-                        if self.l1.invalidate(ev) {
-                            self.stats.inclusion_invalidations += 1;
+                        if self.hier.l1.invalidate(ev) {
+                            self.hier.stats.inclusion_invalidations += 1;
                         }
                     }
                     if check {
-                        self.shadow.insert(self.g.word_addr(addr), v);
+                        self.hier.shadow.insert(self.hier.g.word_addr(addr), v);
                     }
                 }
                 Op::Load(addr) => {
-                    self.stats.loads += 1;
+                    self.hier.stats.loads += 1;
                     cycles += self.ifetch_cost();
                     cycles += 1;
-                    let line = self.g.line_of(addr);
-                    let word = self.g.word_index(addr);
-                    let value = if let Some(v) = self.l1.load_word(line, word) {
-                        self.stats.l1_load_hits += 1;
+                    let line = self.hier.g.line_of(addr);
+                    let word = self.hier.g.word_index(addr);
+                    let value = if let Some(v) = self.hier.l1.load_word(line, word) {
+                        self.hier.stats.l1_load_hits += 1;
                         v
                     } else {
-                        let miss = !self.l2.contains(line);
-                        cycles += self.read_time + if miss { self.mm_latency } else { 0 };
-                        self.stats.l2_reads += 1;
+                        let miss = !self.hier.l2.contains(line);
+                        cycles += self.hier.read_time + if miss { self.hier.mm_latency } else { 0 };
+                        self.hier.stats.l2_reads += 1;
                         let data = self.ideal_fill(line, miss);
                         data[word]
                     };
                     if check {
                         let expect = self
+                            .hier
                             .shadow
-                            .get(&self.g.word_addr(addr))
+                            .get(&self.hier.g.word_addr(addr))
                             .copied()
                             .unwrap_or(0);
                         assert_eq!(
@@ -428,8 +384,8 @@ impl Machine {
                 }
             }
         }
-        self.stats.cycles = cycles - cycle_base;
-        self.stats
+        self.hier.stats.cycles = cycles - cycle_base;
+        self.hier.stats
     }
 
     /// Ideal-mode structural fill: read L2, apply inclusion, install into
@@ -437,41 +393,44 @@ impl Machine {
     /// return the line data.
     fn ideal_fill(&mut self, line: wbsim_types::addr::LineAddr, timed_miss: bool) -> Vec<u64> {
         use wbsim_types::addr::WordMask;
-        let out = self.l2.read_line(&self.g, line, &mut self.mem);
+        let out = self
+            .hier
+            .l2
+            .read_line(&self.hier.g, line, &mut self.hier.mem);
         if out.miss {
-            self.stats.l2_read_misses += 1;
+            self.hier.stats.l2_read_misses += 1;
         }
         if timed_miss {
-            self.stats.mm_accesses += 1;
+            self.hier.stats.mm_accesses += 1;
         }
         if out.wrote_back {
-            self.stats.mm_accesses += 1;
+            self.hier.stats.mm_accesses += 1;
         }
         if let Some(ev) = out.evicted {
-            if self.l1.invalidate(ev) {
-                self.stats.inclusion_invalidations += 1;
+            if self.hier.l1.invalidate(ev) {
+                self.hier.stats.inclusion_invalidations += 1;
             }
         }
-        if self.cfg.l1.write_policy == L1WritePolicy::WriteBack {
-            if let Some((vline, vdata)) = self.l1.fill_with_victim(line, &out.data) {
-                let w = self.l2.write_line_masked(
-                    &self.g,
+        if self.hier.cfg.l1.write_policy == L1WritePolicy::WriteBack {
+            if let Some((vline, vdata)) = self.hier.l1.fill_with_victim(line, &out.data) {
+                let w = self.hier.l2.write_line_masked(
+                    &self.hier.g,
                     vline,
-                    WordMask::full(self.g.words_per_line()),
+                    WordMask::full(self.hier.g.words_per_line()),
                     &vdata,
-                    &mut self.mem,
+                    &mut self.hier.mem,
                 );
                 if w.wrote_back {
-                    self.stats.mm_accesses += 1;
+                    self.hier.stats.mm_accesses += 1;
                 }
                 if let Some(ev) = w.evicted {
-                    if self.l1.invalidate(ev) {
-                        self.stats.inclusion_invalidations += 1;
+                    if self.hier.l1.invalidate(ev) {
+                        self.hier.stats.inclusion_invalidations += 1;
                     }
                 }
             }
         } else {
-            self.l1.fill(line, &out.data);
+            self.hier.l1.fill(line, &out.data);
         }
         out.data
     }
@@ -480,104 +439,36 @@ impl Machine {
         if self.icache.is_perfect() {
             0
         } else if self.icache.fetch() {
-            self.stats.icache_misses += 1;
-            self.stats.l2_reads += 1;
-            self.read_time
+            self.hier.stats.icache_misses += 1;
+            self.hier.stats.l2_reads += 1;
+            self.hier.read_time
         } else {
             0
         }
     }
 
     fn write_priority_active(&self) -> bool {
-        match self.cfg.write_buffer.priority {
+        match self.hier.cfg.write_buffer.priority {
             L2Priority::ReadBypass => false,
             L2Priority::WritePriorityAbove(th) => {
-                self.wb.occupancy() >= th && !matches!(self.cpu, CpuState::HazardWait { .. })
+                self.hier.wb.occupancy() >= th && !matches!(self.cpu, CpuState::HazardWait { .. })
             }
         }
     }
 
-    /// Completes an autonomous retirement whose transaction ends now.
-    fn complete_retirement(&mut self) {
-        if let Some(p) = self.wb_retire {
-            if self.now >= p.done_at {
-                self.write_entry_to_l2(p.id);
-                self.stats.wb_retirements += 1;
-                self.wb_retire = None;
-            }
-        }
-    }
-
-    /// Structurally writes entry `id` to L2 and applies inclusion.
-    fn write_entry_to_l2(&mut self, id: EntryId) {
-        let r = self
-            .wb
-            .take_retired(id)
-            .expect("completed transaction for a vanished entry");
-        self.stats
-            .wb_detail
-            .record_writeback(self.now.saturating_sub(r.alloc_cycle), r.mask.count());
-        let out = self
-            .l2
-            .write_line_masked(&self.g, r.line, r.mask, &r.data, &mut self.mem);
-        self.stats.l2_writes += self.cfg.write_buffer.datapath.transactions_per_line();
-        if out.fetched {
-            self.stats.mm_accesses += 1;
-        }
-        if out.wrote_back {
-            self.stats.mm_accesses += 1;
-        }
-        if let Some(ev) = out.evicted {
-            if self.l1.invalidate(ev) {
-                self.stats.inclusion_invalidations += 1;
-            }
-        }
-    }
-
-    /// Starts an autonomous retirement if the policy calls for one and the
-    /// port is free.
-    fn wb_try_retire(&mut self) {
-        if self.wb_retire.is_some() || !self.port.is_free(self.now) {
-            return;
-        }
-        let occupancy = self.wb.occupancy();
-        if occupancy == 0 {
-            return;
-        }
-        let since = self.now.saturating_sub(self.last_retire_start);
+    fn wb_try_retire<O: Observer>(&mut self, obs: &mut O) {
         // A barrier drains the buffer at the maximum possible rate,
         // regardless of the configured policy.
         let barrier_drain = matches!(self.cpu, CpuState::BarrierDrain);
-        let policy_fires = barrier_drain
-            || self
-                .cfg
-                .write_buffer
-                .retirement
-                .should_retire(occupancy, since);
-        let age_fires = match self.cfg.write_buffer.max_age {
-            Some(limit) => self.wb.oldest_age(self.now).is_some_and(|a| a >= limit),
-            None => false,
-        };
-        if !(policy_fires || age_fires) {
-            return;
-        }
-        let Some(id) = self.wb.next_retirement() else {
-            return;
-        };
-        let began = self.wb.begin_retire(id);
-        debug_assert!(began);
-        let done_at = self
-            .port
-            .acquire(PortOwner::WbWrite(id), self.now, self.write_time);
-        self.wb_retire = Some(Pending { id, done_at });
-        self.last_retire_start = self.now;
+        self.hier.wb_try_retire(barrier_drain, obs);
     }
 
     /// Advances the CPU by one cycle. Returns `false` when the trace is
     /// exhausted (that cycle is not consumed).
-    fn cpu_step<I>(&mut self, iter: &mut I, insp: &mut dyn Inspector) -> bool
+    fn cpu_step<I, O>(&mut self, iter: &mut I, obs: &mut O) -> bool
     where
         I: Iterator<Item = Op>,
+        O: Observer,
     {
         loop {
             match std::mem::replace(&mut self.cpu, CpuState::NeedOp) {
@@ -587,7 +478,7 @@ impl Machine {
                         return false;
                     }
                     Some(op) => {
-                        self.stats.instructions += op.instructions();
+                        self.hier.stats.instructions += op.instructions();
                         match op {
                             Op::Compute(n) => {
                                 self.cpu = CpuState::Computing {
@@ -596,14 +487,14 @@ impl Machine {
                                 };
                             }
                             Op::Load(addr) => {
-                                self.stats.loads += 1;
+                                self.hier.stats.loads += 1;
                                 self.cpu = CpuState::LoadExec {
                                     addr,
                                     fetched: false,
                                 };
                             }
                             Op::Store(addr) => {
-                                self.stats.stores += 1;
+                                self.hier.stats.stores += 1;
                                 if self.fetch_misses() {
                                     self.cpu = CpuState::IFetchWait {
                                         next: PendingExec::Store(addr),
@@ -613,7 +504,7 @@ impl Machine {
                                 }
                             }
                             Op::Barrier => {
-                                self.stats.barriers += 1;
+                                self.hier.stats.barriers += 1;
                                 self.cpu = CpuState::BarrierExec;
                             }
                         }
@@ -632,7 +523,7 @@ impl Machine {
                     }
                     // A superscalar front end completes up to `issue_width`
                     // non-memory instructions per cycle (§4.3).
-                    let step = self.cfg.issue_width.min(left);
+                    let step = self.hier.cfg.issue_width.min(left);
                     self.cpu = CpuState::Computing {
                         left: left - step,
                         fetched: false,
@@ -646,19 +537,19 @@ impl Machine {
                         };
                         continue;
                     }
-                    self.exec_load_probe(addr, insp);
+                    self.exec_load_probe(addr, obs);
                     return true;
                 }
                 CpuState::StoreTry { addr } => {
-                    if self.cfg.l1.write_policy == L1WritePolicy::WriteBack {
-                        let line = self.g.line_of(addr);
-                        let word = self.g.word_index(addr);
-                        let value = self.store_seq + 1;
-                        if self.l1.store_word_dirty(line, word, value) {
-                            self.store_seq = value;
-                            self.stats.l1_store_hits += 1;
-                            if self.cfg.check_data {
-                                self.shadow.insert(self.g.word_addr(addr), value);
+                    if self.hier.cfg.l1.write_policy == L1WritePolicy::WriteBack {
+                        let line = self.hier.g.line_of(addr);
+                        let word = self.hier.g.word_index(addr);
+                        let value = self.hier.store_seq + 1;
+                        if self.hier.l1.store_word_dirty(line, word, value) {
+                            self.hier.store_seq = value;
+                            self.hier.stats.l1_store_hits += 1;
+                            if self.hier.cfg.check_data {
+                                self.hier.shadow.insert(self.hier.g.word_addr(addr), value);
                             }
                             self.cpu = CpuState::NeedOp;
                         } else {
@@ -668,7 +559,7 @@ impl Machine {
                             // be sitting in the victim buffer awaiting
                             // write-back — the fill must merge those words
                             // or it would install stale L2 data.
-                            let merge_wb = !self.wb.probe_line(line).is_empty();
+                            let merge_wb = !self.hier.wb.probe_line(line).is_empty();
                             self.cpu = CpuState::LoadPortWait {
                                 addr,
                                 merge_wb,
@@ -677,32 +568,12 @@ impl Machine {
                         }
                         return true;
                     }
-                    let value = self.store_seq + 1;
-                    match self.wb.store(addr, value, self.now) {
-                        StoreOutcome::Full => {
-                            self.stats.stalls.record(StallKind::BufferFull, 1);
-                            self.cpu = CpuState::StoreTry { addr };
-                            return true;
-                        }
-                        outcome => {
-                            self.store_seq = value;
-                            if outcome == StoreOutcome::Merged {
-                                self.stats.wb_store_merges += 1;
-                            } else {
-                                self.stats.wb_allocations += 1;
-                            }
-                            let line = self.g.line_of(addr);
-                            let word = self.g.word_index(addr);
-                            if self.l1.store_word(line, word, value) {
-                                self.stats.l1_store_hits += 1;
-                            }
-                            if self.cfg.check_data {
-                                self.shadow.insert(self.g.word_addr(addr), value);
-                            }
-                            self.cpu = CpuState::NeedOp;
-                            return true;
-                        }
+                    if self.hier.try_store(addr, obs) {
+                        self.cpu = CpuState::NeedOp;
+                    } else {
+                        self.cpu = CpuState::StoreTry { addr };
                     }
+                    return true;
                 }
                 CpuState::HazardWait {
                     addr,
@@ -710,9 +581,8 @@ impl Machine {
                     flushing,
                 } => {
                     if let Some(p) = flushing {
-                        if self.now >= p.done_at {
-                            self.write_entry_to_l2(p.id);
-                            self.stats.wb_flushes += 1;
+                        if self.hier.now >= p.done_at {
+                            self.hier.write_entry_to_l2(p.id, true, obs);
                             self.cpu = CpuState::HazardWait {
                                 addr,
                                 plan,
@@ -720,7 +590,8 @@ impl Machine {
                             };
                             continue;
                         }
-                        self.stats.stalls.record(StallKind::LoadHazard, 1);
+                        self.hier
+                            .stall(wbsim_types::stall::StallKind::LoadHazard, obs);
                         self.cpu = CpuState::HazardWait {
                             addr,
                             plan,
@@ -728,9 +599,10 @@ impl Machine {
                         };
                         return true;
                     }
-                    if self.wb_retire.is_some() {
+                    if self.hier.wb_retire.is_some() {
                         // An underway retirement completes first (§2.2).
-                        self.stats.stalls.record(StallKind::LoadHazard, 1);
+                        self.hier
+                            .stall(wbsim_types::stall::StallKind::LoadHazard, obs);
                         self.cpu = CpuState::HazardWait {
                             addr,
                             plan,
@@ -739,12 +611,25 @@ impl Machine {
                         return true;
                     }
                     if let Some(id) = plan.pop_front() {
-                        let began = self.wb.begin_retire(id);
+                        let began = self.hier.wb.begin_retire(id);
                         debug_assert!(began, "flush plan entry vanished");
-                        let done_at =
-                            self.port
-                                .acquire(PortOwner::WbWrite(id), self.now, self.write_time);
-                        self.stats.stalls.record(StallKind::LoadHazard, 1);
+                        let done_at = self.hier.port.acquire(
+                            PortOwner::WbWrite(id),
+                            self.hier.now,
+                            self.hier.write_time,
+                        );
+                        obs.event(&Event::RetireStart {
+                            now: self.hier.now,
+                            id,
+                            flush: true,
+                        });
+                        obs.event(&Event::PortGranted {
+                            now: self.hier.now,
+                            owner: PortUse::WbWrite,
+                            until: done_at,
+                        });
+                        self.hier
+                            .stall(wbsim_types::stall::StallKind::LoadHazard, obs);
                         self.cpu = CpuState::HazardWait {
                             addr,
                             plan,
@@ -766,18 +651,27 @@ impl Machine {
                     merge_wb,
                     for_store,
                 } => {
-                    if self.port.is_free(self.now) {
-                        let line = self.g.line_of(addr);
-                        let miss = !self.l2.contains(line);
-                        self.port
-                            .acquire(PortOwner::CpuRead, self.now, self.read_time);
-                        self.stats.l2_reads += 1;
+                    if self.hier.port.is_free(self.hier.now) {
+                        let line = self.hier.g.line_of(addr);
+                        let miss = !self.hier.l2.contains(line);
+                        let until = self.hier.port.acquire(
+                            PortOwner::CpuRead,
+                            self.hier.now,
+                            self.hier.read_time,
+                        );
+                        obs.event(&Event::PortGranted {
+                            now: self.hier.now,
+                            owner: PortUse::CpuRead,
+                            until,
+                        });
+                        self.hier.stats.l2_reads += 1;
                         if miss {
-                            self.stats.l2_read_misses += 1;
+                            self.hier.stats.l2_read_misses += 1;
                         }
-                        let done_at =
-                            self.now + self.read_time + if miss { self.mm_latency } else { 0 };
-                        self.stats.miss_wait_cycles += 1;
+                        let done_at = self.hier.now
+                            + self.hier.read_time
+                            + if miss { self.hier.mm_latency } else { 0 };
+                        self.hier.stats.miss_wait_cycles += 1;
                         self.cpu = CpuState::LoadReading {
                             addr,
                             merge_wb,
@@ -787,8 +681,9 @@ impl Machine {
                         };
                         return true;
                     }
-                    debug_assert!(self.port.busy_with_write(self.now));
-                    self.stats.stalls.record(StallKind::L2ReadAccess, 1);
+                    debug_assert!(self.hier.port.busy_with_write(self.hier.now));
+                    self.hier
+                        .stall(wbsim_types::stall::StallKind::L2ReadAccess, obs);
                     self.cpu = CpuState::LoadPortWait {
                         addr,
                         merge_wb,
@@ -803,8 +698,8 @@ impl Machine {
                     done_at,
                     miss,
                 } => {
-                    if self.now < done_at {
-                        self.stats.miss_wait_cycles += 1;
+                    if self.hier.now < done_at {
+                        self.hier.stats.miss_wait_cycles += 1;
                         self.cpu = CpuState::LoadReading {
                             addr,
                             merge_wb,
@@ -814,34 +709,41 @@ impl Machine {
                         };
                         return true;
                     }
-                    let data = self.read_line_structural(addr, merge_wb, miss);
-                    if self.victim_blocked(addr) {
+                    let line = self.hier.g.line_of(addr);
+                    let data = self.hier.read_line_structural(line, merge_wb, miss);
+                    if self.hier.victim_blocked(line) {
                         self.cpu = CpuState::VictimWait {
                             addr,
                             data,
+                            merge_wb,
                             for_store,
                         };
                         continue;
                     }
-                    self.install_fill(addr, &data, for_store, insp);
+                    self.hier
+                        .install_fill(addr, &data, for_store, merge_wb, obs);
                     self.cpu = CpuState::NeedOp;
                     continue;
                 }
                 CpuState::VictimWait {
                     addr,
                     data,
+                    merge_wb,
                     for_store,
                 } => {
-                    if self.victim_blocked(addr) {
-                        self.stats.stalls.record(StallKind::BufferFull, 1);
+                    if self.hier.victim_blocked(self.hier.g.line_of(addr)) {
+                        self.hier
+                            .stall(wbsim_types::stall::StallKind::BufferFull, obs);
                         self.cpu = CpuState::VictimWait {
                             addr,
                             data,
+                            merge_wb,
                             for_store,
                         };
                         return true;
                     }
-                    self.install_fill(addr, &data, for_store, insp);
+                    self.hier
+                        .install_fill(addr, &data, for_store, merge_wb, obs);
                     self.cpu = CpuState::NeedOp;
                     continue;
                 }
@@ -851,33 +753,41 @@ impl Machine {
                     return true;
                 }
                 CpuState::BarrierDrain => {
-                    if self.wb.occupancy() == 0 && self.wb_retire.is_none() {
+                    if self.hier.wb.occupancy() == 0 && self.hier.wb_retire.is_none() {
                         self.cpu = CpuState::NeedOp;
                         continue;
                     }
                     // Drain cycles: `wb_try_retire` forces retirement at
                     // the maximum rate while we sit here.
-                    self.stats.barrier_stall_cycles += 1;
+                    self.hier.stats.barrier_stall_cycles += 1;
                     self.cpu = CpuState::BarrierDrain;
                     return true;
                 }
                 CpuState::IFetchWait { next } => {
-                    if self.port.is_free(self.now) {
-                        self.port
-                            .acquire(PortOwner::IFetch, self.now, self.read_time);
-                        self.stats.l2_reads += 1;
+                    if self.hier.port.is_free(self.hier.now) {
+                        let until = self.hier.port.acquire(
+                            PortOwner::IFetch,
+                            self.hier.now,
+                            self.hier.read_time,
+                        );
+                        obs.event(&Event::PortGranted {
+                            now: self.hier.now,
+                            owner: PortUse::IFetch,
+                            until,
+                        });
+                        self.hier.stats.l2_reads += 1;
                         self.cpu = CpuState::IFetchRead {
-                            done_at: self.now + self.read_time,
+                            done_at: self.hier.now + self.hier.read_time,
                             next,
                         };
                         return true;
                     }
-                    self.stats.ifetch_stall_cycles += 1;
+                    self.hier.stats.ifetch_stall_cycles += 1;
                     self.cpu = CpuState::IFetchWait { next };
                     return true;
                 }
                 CpuState::IFetchRead { done_at, next } => {
-                    if self.now < done_at {
+                    if self.hier.now < done_at {
                         self.cpu = CpuState::IFetchRead { done_at, next };
                         return true;
                     }
@@ -906,7 +816,7 @@ impl Machine {
         if self.icache.is_perfect() {
             false
         } else if self.icache.fetch() {
-            self.stats.icache_misses += 1;
+            self.hier.stats.icache_misses += 1;
             true
         } else {
             false
@@ -915,37 +825,25 @@ impl Machine {
 
     /// The load's L1-probe cycle: classify as hit, write-buffer hit,
     /// hazard, or clean miss, and transition accordingly.
-    fn exec_load_probe(&mut self, addr: Addr, insp: &mut dyn Inspector) {
-        let line = self.g.line_of(addr);
-        let word = self.g.word_index(addr);
-        if let Some(v) = self.l1.load_word(line, word) {
-            self.stats.l1_load_hits += 1;
-            self.verify_load(addr, v, "L1 hit");
-            insp.load(addr, v, LoadSource::L1);
+    fn exec_load_probe<O: Observer>(&mut self, addr: Addr, obs: &mut O) {
+        if self.hier.probe_load_fast(addr, obs).is_some() {
             self.cpu = CpuState::NeedOp;
             return;
         }
-        let hazard = self.cfg.write_buffer.hazard;
+        let line = self.hier.g.line_of(addr);
+        let hazard = self.hier.cfg.write_buffer.hazard;
         if hazard == LoadHazardPolicy::ReadFromWb {
-            // An injected forwarding bug skips both the probe and the fill
-            // merge — the exact stale-data failure §2.2's datapath exists
-            // to prevent, used to prove the differential oracle fires.
-            let fault = self.cfg.fault == Some(FaultInjection::SkipWbForwarding);
-            // The buffer and L1 are probed simultaneously (§2.2): a
-            // word-valid buffer hit costs the same as an L1 hit.
-            if !fault {
-                if let Some(v) = self.wb.read_word(addr) {
-                    self.stats.wb_read_hits += 1;
-                    self.verify_load(addr, v, "write-buffer hit");
-                    insp.load(addr, v, LoadSource::WriteBuffer);
-                    self.cpu = CpuState::NeedOp;
-                    return;
-                }
-            }
-            let merge_wb = !fault && !self.wb.probe_line(line).is_empty();
+            let merge_wb =
+                !self.hier.forwarding_fault() && !self.hier.wb.probe_line(line).is_empty();
             if merge_wb {
-                self.stats.load_hazards += 1;
-                self.stats.hazard_word_misses += 1;
+                self.hier.stats.load_hazards += 1;
+                self.hier.stats.hazard_word_misses += 1;
+                obs.event(&Event::HazardTriggered {
+                    now: self.hier.now,
+                    addr,
+                    policy: hazard,
+                    flush_entries: 0,
+                });
             }
             self.cpu = CpuState::LoadPortWait {
                 addr,
@@ -956,9 +854,15 @@ impl Machine {
         }
         // Flush-based policies: a hazard fires whenever any portion of the
         // line is active in the buffer (§2.2).
-        if !self.wb.probe_line(line).is_empty() {
-            self.stats.load_hazards += 1;
-            let plan: VecDeque<EntryId> = self.wb.flush_plan(hazard, line).into();
+        if !self.hier.wb.probe_line(line).is_empty() {
+            self.hier.stats.load_hazards += 1;
+            let plan: VecDeque<EntryId> = self.hier.wb.flush_plan(hazard, line).into();
+            obs.event(&Event::HazardTriggered {
+                now: self.hier.now,
+                addr,
+                policy: hazard,
+                flush_entries: plan.len() as u64,
+            });
             self.cpu = CpuState::HazardWait {
                 addr,
                 plan,
@@ -973,120 +877,11 @@ impl Machine {
         };
     }
 
-    /// The structural half of an L2 read completion: fetch the line,
-    /// apply inclusion, and merge buffered words (read-from-WB word miss).
-    fn read_line_structural(&mut self, addr: Addr, merge_wb: bool, timed_miss: bool) -> Vec<u64> {
-        let line = self.g.line_of(addr);
-        let out = self.l2.read_line(&self.g, line, &mut self.mem);
-        if timed_miss {
-            self.stats.mm_accesses += 1;
-        }
-        if out.wrote_back {
-            self.stats.mm_accesses += 1;
-        }
-        if let Some(ev) = out.evicted {
-            if self.l1.invalidate(ev) {
-                self.stats.inclusion_invalidations += 1;
-            }
-        }
-        let mut data = out.data;
-        if merge_wb {
-            // "filling L1 must somehow retrieve those active words from the
-            // write buffer; otherwise, the fill into L1 would obtain stale
-            // data" (§2.2). No extra cycles are charged for the merge.
-            self.wb.merge_into_line(line, &mut data);
-        }
-        data
-    }
-
-    /// Whether a write-back fill of `addr`'s line is blocked on victim-
-    /// buffer space (its displaced line is dirty and the buffer is full).
-    fn victim_blocked(&self, addr: Addr) -> bool {
-        if self.cfg.l1.write_policy != L1WritePolicy::WriteBack {
-            return false;
-        }
-        let line = self.g.line_of(addr);
-        match self.l1.peek_victim(line) {
-            Some((vline, true)) => {
-                // A pending insert can reuse an existing entry for the same
-                // line even when full — but only a *non-retiring* one
-                // (`insert_line` cannot touch an entry mid-transaction).
-                let reusable = self
-                    .wb
-                    .iter()
-                    .any(|e| e.block == vline.as_u64() && !e.retiring);
-                self.wb.is_full() && !reusable
-            }
-            _ => false,
-        }
-    }
-
-    /// Installs a completed fill into L1 (writing back a dirty victim
-    /// under the write-back policy) and finishes the load or the
-    /// write-allocate store.
-    fn install_fill(
-        &mut self,
-        addr: Addr,
-        data: &[u64],
-        for_store: bool,
-        insp: &mut dyn Inspector,
-    ) {
-        let line = self.g.line_of(addr);
-        let word = self.g.word_index(addr);
-        let value = data[word];
-        if self.cfg.l1.write_policy == L1WritePolicy::WriteBack {
-            if let Some((vline, vdata)) = self.l1.fill_with_victim(line, data) {
-                // `insert_line` merges into an existing non-retiring entry
-                // for the same block when one exists; only a genuine
-                // allocation advances the conservation counter.
-                let merges = self
-                    .wb
-                    .iter()
-                    .any(|e| e.block == vline.as_u64() && !e.retiring);
-                let ok = self.wb.insert_line(vline, &vdata, self.now);
-                assert!(ok, "victim dropped: victim_blocked() was not consulted");
-                if !merges {
-                    self.victim_inserts += 1;
-                }
-            }
-        } else {
-            self.l1.fill(line, data);
-        }
-        if for_store {
-            let stored = self.store_seq + 1;
-            self.store_seq = stored;
-            let hit = self.l1.store_word_dirty(line, word, stored);
-            debug_assert!(hit, "the line was just filled");
-            if self.cfg.check_data {
-                self.shadow.insert(self.g.word_addr(addr), stored);
-            }
-        } else {
-            self.verify_load(addr, value, "L2 fill");
-            insp.load(addr, value, LoadSource::L2Fill);
-        }
-    }
-
-    fn verify_load(&self, addr: Addr, value: u64, path: &str) {
-        if !self.cfg.check_data {
-            return;
-        }
-        let expect = self
-            .shadow
-            .get(&self.g.word_addr(addr))
-            .copied()
-            .unwrap_or(0);
-        assert_eq!(
-            value, expect,
-            "load of {addr:#x} via {path} observed stale data at cycle {}",
-            self.now
-        );
-    }
-
     /// Read-only view of the accumulated statistics (useful mid-run in
     /// tests; [`Machine::run`] returns them by value).
     #[must_use]
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        &self.hier.stats
     }
 
     /// Current write-buffer occupancy in entries, including one that is
@@ -1094,7 +889,7 @@ impl Machine {
     /// the entry-conservation identity.
     #[must_use]
     pub fn wb_occupancy(&self) -> usize {
-        self.wb.occupancy()
+        self.hier.wb.occupancy()
     }
 
     /// Dirty L1 victims that *allocated* a write-buffer entry (victims
@@ -1102,48 +897,26 @@ impl Machine {
     /// Always zero under a write-through L1.
     #[must_use]
     pub fn wb_victim_allocs(&self) -> u64 {
-        self.victim_inserts
+        self.hier.victim_inserts
     }
 
     /// The architecturally visible value of the word at `addr`: the value
     /// a magically instantaneous load would observe, probing L1, then the
     /// write buffer, then L2, then main memory. Touches no LRU or timing
     /// state.
-    ///
-    /// The probe order mirrors the machine's own freshness rules: L1 is
-    /// never stale (stores update a present line in place under either
-    /// write policy), the buffer holds words newer than L2, and a perfect
-    /// L2 defers to the backing memory it writes through to.
     #[must_use]
     pub fn read_word_architectural(&self, addr: Addr) -> u64 {
-        let line = self.g.line_of(addr);
-        let word = self.g.word_index(addr);
-        if let Some(v) = self.l1.peek_word(line, word) {
-            return v;
-        }
-        if let Some(v) = self.wb.read_word(addr) {
-            return v;
-        }
-        if let Some(v) = self.l2.peek_word(line, word) {
-            return v;
-        }
-        self.mem.read_word(self.g.word_addr(addr))
+        self.hier.read_word_architectural(addr)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wbsim_types::config::WriteBufferConfig;
+    use crate::testutil::{a, run_baseline};
+    use wbsim_types::config::{L2Config, WriteBufferConfig};
     use wbsim_types::policy::RetirementPolicy;
-
-    fn a(line: u64, word: u64) -> Addr {
-        Addr::new(line * 32 + word * 8)
-    }
-
-    fn run_baseline(ops: Vec<Op>) -> SimStats {
-        Machine::new(MachineConfig::baseline()).unwrap().run(ops)
-    }
+    use wbsim_types::stall::StallKind;
 
     #[test]
     fn empty_trace() {
@@ -1773,5 +1546,36 @@ mod tests {
             s.stalls.get(StallKind::L2ReadAccess) >= base.stalls.get(StallKind::L2ReadAccess),
             "write priority should delay the read at least as much"
         );
+    }
+
+    #[test]
+    fn observer_sees_every_cycle_and_load() {
+        use crate::event::Event;
+        use crate::observer::Observer;
+        #[derive(Default)]
+        struct Counter {
+            cycles: u64,
+            loads: u64,
+            stores: u64,
+        }
+        impl Observer for Counter {
+            fn event(&mut self, ev: &Event) {
+                match ev {
+                    Event::CycleEnd { .. } => self.cycles += 1,
+                    Event::LoadResolved { .. } => self.loads += 1,
+                    Event::StoreAccepted { .. } => self.stores += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut obs = Counter::default();
+        let mut m = Machine::new(MachineConfig::baseline()).unwrap();
+        let s = m.run_observed(
+            vec![Op::Store(a(1, 0)), Op::Load(a(1, 0)), Op::Load(a(1, 1))],
+            &mut obs,
+        );
+        assert_eq!(obs.cycles, s.cycles);
+        assert_eq!(obs.loads, s.loads);
+        assert_eq!(obs.stores, s.stores);
     }
 }

@@ -26,18 +26,24 @@
 //! against the golden model (fills are installed from L2 at completion
 //! time, so later hits re-verify filled data); the returned value of an
 //! in-flight load itself is the one thing not checked.
+//!
+//! The datapath (store acceptance, retirement, fills, verification) is
+//! the shared `Hierarchy` (`hierarchy.rs`, crate-private — see
+//! `docs/architecture.md`); this module owns only the MSHR file and the
+//! small non-blocking CPU state machine.
 
-use std::collections::HashMap;
-
-use wbsim_core::buffer::{StoreOutcome, WriteBuffer};
-use wbsim_mem::{L1Cache, L2Cache, MainMemory};
-use wbsim_types::addr::{Addr, Geometry, LineAddr};
-use wbsim_types::config::{ConfigError, L2Config, MachineConfig};
+use wbsim_types::addr::{Addr, LineAddr};
+use wbsim_types::config::{ConfigError, MachineConfig};
 use wbsim_types::op::Op;
 use wbsim_types::policy::LoadHazardPolicy;
 use wbsim_types::stall::StallKind;
 use wbsim_types::stats::SimStats;
 use wbsim_types::Cycle;
+
+use crate::event::{Event, PortUse};
+use crate::hierarchy::Hierarchy;
+use crate::observer::{NullObserver, Observer};
+use crate::port::PortOwner;
 
 /// One miss-status-holding register.
 #[derive(Debug, Clone, Copy)]
@@ -47,9 +53,6 @@ struct Mshr {
     done_at: Option<Cycle>,
     /// Whether the read missed L2 (decided at issue).
     miss: bool,
-    /// Whether the line was active in the write buffer at allocation
-    /// (the fill must merge buffered words).
-    merge_wb: bool,
     /// Queue order (FIFO among waiting MSHRs).
     seq: u64,
 }
@@ -78,29 +81,11 @@ enum CpuState {
 /// The non-blocking machine; see the module docs.
 #[derive(Debug)]
 pub struct NonBlockingMachine {
-    cfg: MachineConfig,
-    g: Geometry,
-    mem: MainMemory,
-    l1: L1Cache,
-    l2: L2Cache,
-    wb: WriteBuffer,
+    hier: Hierarchy,
     mshrs: Vec<Mshr>,
     max_mshrs: usize,
-    stats: SimStats,
-    now: Cycle,
-    cpu: CpuState,
-    /// Autonomous retirement in flight: (entry id, completion cycle).
-    wb_retire: Option<(u64, Cycle)>,
-    last_retire_start: Cycle,
-    store_seq: u64,
     mshr_seq: u64,
-    shadow: HashMap<u64, u64>,
-    read_time: u64,
-    write_time: u64,
-    mm_latency: u64,
-    /// Port busy until this cycle; `port_is_write` identifies the owner.
-    port_free_at: Cycle,
-    port_is_write: bool,
+    cpu: CpuState,
 }
 
 impl NonBlockingMachine {
@@ -124,148 +109,83 @@ impl NonBlockingMachine {
                 constraint: "the non-blocking machine requires read-from-WB",
             });
         }
-        let g = cfg.geometry;
-        let l1 = L1Cache::new(&cfg.l1, &g)?;
-        let l2 = L2Cache::new(&cfg.l2, &g)?;
-        let wb = WriteBuffer::new(&cfg.write_buffer, &g)?;
-        let latency = cfg.l2.latency();
-        let txns = cfg.write_buffer.datapath.transactions_per_line();
-        let mm_latency = match cfg.l2 {
-            L2Config::Perfect { .. } => 0,
-            L2Config::Real { mm_latency, .. } => mm_latency,
-        };
+        let hier = Hierarchy::new(cfg)?;
         Ok(Self {
-            cfg,
-            g,
-            mem: MainMemory::new(),
-            l1,
-            l2,
-            wb,
+            hier,
             mshrs: Vec::with_capacity(mshrs),
             max_mshrs: mshrs,
-            stats: SimStats::default(),
-            now: 0,
-            cpu: CpuState::NeedOp,
-            wb_retire: None,
-            last_retire_start: 0,
-            store_seq: 0,
             mshr_seq: 0,
-            shadow: HashMap::new(),
-            read_time: latency,
-            write_time: latency * txns,
-            mm_latency,
-            port_free_at: 0,
-            port_is_write: false,
+            cpu: CpuState::NeedOp,
         })
     }
 
     /// Runs the stream to completion (including draining outstanding
     /// misses and retirements at the end) and returns statistics. Cycles
     /// the CPU spent blocked on MSHR exhaustion are reported in
-    /// `SimStats::mshr_stall_cycles`.
-    pub fn run<I>(mut self, ops: I) -> SimStats
+    /// `SimStats::mshr_stall_cycles`. The machine stays alive for
+    /// post-run architectural queries.
+    pub fn run<I>(&mut self, ops: I) -> SimStats
     where
         I: IntoIterator<Item = Op>,
     {
+        self.run_observed(ops, &mut NullObserver)
+    }
+
+    /// [`NonBlockingMachine::run`] under an [`Observer`] receiving the
+    /// structured [`Event`] stream. A load that goes to an MSHR (newly
+    /// allocated or merged into an outstanding one) is reported as
+    /// [`Event::LoadMiss`]; its fill arrives later as
+    /// [`Event::FillInstalled`].
+    pub fn run_observed<I, O>(&mut self, ops: I, obs: &mut O) -> SimStats
+    where
+        I: IntoIterator<Item = Op>,
+        O: Observer,
+    {
         let mut iter = ops.into_iter();
         loop {
-            self.complete_mshrs();
-            self.complete_retirement();
-            let advanced = self.cpu_step(&mut iter);
-            self.issue_reads();
-            self.wb_try_retire();
-            if !advanced && self.mshrs.is_empty() && self.wb_retire.is_none() {
+            self.complete_mshrs(obs);
+            self.hier.complete_retirement(obs);
+            let advanced = self.cpu_step(&mut iter, obs);
+            self.issue_reads(obs);
+            self.wb_try_retire(obs);
+            if !advanced && self.mshrs.is_empty() && self.hier.wb_retire.is_none() {
                 break;
             }
             // A cycle in which some queued read sits behind an underway
             // write is L2-read-access contention, overlapped or not.
-            if self.port_is_write
-                && self.now < self.port_free_at
+            if self.hier.port.busy_with_write(self.hier.now)
                 && self.mshrs.iter().any(|m| m.done_at.is_none())
             {
-                self.stats.stalls.record(StallKind::L2ReadAccess, 1);
+                self.hier.stall(StallKind::L2ReadAccess, obs);
             }
-            self.stats.wb_detail.record_occupancy(self.wb.occupancy());
-            self.now += 1;
+            let occupancy = self.hier.wb.occupancy();
+            self.hier.stats.wb_detail.record_occupancy(occupancy);
+            obs.event(&Event::CycleEnd {
+                now: self.hier.now,
+                occupancy: occupancy as u64,
+            });
+            self.hier.now += 1;
         }
-        self.stats.cycles = self.now;
-        self.stats
+        self.hier.stats.cycles = self.hier.now;
+        self.hier.stats
     }
 
-    fn port_free(&self) -> bool {
-        self.now >= self.port_free_at
-    }
-
-    fn complete_mshrs(&mut self) {
+    fn complete_mshrs<O: Observer>(&mut self, obs: &mut O) {
         let mut i = 0;
         while i < self.mshrs.len() {
-            if self.mshrs[i].done_at == Some(self.now) {
+            if self.mshrs[i].done_at == Some(self.hier.now) {
                 let m = self.mshrs.swap_remove(i);
-                let out = self.l2.read_line(&self.g, m.line, &mut self.mem);
-                if m.miss {
-                    self.stats.mm_accesses += 1;
-                }
-                if out.wrote_back {
-                    self.stats.mm_accesses += 1;
-                }
-                if let Some(ev) = out.evicted {
-                    if self.l1.invalidate(ev) {
-                        self.stats.inclusion_invalidations += 1;
-                    }
-                }
-                let mut data = out.data;
-                // Merge the *current* buffer contents unconditionally: a
-                // store may have entered the buffer after this MSHR was
-                // allocated, and the fill must not bury it under L2 data.
-                // (`m.merge_wb` only drove the hazard statistics.)
-                let _ = m.merge_wb;
-                self.wb.merge_into_line(m.line, &mut data);
-                // The line may have been filled meanwhile by a duplicate
-                // completion path; guard against double fill.
-                if !self.l1.contains(m.line) {
-                    self.l1.fill(m.line, &data);
-                }
+                self.hier.complete_mshr_fill(m.line, m.miss, obs);
             } else {
                 i += 1;
             }
         }
     }
 
-    fn complete_retirement(&mut self) {
-        if let Some((id, done_at)) = self.wb_retire {
-            if self.now >= done_at {
-                let r = self
-                    .wb
-                    .take_retired(id)
-                    .expect("completed transaction for a vanished entry");
-                self.stats
-                    .wb_detail
-                    .record_writeback(self.now.saturating_sub(r.alloc_cycle), r.mask.count());
-                let out =
-                    self.l2
-                        .write_line_masked(&self.g, r.line, r.mask, &r.data, &mut self.mem);
-                self.stats.l2_writes += self.cfg.write_buffer.datapath.transactions_per_line();
-                if out.fetched {
-                    self.stats.mm_accesses += 1;
-                }
-                if out.wrote_back {
-                    self.stats.mm_accesses += 1;
-                }
-                if let Some(ev) = out.evicted {
-                    if self.l1.invalidate(ev) {
-                        self.stats.inclusion_invalidations += 1;
-                    }
-                }
-                self.stats.wb_retirements += 1;
-                self.wb_retire = None;
-            }
-        }
-    }
-
     /// Issues the oldest queued MSHR if the port is free (reads bypass
     /// pending retirements by running before `wb_try_retire`).
-    fn issue_reads(&mut self) {
-        if !self.port_free() {
+    fn issue_reads<O: Observer>(&mut self, obs: &mut O) {
+        if !self.hier.port.is_free(self.hier.now) {
             return;
         }
         let Some(idx) = self
@@ -279,63 +199,41 @@ impl NonBlockingMachine {
             return;
         };
         let line = self.mshrs[idx].line;
-        let miss = !self.l2.contains(line);
-        self.stats.l2_reads += 1;
+        let miss = !self.hier.l2.contains(line);
+        self.hier.stats.l2_reads += 1;
         if miss {
-            self.stats.l2_read_misses += 1;
+            self.hier.stats.l2_read_misses += 1;
         }
-        self.port_free_at = self.now + self.read_time;
-        self.port_is_write = false;
+        let until = self
+            .hier
+            .port
+            .acquire(PortOwner::CpuRead, self.hier.now, self.hier.read_time);
+        obs.event(&Event::PortGranted {
+            now: self.hier.now,
+            owner: PortUse::CpuRead,
+            until,
+        });
         self.mshrs[idx].miss = miss;
         self.mshrs[idx].done_at =
-            Some(self.now + self.read_time + if miss { self.mm_latency } else { 0 });
+            Some(self.hier.now + self.hier.read_time + if miss { self.hier.mm_latency } else { 0 });
     }
 
-    fn wb_try_retire(&mut self) {
-        if self.wb_retire.is_some() || !self.port_free() {
-            return;
-        }
+    fn wb_try_retire<O: Observer>(&mut self, obs: &mut O) {
         // Reads first (read-bypassing): if any MSHR is queued, it will take
         // the port next cycle.
         if self.mshrs.iter().any(|m| m.done_at.is_none()) {
             return;
         }
-        let occupancy = self.wb.occupancy();
-        if occupancy == 0 {
-            return;
-        }
         let barrier = matches!(self.cpu, CpuState::BarrierDrain);
-        let since = self.now.saturating_sub(self.last_retire_start);
-        let fires = barrier
-            || self
-                .cfg
-                .write_buffer
-                .retirement
-                .should_retire(occupancy, since)
-            || self
-                .cfg
-                .write_buffer
-                .max_age
-                .is_some_and(|limit| self.wb.oldest_age(self.now).is_some_and(|a| a >= limit));
-        if !fires {
-            return;
-        }
-        let Some(id) = self.wb.next_retirement() else {
-            return;
-        };
-        let began = self.wb.begin_retire(id);
-        debug_assert!(began);
-        self.port_free_at = self.now + self.write_time;
-        self.port_is_write = true;
-        self.wb_retire = Some((id, self.now + self.write_time));
-        self.last_retire_start = self.now;
+        self.hier.wb_try_retire(barrier, obs);
     }
 
     /// Advances the CPU by one cycle; returns `false` when the trace is
     /// exhausted *and* the CPU has nothing left to do.
-    fn cpu_step<I>(&mut self, iter: &mut I) -> bool
+    fn cpu_step<I, O>(&mut self, iter: &mut I, obs: &mut O) -> bool
     where
         I: Iterator<Item = Op>,
+        O: Observer,
     {
         loop {
             match self.cpu {
@@ -345,20 +243,20 @@ impl NonBlockingMachine {
                         return false;
                     }
                     Some(op) => {
-                        self.stats.instructions += op.instructions();
+                        self.hier.stats.instructions += op.instructions();
                         match op {
                             Op::Compute(0) => continue,
                             Op::Compute(n) => self.cpu = CpuState::Computing { left: n },
                             Op::Load(addr) => {
-                                self.stats.loads += 1;
-                                return self.exec_load(addr);
+                                self.hier.stats.loads += 1;
+                                return self.exec_load(addr, obs);
                             }
                             Op::Store(addr) => {
-                                self.stats.stores += 1;
+                                self.hier.stats.stores += 1;
                                 self.cpu = CpuState::StoreTry { addr };
                             }
                             Op::Barrier => {
-                                self.stats.barriers += 1;
+                                self.hier.stats.barriers += 1;
                                 self.cpu = CpuState::BarrierExec;
                             }
                         }
@@ -369,43 +267,22 @@ impl NonBlockingMachine {
                         self.cpu = CpuState::NeedOp;
                         continue;
                     }
-                    let step = self.cfg.issue_width.min(left);
+                    let step = self.hier.cfg.issue_width.min(left);
                     self.cpu = CpuState::Computing { left: left - step };
                     return true;
                 }
                 CpuState::StoreTry { addr } => {
-                    let value = self.store_seq + 1;
-                    match self.wb.store(addr, value, self.now) {
-                        StoreOutcome::Full => {
-                            self.stats.stalls.record(StallKind::BufferFull, 1);
-                            return true;
-                        }
-                        outcome => {
-                            self.store_seq = value;
-                            if outcome == StoreOutcome::Merged {
-                                self.stats.wb_store_merges += 1;
-                            } else {
-                                self.stats.wb_allocations += 1;
-                            }
-                            let line = self.g.line_of(addr);
-                            let word = self.g.word_index(addr);
-                            if self.l1.store_word(line, word, value) {
-                                self.stats.l1_store_hits += 1;
-                            }
-                            if self.cfg.check_data {
-                                self.shadow.insert(self.g.word_addr(addr), value);
-                            }
-                            self.cpu = CpuState::NeedOp;
-                            return true;
-                        }
+                    if self.hier.try_store(addr, obs) {
+                        self.cpu = CpuState::NeedOp;
                     }
+                    return true;
                 }
                 CpuState::MshrWait { addr } => {
                     if self.mshrs.len() < self.max_mshrs {
                         self.cpu = CpuState::NeedOp;
-                        return self.exec_load(addr);
+                        return self.exec_load(addr, obs);
                     }
-                    self.stats.mshr_stall_cycles += 1;
+                    self.hier.stats.mshr_stall_cycles += 1;
                     return true;
                 }
                 CpuState::BarrierExec => {
@@ -413,12 +290,14 @@ impl NonBlockingMachine {
                     return true;
                 }
                 CpuState::BarrierDrain => {
-                    if self.wb.occupancy() == 0 && self.wb_retire.is_none() && self.mshrs.is_empty()
+                    if self.hier.wb.occupancy() == 0
+                        && self.hier.wb_retire.is_none()
+                        && self.mshrs.is_empty()
                     {
                         self.cpu = CpuState::NeedOp;
                         continue;
                     }
-                    self.stats.barrier_stall_cycles += 1;
+                    self.hier.stats.barrier_stall_cycles += 1;
                     return true;
                 }
                 CpuState::Finished => return false,
@@ -428,82 +307,78 @@ impl NonBlockingMachine {
 
     /// The load's 1-cycle issue slot: hit, buffer hit, MSHR merge, MSHR
     /// allocate, or stall for an MSHR.
-    fn exec_load(&mut self, addr: Addr) -> bool {
-        let line = self.g.line_of(addr);
-        let word = self.g.word_index(addr);
-        if let Some(v) = self.l1.load_word(line, word) {
-            self.stats.l1_load_hits += 1;
-            self.verify(addr, v, "L1 hit");
+    fn exec_load<O: Observer>(&mut self, addr: Addr, obs: &mut O) -> bool {
+        if self.hier.probe_load_fast(addr, obs).is_some() {
             self.cpu = CpuState::NeedOp;
             return true;
         }
-        if let Some(v) = self.wb.read_word(addr) {
-            self.stats.wb_read_hits += 1;
-            self.verify(addr, v, "write-buffer hit");
-            self.cpu = CpuState::NeedOp;
-            return true;
-        }
+        let line = self.hier.g.line_of(addr);
         // Secondary miss: merge into the outstanding MSHR for this line.
         if self.mshrs.iter().any(|m| m.line == line) {
+            obs.event(&Event::LoadMiss {
+                now: self.hier.now,
+                addr,
+            });
             self.cpu = CpuState::NeedOp;
             return true;
         }
         if self.mshrs.len() >= self.max_mshrs {
             self.cpu = CpuState::MshrWait { addr };
-            self.stats.mshr_stall_cycles += 1;
+            self.hier.stats.mshr_stall_cycles += 1;
             return true;
         }
-        let merge_wb = !self.wb.probe_line(line).is_empty();
+        let merge_wb = !self.hier.forwarding_fault() && !self.hier.wb.probe_line(line).is_empty();
         if merge_wb {
-            self.stats.load_hazards += 1;
-            self.stats.hazard_word_misses += 1;
+            self.hier.stats.load_hazards += 1;
+            self.hier.stats.hazard_word_misses += 1;
+            obs.event(&Event::HazardTriggered {
+                now: self.hier.now,
+                addr,
+                policy: LoadHazardPolicy::ReadFromWb,
+                flush_entries: 0,
+            });
         }
         self.mshr_seq += 1;
         self.mshrs.push(Mshr {
             line,
             done_at: None,
             miss: false,
-            merge_wb,
             seq: self.mshr_seq,
+        });
+        obs.event(&Event::LoadMiss {
+            now: self.hier.now,
+            addr,
         });
         self.cpu = CpuState::NeedOp;
         true
     }
 
-    fn verify(&self, addr: Addr, value: u64, path: &str) {
-        if !self.cfg.check_data {
-            return;
-        }
-        let expect = self
-            .shadow
-            .get(&self.g.word_addr(addr))
-            .copied()
-            .unwrap_or(0);
-        assert_eq!(
-            value, expect,
-            "non-blocking load of {addr:#x} via {path} observed stale data"
-        );
+    /// Read-only view of the accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.hier.stats
+    }
+
+    /// Current write-buffer occupancy in entries (zero after a completed
+    /// run: the end-of-trace drain empties the buffer).
+    #[must_use]
+    pub fn wb_occupancy(&self) -> usize {
+        self.hier.wb.occupancy()
+    }
+
+    /// The architecturally visible value of the word at `addr`; see
+    /// [`crate::Machine::read_word_architectural`].
+    #[must_use]
+    pub fn read_word_architectural(&self, addr: Addr) -> u64 {
+        self.hier.read_word_architectural(addr)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{a, nb_cfg};
     use wbsim_types::config::WriteBufferConfig;
-
-    fn a(line: u64, word: u64) -> Addr {
-        Addr::new(line * 32 + word * 8)
-    }
-
-    fn nb_cfg() -> MachineConfig {
-        MachineConfig {
-            write_buffer: WriteBufferConfig {
-                hazard: LoadHazardPolicy::ReadFromWb,
-                ..WriteBufferConfig::baseline()
-            },
-            ..MachineConfig::baseline()
-        }
-    }
 
     #[test]
     fn requires_read_from_wb() {
@@ -584,6 +459,7 @@ mod tests {
 
     #[test]
     fn stores_arrive_more_quickly_raising_overflow_pressure() {
+        use wbsim_types::stall::StallKind;
         // §4.3: the freed-up load time makes stores denser in time. With a
         // shallow buffer, buffer-full stalls grow vs the blocking machine.
         let mut ops = Vec::new();
@@ -621,5 +497,34 @@ mod tests {
         // The final load's fill and the triggered retirement both complete.
         assert!(nb.cycles >= 7);
         assert!(nb.wb_retirements >= 1);
+    }
+
+    #[test]
+    fn every_load_gets_exactly_one_terminal_event() {
+        use crate::event::Event;
+        use crate::observer::Observer;
+        #[derive(Default)]
+        struct Terminals {
+            resolved: u64,
+            missed: u64,
+        }
+        impl Observer for Terminals {
+            fn event(&mut self, ev: &Event) {
+                match ev {
+                    Event::LoadResolved { .. } => self.resolved += 1,
+                    Event::LoadMiss { .. } => self.missed += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        for i in 0..60u64 {
+            ops.push(Op::Store(a(i % 8, i % 4)));
+            ops.push(Op::Load(a((i + 3) % 16, i % 4)));
+        }
+        let mut obs = Terminals::default();
+        let mut m = NonBlockingMachine::new(nb_cfg(), 2).unwrap();
+        let s = m.run_observed(ops, &mut obs);
+        assert_eq!(obs.resolved + obs.missed, s.loads);
     }
 }

@@ -1,0 +1,38 @@
+//! Shared test-support helpers.
+//!
+//! The unit tests in this crate, the oracle's tests, and the workspace
+//! integration tests all build addresses from `(line, word)` pairs and
+//! run small streams against the baseline machine. Those helpers live
+//! here once instead of being re-declared in every test module. The
+//! module is always compiled (so downstream crates' `#[cfg(test)]` code
+//! can use it) but contains nothing a simulation user needs.
+
+use wbsim_types::config::{MachineConfig, WriteBufferConfig};
+use wbsim_types::op::Op;
+use wbsim_types::policy::LoadHazardPolicy;
+use wbsim_types::stats::SimStats;
+
+pub use wbsim_types::testutil::a;
+
+use crate::machine::Machine;
+
+/// Runs `ops` on a freshly built baseline machine (data checking on, as
+/// [`MachineConfig::baseline`] configures) and returns the statistics.
+pub fn run_baseline(ops: Vec<Op>) -> SimStats {
+    Machine::new(MachineConfig::baseline())
+        .expect("baseline config is valid")
+        .run(ops)
+}
+
+/// The baseline configuration with the read-from-WB hazard policy — the
+/// only policy [`crate::NonBlockingMachine`] accepts.
+#[must_use]
+pub fn nb_cfg() -> MachineConfig {
+    MachineConfig {
+        write_buffer: WriteBufferConfig {
+            hazard: LoadHazardPolicy::ReadFromWb,
+            ..WriteBufferConfig::baseline()
+        },
+        ..MachineConfig::baseline()
+    }
+}

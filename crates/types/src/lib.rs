@@ -47,6 +47,7 @@ pub mod op;
 pub mod policy;
 pub mod stall;
 pub mod stats;
+pub mod testutil;
 
 pub use addr::{Addr, Geometry, LineAddr, WordMask};
 pub use config::{ConfigError, IcacheConfig, L1Config, L2Config, MachineConfig, WriteBufferConfig};

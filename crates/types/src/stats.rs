@@ -250,6 +250,7 @@ impl std::fmt::Display for SimStats {
             "WB mean occupancy   {:>14.3}",
             self.wb_detail.mean_occupancy()
         )?;
+        writeln!(f, "WB high-water       {:>14}", self.wb_detail.high_water)?;
         writeln!(
             f,
             "WB mean entry life  {:>11.1} cyc  (max {})",
@@ -386,6 +387,10 @@ mod tests {
 pub struct WbDetail {
     /// Cycles spent at each occupancy level; index 16 aggregates ≥16.
     pub occupancy_hist: [u64; 17],
+    /// The high-water mark: the largest occupancy any cycle ended with
+    /// (*not* clamped at 16). Depth minus this is the buffer's headroom —
+    /// the paper's key depth-sizing signal.
+    pub high_water: u64,
     /// Sum over written-back entries of (write-back cycle − allocation
     /// cycle).
     pub lifetime_sum: u64,
@@ -400,6 +405,14 @@ impl WbDetail {
     /// Records one cycle at the given occupancy.
     pub fn record_occupancy(&mut self, occupancy: usize) {
         self.occupancy_hist[occupancy.min(16)] += 1;
+        self.high_water = self.high_water.max(occupancy as u64);
+    }
+
+    /// Headroom under a buffer of `depth` entries: how many were never
+    /// simultaneously in use (saturating at zero).
+    #[must_use]
+    pub fn headroom(&self, depth: usize) -> u64 {
+        (depth as u64).saturating_sub(self.high_water)
     }
 
     /// Records one entry leaving the buffer.
@@ -464,6 +477,7 @@ impl WbDetail {
         for (a, b) in self.occupancy_hist.iter_mut().zip(other.occupancy_hist) {
             *a += b;
         }
+        self.high_water = self.high_water.max(other.high_water);
         self.lifetime_sum += other.lifetime_sum;
         self.lifetime_max = self.lifetime_max.max(other.lifetime_max);
         for (a, b) in self.valid_words_hist.iter_mut().zip(other.valid_words_hist) {
@@ -483,8 +497,12 @@ mod detail_tests {
         d.record_occupancy(2);
         d.record_occupancy(4);
         assert!((d.mean_occupancy() - 2.0).abs() < 1e-12);
+        assert_eq!(d.high_water, 4);
+        assert_eq!(d.headroom(8), 4);
         d.record_occupancy(99); // clamps into the ≥16 bucket
         assert_eq!(d.occupancy_hist[16], 1);
+        assert_eq!(d.high_water, 99, "high-water is not clamped");
+        assert_eq!(d.headroom(8), 0, "headroom saturates");
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Shared test-support helpers that only need the vocabulary types.
+//!
+//! Test modules all over the workspace build addresses from
+//! `(line, word)` pairs under the baseline geometry. That helper lives
+//! here once, at the bottom of the crate stack, so crates below the
+//! simulator (core, mem) can share it; the machine-running helpers sit
+//! in `wbsim_sim::testutil`, which re-exports this one. The module is
+//! always compiled (so downstream crates' `#[cfg(test)]` code can use
+//! it) but contains nothing a simulation user needs.
+
+use crate::addr::Addr;
+
+/// The address of `word` within `line` under the baseline geometry
+/// (32-byte lines, 8-byte words).
+#[must_use]
+pub fn a(line: u64, word: u64) -> Addr {
+    Addr::new(line * 32 + word * 8)
+}

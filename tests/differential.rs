@@ -5,6 +5,9 @@
 //! (all four load-hazard policies, both L1 write policies, perfect and
 //! real L2s) and runs [`wbsim::oracle::diff_run`], which compares every
 //! load value, the final memory image, and the conservation identities.
+//! The non-blocking machine gets its own suites through
+//! [`wbsim::oracle::diff_run_nonblocking`], sweeping 1..8 MSHRs over the
+//! read-from-WB configurations it accepts.
 //! The suites below total well over 1000 (stream, config) cases per
 //! default run, and the vendored proptest engine is seeded by test name,
 //! so a clean run is reproducible bit-for-bit.
@@ -19,7 +22,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use proptest::prelude::*;
 use proptest::run_proptest;
 
-use wbsim::oracle::diff_run;
+use wbsim::oracle::{diff_run, diff_run_nonblocking};
 use wbsim::trace::strategies::{arb_machine_config, arb_op};
 use wbsim::types::config::MachineConfig;
 use wbsim::types::divergence::{Divergence, FaultInjection};
@@ -67,6 +70,85 @@ proptest! {
         if let Err(d) = diff_run(&cfg, &ops) {
             return Err(TestCaseError::fail(format!("{d}\nconfig: {cfg:?}")));
         }
+    }
+}
+
+/// Rewrites an arbitrary valid configuration into one the non-blocking
+/// machine accepts: read-from-WB hazards over a write-through L1. Every
+/// other generated dimension (depth, retirement, L2, ages, priorities)
+/// passes through untouched.
+fn nb_variant(mut cfg: MachineConfig) -> MachineConfig {
+    cfg.write_buffer.hazard = LoadHazardPolicy::ReadFromWb;
+    cfg.l1.write_policy = L1WritePolicy::WriteThrough;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// The non-blocking machine under any stream × any write-through
+    /// read-from-WB configuration × 1..8 MSHRs: load values resolve to
+    /// the architectural ones regardless of how misses overlap, every
+    /// load terminates, and the final memory image matches.
+    #[test]
+    fn nonblocking_matches_architecture(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+        cfg in arb_machine_config(),
+        mshrs in 1usize..8,
+    ) {
+        let cfg = nb_variant(cfg);
+        match diff_run_nonblocking(&cfg, mshrs, &ops) {
+            Ok(Ok(_)) => {}
+            Ok(Err(d)) => return Err(TestCaseError::fail(
+                format!("{d}\nconfig: {cfg:?}, mshrs {mshrs}"))),
+            Err(e) => return Err(TestCaseError::fail(
+                format!("config rejected: {e}\nconfig: {cfg:?}"))),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Hazard-saturated streams through the non-blocking machine: misses
+    /// on buffered lines force the merge-from-WB fill path constantly.
+    #[test]
+    fn nonblocking_matches_architecture_hazard_heavy(
+        ops in proptest::collection::vec(dense_op(), 1..200),
+        cfg in arb_machine_config(),
+        mshrs in 1usize..8,
+    ) {
+        let cfg = nb_variant(cfg);
+        match diff_run_nonblocking(&cfg, mshrs, &ops) {
+            Ok(Ok(_)) => {}
+            Ok(Err(d)) => return Err(TestCaseError::fail(
+                format!("{d}\nconfig: {cfg:?}, mshrs {mshrs}"))),
+            Err(e) => return Err(TestCaseError::fail(
+                format!("config rejected: {e}\nconfig: {cfg:?}"))),
+        }
+    }
+}
+
+/// The oracle's teeth extend to the non-blocking machine: with the
+/// forwarding fault injected, an overlapped load observes the stale
+/// memory value and the differential run reports the exact load index.
+#[test]
+fn nonblocking_injected_forwarding_bug_is_caught() {
+    let addr = Addr::new(0x20);
+    let ops = vec![
+        Op::Store(addr),
+        Op::Load(addr),
+        Op::Compute(40),
+        Op::Load(addr),
+    ];
+    match diff_run_nonblocking(&faulty_cfg(), 2, &ops).expect("config is accepted") {
+        Err(Divergence::LoadValue {
+            machine, oracle, ..
+        }) => {
+            assert_eq!(machine, 0, "stale value bypassing the buffer");
+            assert_eq!(oracle, 1, "the buffered store's value");
+        }
+        other => panic!("expected a LoadValue divergence, got {other:?}"),
     }
 }
 

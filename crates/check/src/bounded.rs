@@ -1,0 +1,468 @@
+//! Bounded exhaustive model checking of the write-buffer transition system.
+//!
+//! The differential fuzzer samples the design space randomly; this module
+//! instead enumerates **all** op sequences up to a small length over a tiny
+//! address universe (2 cache lines × 2 words, so every hazard, coalesce,
+//! and aliasing case is reachable) across every boundary configuration the
+//! paper's invariants could plausibly break on: all 4 load-hazard policies
+//! × depths 1–4 × every retire-at mark 1..=depth.
+//!
+//! Each run drives the cycle machine one [`wbsim_sim::Machine::step`] at a
+//! time under an observer that asserts the paper's invariants from the
+//! event stream:
+//!
+//! * occupancy never exceeds depth, and the recorded high-water mark (hence
+//!   headroom = depth − high-water) matches the maximum observed occupancy;
+//! * at most one Table-3 stall cause per cycle (the taxonomy partitions);
+//! * autonomous retirement is FIFO: entry ids leave in allocation order;
+//! * no store is lost or staled: every load value, the load count, and the
+//!   final memory image match the untimed [`ArchModel`];
+//! * the conservation identities shared with `wbsim-oracle`
+//!   ([`check_conservation`]).
+//!
+//! On a violation the failing sequence is minimized by greedy op deletion
+//! and re-run under a trace-collecting observer; the resulting
+//! [`Counterexample`] carries a JSONL event trace replayable with
+//! `wbsim trace validate`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use wbsim_oracle::{check_conservation, ArchModel};
+use wbsim_sim::{Event, Machine, Observer};
+use wbsim_types::config::MachineConfig;
+use wbsim_types::divergence::FaultInjection;
+use wbsim_types::op::Op;
+use wbsim_types::policy::{LoadHazardPolicy, RetirementOrder, RetirementPolicy};
+use wbsim_types::Addr;
+
+/// Cycle budget per run: a liveness bound. The longest bounded sequence
+/// finishes in well under a hundred cycles; a run that is still going after
+/// this many has livelocked, which is itself a violation.
+const CYCLE_BUDGET: u64 = 10_000;
+
+/// What a clean exhaustive check covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Boundary configurations enumerated.
+    pub configs: u64,
+    /// Op sequences per configuration.
+    pub sequences: u64,
+    /// Total machine runs (`configs × sequences`).
+    pub runs: u64,
+}
+
+/// A minimized invariant violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The configuration the violation occurred under.
+    pub config: MachineConfig,
+    /// The minimized op sequence (no single op can be removed and still
+    /// violate).
+    pub ops: Vec<Op>,
+    /// What went wrong on the minimized sequence.
+    pub violation: String,
+    /// The minimized run's full event stream, one JSON object per line —
+    /// feed to `wbsim trace validate` to replay.
+    pub trace: Vec<String>,
+}
+
+/// The bounded address universe: stores and loads over 2 lines × 2 words
+/// (the paper's 32-byte lines, 8-byte words), 8 ops total. Two lines
+/// exercise inter-line FIFO order and eviction; two words per line
+/// exercise coalescing and partial-line hazards.
+#[must_use]
+pub fn op_universe(cfg: &MachineConfig) -> Vec<Op> {
+    let line = u64::from(cfg.geometry.line_bytes());
+    let word = u64::from(cfg.geometry.word_bytes());
+    let mut ops = Vec::with_capacity(8);
+    for base in [0, line] {
+        for offset in [0, word] {
+            ops.push(Op::Store(Addr::new(base + offset)));
+            ops.push(Op::Load(Addr::new(base + offset)));
+        }
+    }
+    ops
+}
+
+/// The boundary configurations: every hazard policy × depth 1..=4 × every
+/// retire-at mark 1..=depth, on the paper's baseline machine, optionally
+/// with an injected fault. 40 configurations.
+#[must_use]
+pub fn bounded_configs(fault: Option<FaultInjection>) -> Vec<MachineConfig> {
+    let mut out = Vec::new();
+    for hazard in LoadHazardPolicy::ALL {
+        for depth in 1..=4usize {
+            for hw in 1..=depth {
+                let mut cfg = MachineConfig::baseline();
+                cfg.write_buffer.depth = depth;
+                cfg.write_buffer.retirement = RetirementPolicy::RetireAt(hw);
+                cfg.write_buffer.hazard = hazard;
+                cfg.check_data = false;
+                cfg.fault = fault;
+                debug_assert!(cfg.validate().is_ok());
+                out.push(cfg);
+            }
+        }
+    }
+    out
+}
+
+/// Asserts the per-event invariants and records what the architectural
+/// comparison needs.
+#[derive(Debug, Default)]
+struct InvariantObserver {
+    depth: u64,
+    fifo: bool,
+    loads: Vec<(Addr, u64)>,
+    cycles_seen: u64,
+    max_occupancy: u64,
+    last_stall_now: Option<u64>,
+    last_autonomous_retire_id: Option<u64>,
+    violation: Option<String>,
+}
+
+impl InvariantObserver {
+    fn new(cfg: &MachineConfig) -> Self {
+        InvariantObserver {
+            depth: cfg.write_buffer.depth as u64,
+            fifo: cfg.write_buffer.order == RetirementOrder::Fifo,
+            ..Self::default()
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.violation.is_none() {
+            self.violation = Some(msg);
+        }
+    }
+}
+
+impl Observer for InvariantObserver {
+    fn event(&mut self, ev: &Event) {
+        match *ev {
+            Event::CycleEnd { now, occupancy } => {
+                self.cycles_seen += 1;
+                self.max_occupancy = self.max_occupancy.max(occupancy);
+                if occupancy > self.depth {
+                    self.fail(format!(
+                        "cycle {now}: occupancy {occupancy} exceeds depth {}",
+                        self.depth
+                    ));
+                }
+            }
+            Event::StallCycle { now, kind } => {
+                if self.last_stall_now == Some(now) {
+                    self.fail(format!(
+                        "cycle {now}: second stall cause ({kind:?}) in one cycle; \
+                         Table-3 causes must be mutually exclusive"
+                    ));
+                }
+                self.last_stall_now = Some(now);
+            }
+            Event::RetireStart { now, id, flush } if self.fifo && !flush => {
+                if let Some(prev) = self.last_autonomous_retire_id {
+                    if id <= prev {
+                        self.fail(format!(
+                            "cycle {now}: autonomous retirement of entry {id} \
+                             after entry {prev}; FIFO order requires strictly \
+                             increasing ids"
+                        ));
+                    }
+                }
+                self.last_autonomous_retire_id = Some(id);
+            }
+            Event::LoadResolved { addr, value, .. } => self.loads.push((addr, value)),
+            _ => {}
+        }
+    }
+}
+
+/// Runs one sequence under one configuration and checks every invariant.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated invariant.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`MachineConfig::validate`] — the checker explores
+/// behavior, not configuration validation (the linter owns that).
+pub fn check_sequence(cfg: &MachineConfig, ops: &[Op]) -> Result<(), String> {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let mut machine = Machine::new(cfg.clone()).expect("bounded configs are valid");
+    let mut obs = InvariantObserver::new(&cfg);
+    let Some(stats) = machine.run_bounded(ops.iter().copied(), CYCLE_BUDGET, &mut obs) else {
+        return Err(format!(
+            "run exceeded the {CYCLE_BUDGET}-cycle liveness budget"
+        ));
+    };
+    if let Some(v) = obs.violation {
+        return Err(v);
+    }
+
+    // No store lost or staled: loads and final memory vs the untimed model.
+    let mut oracle = ArchModel::new(cfg.geometry);
+    let expected = oracle.run(ops);
+    for (i, (&(addr, got), &want)) in obs.loads.iter().zip(expected.iter()).enumerate() {
+        if got != want {
+            return Err(format!(
+                "load #{i} at {addr:?} observed {got:#x}, architectural model \
+                 says {want:#x} (stale or lost store)"
+            ));
+        }
+    }
+    if obs.loads.len() != expected.len() {
+        return Err(format!(
+            "machine resolved {} loads, stream has {}",
+            obs.loads.len(),
+            expected.len()
+        ));
+    }
+    for op in ops {
+        if let Op::Load(addr) | Op::Store(addr) = *op {
+            let got = machine.read_word_architectural(addr);
+            let want = oracle.read_word(addr);
+            if got != want {
+                return Err(format!(
+                    "final memory at {addr:?}: machine reads {got:#x}, \
+                     architectural model says {want:#x}"
+                ));
+            }
+        }
+    }
+
+    // Headroom identity: the recorded high-water mark is exactly the
+    // maximum occupancy the event stream saw, so headroom(depth) is
+    // depth − max occupancy.
+    let depth = cfg.write_buffer.depth as u64;
+    let hw = stats.wb_detail.high_water;
+    if hw != obs.max_occupancy || hw > depth {
+        return Err(format!(
+            "high-water mark {hw} disagrees with the event stream's maximum \
+             occupancy {} (depth {depth})",
+            obs.max_occupancy
+        ));
+    }
+
+    // The conservation identities shared with the differential oracle.
+    check_conservation(
+        &cfg,
+        &stats,
+        machine.wb_victim_allocs(),
+        machine.wb_occupancy() as u64,
+        obs.cycles_seen,
+        true,
+    )
+    .map_err(|d| format!("conservation identity violated: {d}"))
+}
+
+/// Collects the event stream as JSONL for counterexample replay.
+#[derive(Debug, Default)]
+struct TraceObserver {
+    lines: Vec<String>,
+}
+
+impl Observer for TraceObserver {
+    fn event(&mut self, ev: &Event) {
+        self.lines.push(ev.to_json());
+    }
+}
+
+/// Greedily deletes ops while the sequence still violates, to a fixed
+/// point: the result is 1-minimal (removing any single op makes the
+/// violation disappear).
+fn minimize(cfg: &MachineConfig, ops: &[Op]) -> Vec<Op> {
+    let mut ops = ops.to_vec();
+    'outer: loop {
+        for i in 0..ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if check_sequence(cfg, &candidate).is_err() {
+                ops = candidate;
+                continue 'outer;
+            }
+        }
+        return ops;
+    }
+}
+
+fn counterexample(cfg: &MachineConfig, ops: &[Op]) -> Box<Counterexample> {
+    let ops = minimize(cfg, ops);
+    let violation = check_sequence(cfg, &ops).expect_err("minimization preserves the violation");
+    let mut trace = TraceObserver::default();
+    let mut cfg_run = cfg.clone();
+    cfg_run.check_data = false;
+    let _ = Machine::new(cfg_run)
+        .expect("bounded configs are valid")
+        .run_bounded(ops.iter().copied(), CYCLE_BUDGET, &mut trace);
+    Box::new(Counterexample {
+        config: cfg.clone(),
+        ops,
+        violation,
+        trace: trace.lines,
+    })
+}
+
+/// Sequences of length 1..=`max_ops` over a `universe`-sized alphabet.
+fn sequence_count(universe: u64, max_ops: u32) -> u64 {
+    (1..=max_ops).map(|k| universe.pow(k)).sum()
+}
+
+/// Enumerates every op sequence of length 1..=`max_ops` over the bounded
+/// universe, across all boundary configurations, checking every invariant
+/// on every run. Configurations are checked in parallel; the search stops
+/// at the first violating configuration (ties broken by configuration
+/// order, so the result is deterministic for a deterministic machine).
+///
+/// # Errors
+///
+/// Returns the minimized, replayable [`Counterexample`] for the violation.
+pub fn check_exhaustive(
+    max_ops: u32,
+    fault: Option<FaultInjection>,
+) -> Result<CheckReport, Box<Counterexample>> {
+    let configs = bounded_configs(fault);
+    let stop = AtomicBool::new(false);
+
+    // One worker per configuration: each enumerates the full sequence space
+    // in a fixed odometer order and reports its first violation.
+    let firsts: Vec<Option<Vec<Op>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|cfg| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let universe = op_universe(cfg);
+                    let mut ops = Vec::with_capacity(max_ops as usize);
+                    for len in 1..=max_ops as usize {
+                        let mut odometer = vec![0usize; len];
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                return None;
+                            }
+                            ops.clear();
+                            ops.extend(odometer.iter().map(|&i| universe[i]));
+                            if check_sequence(cfg, &ops).is_err() {
+                                stop.store(true, Ordering::Relaxed);
+                                return Some(ops);
+                            }
+                            // Advance the odometer; carry out means done.
+                            let mut pos = 0;
+                            loop {
+                                if pos == len {
+                                    break;
+                                }
+                                odometer[pos] += 1;
+                                if odometer[pos] < universe.len() {
+                                    break;
+                                }
+                                odometer[pos] = 0;
+                                pos += 1;
+                            }
+                            if pos == len {
+                                break;
+                            }
+                        }
+                    }
+                    None
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (cfg, first) in configs.iter().zip(firsts) {
+        if let Some(ops) = first {
+            return Err(counterexample(cfg, &ops));
+        }
+    }
+    let sequences = sequence_count(op_universe(&configs[0]).len() as u64, max_ops);
+    Ok(CheckReport {
+        configs: configs.len() as u64,
+        sequences,
+        runs: configs.len() as u64 * sequences,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsim_sim::EventParseError;
+
+    #[test]
+    fn universe_is_two_lines_by_two_words() {
+        let ops = op_universe(&MachineConfig::baseline());
+        assert_eq!(ops.len(), 8);
+        let lines: std::collections::BTreeSet<u64> = ops
+            .iter()
+            .map(|op| match op {
+                Op::Load(a) | Op::Store(a) => a.as_u64() / 32,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn boundary_configs_cover_the_grid() {
+        let cfgs = bounded_configs(None);
+        assert_eq!(cfgs.len(), 40);
+        assert!(cfgs.iter().all(|c| c.validate().is_ok()));
+        // Every hazard policy appears, and depth 1 with retire-at-1 exists.
+        for h in LoadHazardPolicy::ALL {
+            assert!(cfgs.iter().any(|c| c.write_buffer.hazard == h));
+        }
+        assert!(cfgs.iter().any(|c| c.write_buffer.depth == 1));
+    }
+
+    #[test]
+    fn sequence_count_is_a_geometric_sum() {
+        assert_eq!(sequence_count(8, 1), 8);
+        assert_eq!(sequence_count(8, 3), 8 + 64 + 512);
+    }
+
+    #[test]
+    fn short_exhaustive_check_is_clean() {
+        let report = check_exhaustive(3, None).expect("no violations at depth 3");
+        assert_eq!(report.configs, 40);
+        assert_eq!(report.sequences, 8 + 64 + 512);
+        assert_eq!(report.runs, 40 * (8 + 64 + 512));
+    }
+
+    #[test]
+    fn injected_fault_yields_minimized_replayable_counterexample() {
+        let ce = check_exhaustive(3, Some(FaultInjection::SkipWbForwarding))
+            .expect_err("skipping WB forwarding must violate data freshness");
+        assert!(
+            ce.config.write_buffer.hazard == LoadHazardPolicy::ReadFromWb,
+            "the fault only bites under read-from-WB"
+        );
+        assert!(!ce.ops.is_empty());
+        assert!(!ce.violation.is_empty());
+        // 1-minimal: removing any op makes the violation disappear.
+        for i in 0..ce.ops.len() {
+            let mut fewer = ce.ops.clone();
+            fewer.remove(i);
+            assert!(
+                check_sequence(&ce.config, &fewer).is_ok(),
+                "counterexample is not minimal: op {i} is removable"
+            );
+        }
+        // Replayable: every trace line round-trips through the event codec.
+        assert!(!ce.trace.is_empty());
+        for line in &ce.trace {
+            let ev: Result<Event, EventParseError> = Event::from_json(line);
+            ev.expect("counterexample trace must be valid JSONL");
+        }
+    }
+
+    #[test]
+    fn check_sequence_accepts_a_hazardous_store_load_pair() {
+        let cfgs = bounded_configs(None);
+        let a = Addr::new(0);
+        for cfg in &cfgs {
+            check_sequence(cfg, &[Op::Store(a), Op::Load(a)]).expect("hazard pair is clean");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Static analysis for the `wbsim` design space: a configuration linter
+//! and a bounded exhaustive model checker.
+//!
+//! The differential oracle (`wbsim-oracle`) samples the design space with
+//! random traces; the nastiest behaviors, though, live at exact boundary
+//! configurations — retire-at == depth, depth 1, read-from-WB under
+//! partial-line hits — that random sampling rarely pins. This crate closes
+//! that gap with two complementary static gates:
+//!
+//! * [`lint`] — a rule engine over [`MachineConfig`]s and sweep grids
+//!   producing structured [`Diagnostic`]s (stable codes, severities, field
+//!   paths, suggestions; human and JSON renders). Hard validity stays in
+//!   [`MachineConfig::validate`]; the linter maps its errors to `CFG…`
+//!   diagnostics and layers advisory `LNT…` rules on top.
+//! * [`bounded`] — exhaustive enumeration of *all* op sequences up to a
+//!   small length over 2 cache lines × 2 words, across every hazard policy
+//!   × depth 1–4 × retire-at mark, asserting the paper's invariants from
+//!   the event stream on every run. Violations come back as minimized,
+//!   replayable JSONL counterexamples.
+//!
+//! The CLI front end is `wbsim check`; the experiments harness lints every
+//! sweep grid before running it.
+//!
+//! # Example
+//!
+//! ```
+//! use wbsim_check::{lint_config, Severity};
+//! use wbsim_types::config::MachineConfig;
+//! use wbsim_types::policy::RetirementPolicy;
+//!
+//! let mut cfg = MachineConfig::baseline();
+//! cfg.write_buffer.retirement = RetirementPolicy::RetireAt(4);
+//! let diags = lint_config(&cfg);
+//! assert_eq!(diags[0].code, "LNT001"); // zero headroom
+//! assert_eq!(diags[0].severity, Severity::Warning);
+//! ```
+//!
+//! [`MachineConfig`]: wbsim_types::config::MachineConfig
+//! [`MachineConfig::validate`]: wbsim_types::config::MachineConfig::validate
+//! [`Diagnostic`]: wbsim_types::diagnostics::Diagnostic
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod lint;
+
+pub use bounded::{check_exhaustive, check_sequence, CheckReport, Counterexample};
+pub use lint::{config_error_diagnostic, lint_config, lint_grid, parse_error_diagnostic};
+pub use wbsim_types::diagnostics::{any_errors, Diagnostic, Severity};

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fs::File;
 use std::io::{self, BufRead as _, BufReader, BufWriter};
 
+use wbsim_check::{check_exhaustive, lint_config, parse_error_diagnostic};
 use wbsim_experiments::harness::Harness;
 use wbsim_experiments::{ablations, figures, render, tables};
 use wbsim_sim::{Event, Machine, Observer};
@@ -11,6 +12,9 @@ use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_trace::file as trace_file;
 use wbsim_trace::stats::TraceStats;
 use wbsim_types::config::{L1Config, L2Config, MachineConfig, WriteBufferConfig};
+use wbsim_types::diagnostics::{any_errors, Diagnostic};
+use wbsim_types::divergence::FaultInjection;
+use wbsim_types::file_config::{parse_machine_config, to_config_string};
 use wbsim_types::policy::{LoadHazardPolicy, RetirementPolicy};
 use wbsim_types::stall::StallKind;
 
@@ -35,6 +39,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("grid") => cmd_grid(&p),
         Some("report") => cmd_report(&p),
         Some("trace") => cmd_trace(&p),
+        Some("check") => cmd_check(&p),
         Some("list") => cmd_list(),
         Some(other) => Err(ArgError(format!("unknown command {other:?}")).into()),
     }
@@ -66,6 +71,11 @@ USAGE:
   wbsim trace events --bench NAME [--out FILE] [--mshrs N] [config flags as for run]
         (emits the machine's structured event stream as JSON lines)
   wbsim trace validate <FILE.jsonl>
+  wbsim check [--config FILE.wbcfg] [--depth N] [--retire-at N] [--hazard P] [--json]
+        (lint the configuration; exits non-zero on any error-severity finding)
+  wbsim check --exhaustive [--max-ops N] [--fault skip-wb-forwarding] [--out FILE.jsonl]
+        (bounded exhaustive model check; a violation writes a replayable
+         counterexample trace for `wbsim trace validate`)
   wbsim list
 
 HAZARD POLICIES: flush-full | flush-partial | flush-item-only | read-from-wb
@@ -198,7 +208,9 @@ fn hazard_from(name: &str) -> Result<LoadHazardPolicy, ArgError> {
 fn machine_from(p: &Parsed) -> Result<MachineConfig, Box<dyn Error>> {
     // A --config file provides the base; explicit flags override it.
     let mut cfg = match p.options.get("config") {
-        Some(path) => std::fs::read_to_string(path)?.parse::<MachineConfig>()?,
+        // parse_machine_config reports every bad line at once, not just
+        // the first.
+        Some(path) => parse_machine_config(&std::fs::read_to_string(path)?)?,
         None => MachineConfig::baseline(),
     };
     if p.options.contains_key("config") {
@@ -780,6 +792,109 @@ fn load_trace(path: &str) -> Result<Vec<wbsim_types::op::Op>, Box<dyn Error>> {
         trace_file::read_text(BufReader::new(File::open(path)?))?
     };
     Ok(ops)
+}
+
+/// Builds the configuration to lint *without* validating it — rejecting an
+/// invalid configuration is the linter's job, with a structured diagnostic
+/// rather than a bare error.
+fn config_for_lint(p: &Parsed) -> Result<(Option<MachineConfig>, Vec<Diagnostic>), Box<dyn Error>> {
+    if let Some(path) = p.options.get("config") {
+        return match parse_machine_config(&std::fs::read_to_string(path)?) {
+            Ok(cfg) => Ok((Some(cfg), Vec::new())),
+            Err(errs) => Ok((None, errs.0.iter().map(parse_error_diagnostic).collect())),
+        };
+    }
+    let mut cfg = MachineConfig::baseline();
+    if let Some(v) = p.options.get("depth") {
+        cfg.write_buffer.depth = v
+            .parse()
+            .map_err(|_| ArgError(format!("bad --depth {v:?}")))?;
+    }
+    if let Some(v) = p.options.get("retire-at") {
+        cfg.write_buffer.retirement = RetirementPolicy::RetireAt(
+            v.parse()
+                .map_err(|_| ArgError(format!("bad --retire-at {v:?}")))?,
+        );
+    }
+    if let Some(v) = p.options.get("hazard") {
+        cfg.write_buffer.hazard = hazard_from(v)?;
+    }
+    Ok((Some(cfg), Vec::new()))
+}
+
+fn cmd_check(p: &Parsed) -> CmdResult {
+    if p.has_flag("exhaustive") {
+        return cmd_check_exhaustive(p);
+    }
+    let (cfg, mut diags) = config_for_lint(p)?;
+    if let Some(cfg) = cfg {
+        diags.extend(lint_config(&cfg));
+    }
+    for d in &diags {
+        if p.has_flag("json") {
+            println!("{}", d.to_json());
+        } else {
+            println!("{}", d.render());
+        }
+    }
+    if any_errors(&diags) {
+        return Err(ArgError("configuration has error-severity diagnostics".into()).into());
+    }
+    if !p.has_flag("json") {
+        println!(
+            "ok: {} diagnostics, no errors",
+            if diags.is_empty() {
+                "no".to_string()
+            } else {
+                diags.len().to_string()
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_check_exhaustive(p: &Parsed) -> CmdResult {
+    let max_ops = p.get_or("max-ops", 5u32)?;
+    let fault = match p.options.get("fault").map(String::as_str) {
+        None => None,
+        Some("skip-wb-forwarding") => Some(FaultInjection::SkipWbForwarding),
+        Some(other) => {
+            return Err(
+                ArgError(format!("unknown fault {other:?} (try skip-wb-forwarding)")).into(),
+            )
+        }
+    };
+    match check_exhaustive(max_ops, fault) {
+        Ok(report) => {
+            println!(
+                "bounded exhaustive check clean: {} runs ({} configurations x {} op \
+                 sequences of length 1..={max_ops}), no invariant violations",
+                report.runs, report.configs, report.sequences
+            );
+            Ok(())
+        }
+        Err(ce) => {
+            let out = p
+                .options
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "wbsim-counterexample.jsonl".into());
+            let mut w = BufWriter::new(File::create(&out)?);
+            use std::io::Write as _;
+            for line in &ce.trace {
+                writeln!(w, "{line}")?;
+            }
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            println!("invariant violated: {}", ce.violation);
+            println!("configuration:\n{}", to_config_string(&ce.config));
+            println!("minimized sequence ({} ops): {:?}", ce.ops.len(), ce.ops);
+            println!(
+                "event trace: {out} ({} events) — replay with `wbsim trace validate {out}`",
+                ce.trace.len()
+            );
+            Err(ArgError("bounded exhaustive check found an invariant violation".into()).into())
+        }
+    }
 }
 
 fn cmd_list() -> CmdResult {

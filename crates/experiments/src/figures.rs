@@ -38,6 +38,13 @@ fn hazard_label(p: LoadHazardPolicy) -> String {
     p.to_string()
 }
 
+/// A labelled configuration grid, as [`Harness::sweep`] consumes it.
+pub type Grid = Vec<(String, MachineConfig)>;
+
+fn fig3_configs() -> Grid {
+    vec![("base".to_string(), MachineConfig::baseline())]
+}
+
 /// Figure 3: the baseline write buffer (4-deep, retire-at-2, flush-full)
 /// over every benchmark, split R/F/L.
 #[must_use]
@@ -46,7 +53,7 @@ pub fn fig3(h: &Harness) -> FigureResult {
         "Figure 3",
         "Write-Buffer-Induced Stall Cycles, Base Model (4-deep, retire-at-2, flush-full)",
         &BenchmarkModel::ALL,
-        &[("base".to_string(), MachineConfig::baseline())],
+        &fig3_configs(),
     )
 }
 
@@ -54,7 +61,16 @@ pub fn fig3(h: &Harness) -> FigureResult {
 /// (retire-at-2, flush-full).
 #[must_use]
 pub fn fig4(h: &Harness) -> FigureResult {
-    let configs: Vec<(String, MachineConfig)> = [2usize, 4, 6, 8, 10, 12]
+    h.sweep(
+        "Figure 4",
+        "Stall Cycles as a Function of Depth, Base Model, depth = 2-12 (retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &fig4_configs(),
+    )
+}
+
+fn fig4_configs() -> Grid {
+    [2usize, 4, 6, 8, 10, 12]
         .iter()
         .map(|&d| {
             (
@@ -62,19 +78,22 @@ pub fn fig4(h: &Harness) -> FigureResult {
                 with_wb(wb(d, 2, LoadHazardPolicy::FlushFull)),
             )
         })
-        .collect();
-    h.sweep(
-        "Figure 4",
-        "Stall Cycles as a Function of Depth, Base Model, depth = 2-12 (retire-at-2, flush-full)",
-        &BenchmarkModel::ALL,
-        &configs,
-    )
+        .collect()
 }
 
 /// Figure 5: a 12-deep, flush-full buffer under retire-at-2 … retire-at-10.
 #[must_use]
 pub fn fig5(h: &Harness) -> FigureResult {
-    let configs: Vec<(String, MachineConfig)> = [2usize, 4, 6, 8, 10]
+    h.sweep(
+        "Figure 5",
+        "Stall Cycles as a Function of Retirement Policy, retire-at-2 thru 10 (12-deep, flush-full)",
+        &BenchmarkModel::ALL,
+        &fig5_configs(),
+    )
+}
+
+fn fig5_configs() -> Grid {
+    [2usize, 4, 6, 8, 10]
         .iter()
         .map(|&n| {
             (
@@ -82,25 +101,23 @@ pub fn fig5(h: &Harness) -> FigureResult {
                 with_wb(wb(12, n, LoadHazardPolicy::FlushFull)),
             )
         })
-        .collect();
-    h.sweep(
-        "Figure 5",
-        "Stall Cycles as a Function of Retirement Policy, retire-at-2 thru 10 (12-deep, flush-full)",
-        &BenchmarkModel::ALL,
-        &configs,
-    )
+        .collect()
 }
 
-fn hazard_policy_figure(h: &Harness, id: &'static str, retire_at: usize) -> FigureResult {
+fn hazard_policy_configs(retire_at: usize) -> Grid {
     let mut configs = vec![baseline_plus()];
     for p in LoadHazardPolicy::ALL {
         configs.push((hazard_label(p), with_wb(wb(12, retire_at, p))));
     }
+    configs
+}
+
+fn hazard_policy_figure(h: &Harness, id: &'static str, retire_at: usize) -> FigureResult {
     h.sweep(
         id,
         &format!("Stalls as a Function of Load-Hazard Policy (12-deep, retire-at-{retire_at})"),
         &BenchmarkModel::ALL,
-        &configs,
+        &hazard_policy_configs(retire_at),
     )
 }
 
@@ -117,13 +134,18 @@ pub fn fig7(h: &Harness) -> FigureResult {
     hazard_policy_figure(h, "Figure 7", 8)
 }
 
-fn headroom_figure(h: &Harness, id: &'static str, policy: LoadHazardPolicy) -> FigureResult {
+fn headroom_configs(policy: LoadHazardPolicy) -> Grid {
     // Retirement policy varies while headroom stays fixed at 6 entries —
     // "depth therefore varies, too" (§3.5).
     let mut configs = vec![baseline_plus()];
     for n in [2usize, 4, 6] {
         configs.push((format!("retire-at-{n}"), with_wb(wb(n + 6, n, policy))));
     }
+    configs
+}
+
+fn headroom_figure(h: &Harness, id: &'static str, policy: LoadHazardPolicy) -> FigureResult {
+    let configs = headroom_configs(policy);
     h.sweep(
         id,
         &format!(
@@ -150,7 +172,16 @@ pub fn fig9(h: &Harness) -> FigureResult {
 /// Figure 10: the baseline write buffer with 8K/16K/32K L1 caches.
 #[must_use]
 pub fn fig10(h: &Harness) -> FigureResult {
-    let configs: Vec<(String, MachineConfig)> = [8u32, 16, 32]
+    h.sweep(
+        "Figure 10",
+        "Stall Cycles as a Function of Cache Size (4-deep, retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &fig10_configs(),
+    )
+}
+
+fn fig10_configs() -> Grid {
+    [8u32, 16, 32]
         .iter()
         .map(|&kb| {
             (
@@ -161,19 +192,22 @@ pub fn fig10(h: &Harness) -> FigureResult {
                 },
             )
         })
-        .collect();
-    h.sweep(
-        "Figure 10",
-        "Stall Cycles as a Function of Cache Size (4-deep, retire-at-2, flush-full)",
-        &BenchmarkModel::ALL,
-        &configs,
-    )
+        .collect()
 }
 
 /// Figure 11: the baseline write buffer with L2 latency 3/6/10 cycles.
 #[must_use]
 pub fn fig11(h: &Harness) -> FigureResult {
-    let configs: Vec<(String, MachineConfig)> = [3u64, 6, 10]
+    h.sweep(
+        "Figure 11",
+        "Stall Cycles as a Function of L2 Access Time (4-deep, retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &fig11_configs(),
+    )
+}
+
+fn fig11_configs() -> Grid {
+    [3u64, 6, 10]
         .iter()
         .map(|&lat| {
             (
@@ -184,19 +218,22 @@ pub fn fig11(h: &Harness) -> FigureResult {
                 },
             )
         })
-        .collect();
-    h.sweep(
-        "Figure 11",
-        "Stall Cycles as a Function of L2 Access Time (4-deep, retire-at-2, flush-full)",
-        &BenchmarkModel::ALL,
-        &configs,
-    )
+        .collect()
 }
 
 /// Figure 12: perfect vs real L2 caches of 1M/512K/128K (6-cycle latency,
 /// 25-cycle main memory).
 #[must_use]
 pub fn fig12(h: &Harness) -> FigureResult {
+    h.sweep(
+        "Figure 12",
+        "Stall Cycles, Perfect and Real Caches (4-deep, retire-at-2, flush-full; latency 6, mm 25)",
+        &BenchmarkModel::ALL,
+        &fig12_configs(),
+    )
+}
+
+fn fig12_configs() -> Grid {
     let mut configs = vec![("perfect-L2".to_string(), MachineConfig::baseline())];
     for (label, kb) in [("1M-L2", 1024u32), ("512k-L2", 512), ("128k-L2", 128)] {
         configs.push((
@@ -207,17 +244,21 @@ pub fn fig12(h: &Harness) -> FigureResult {
             },
         ));
     }
-    h.sweep(
-        "Figure 12",
-        "Stall Cycles, Perfect and Real Caches (4-deep, retire-at-2, flush-full; latency 6, mm 25)",
-        &BenchmarkModel::ALL,
-        &configs,
-    )
+    configs
 }
 
 /// Figure 13: perfect L2 vs a 1M L2 with main-memory latency 25 and 50.
 #[must_use]
 pub fn fig13(h: &Harness) -> FigureResult {
+    h.sweep(
+        "Figure 13",
+        "Stall Cycles, perfect and real caches, different main-memory latencies (4-deep, retire-at-2, flush-full)",
+        &BenchmarkModel::ALL,
+        &fig13_configs(),
+    )
+}
+
+fn fig13_configs() -> Grid {
     let mk = |mm: u64| MachineConfig {
         l2: L2Config::Real {
             size_bytes: 1024 * 1024,
@@ -227,17 +268,34 @@ pub fn fig13(h: &Harness) -> FigureResult {
         },
         ..MachineConfig::baseline()
     };
-    let configs = vec![
+    vec![
         ("perfect-L2".to_string(), MachineConfig::baseline()),
         ("1M-L2,mm=25".to_string(), mk(25)),
         ("1M-L2,mm=50".to_string(), mk(50)),
-    ];
-    h.sweep(
-        "Figure 13",
-        "Stall Cycles, perfect and real caches, different main-memory latencies (4-deep, retire-at-2, flush-full)",
-        &BenchmarkModel::ALL,
-        &configs,
-    )
+    ]
+}
+
+/// Every figure's configuration grid, without running anything — the
+/// cross-check surface for the `wbsim-check` linter: the paper's own
+/// presets must never trip an error-severity diagnostic.
+#[must_use]
+pub fn preset_grids() -> Vec<(&'static str, Grid)> {
+    vec![
+        ("Figure 3", fig3_configs()),
+        ("Figure 4", fig4_configs()),
+        ("Figure 5", fig5_configs()),
+        ("Figure 6", hazard_policy_configs(10)),
+        ("Figure 7", hazard_policy_configs(8)),
+        ("Figure 8", headroom_configs(LoadHazardPolicy::FlushPartial)),
+        (
+            "Figure 9",
+            headroom_configs(LoadHazardPolicy::FlushItemOnly),
+        ),
+        ("Figure 10", fig10_configs()),
+        ("Figure 11", fig11_configs()),
+        ("Figure 12", fig12_configs()),
+        ("Figure 13", fig13_configs()),
+    ]
 }
 
 /// Every figure runner, for `wbsim figure all`.
@@ -312,5 +370,20 @@ mod tests {
         let f = fig12(&tiny());
         assert_eq!(f.configs[0], "perfect-L2");
         assert_eq!(f.configs.len(), 4);
+    }
+
+    #[test]
+    fn preset_grids_lint_without_errors() {
+        // The paper's own figure presets must pass the design-space linter:
+        // a rule that trips on them is wrong, not the presets.
+        let grids = preset_grids();
+        assert_eq!(grids.len(), 11);
+        for (id, grid) in grids {
+            let diags = wbsim_check::lint_grid(&grid);
+            assert!(
+                !wbsim_check::any_errors(&diags),
+                "{id} preset grid has error diagnostics: {diags:?}"
+            );
+        }
     }
 }

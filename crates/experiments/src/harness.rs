@@ -34,6 +34,22 @@ impl std::fmt::Display for SweepError {
     }
 }
 
+/// Lints a sweep grid before burning cycles on it. Error-severity
+/// diagnostics abort the sweep: every cell is zeroed and the findings are
+/// recorded as [`SweepError`]s under the pseudo-benchmark `(grid lint)`.
+/// Warnings and infos do not block.
+fn grid_lint_errors(configs: &[(String, MachineConfig)]) -> Vec<SweepError> {
+    wbsim_check::lint_grid(configs)
+        .into_iter()
+        .filter(|d| d.severity == wbsim_check::Severity::Error)
+        .map(|d| SweepError {
+            bench: "(grid lint)",
+            config: d.field_path.clone(),
+            message: d.render(),
+        })
+        .collect()
+}
+
 /// Renders a `catch_unwind` payload as a readable message.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
@@ -141,6 +157,20 @@ impl Harness {
         benches: &[BenchmarkModel],
         configs: &[(String, MachineConfig)],
     ) -> FigureResult {
+        let lint = grid_lint_errors(configs);
+        if !lint.is_empty() {
+            return FigureResult {
+                id,
+                title: title.to_string(),
+                benches: benches.iter().map(|b| b.name()).collect(),
+                configs: configs.iter().map(|(l, _)| l.clone()).collect(),
+                cells: benches
+                    .iter()
+                    .map(|_| configs.iter().map(|_| StallCell::zeroed()).collect())
+                    .collect(),
+                errors: lint,
+            };
+        }
         let rows: Vec<Vec<Result<StallCell, String>>> = std::thread::scope(|s| {
             let handles: Vec<_> = benches
                 .iter()
@@ -405,6 +435,25 @@ impl Harness {
         configs: &[(String, MachineConfig)],
         n_seeds: u64,
     ) -> FigureSpread {
+        let lint = grid_lint_errors(configs);
+        if !lint.is_empty() {
+            return FigureSpread {
+                id,
+                title: title.to_string(),
+                benches: benches.iter().map(|b| b.name()).collect(),
+                configs: configs.iter().map(|(l, _)| l.clone()).collect(),
+                summaries: benches
+                    .iter()
+                    .map(|_| {
+                        configs
+                            .iter()
+                            .map(|_| SeedSummary::zeroed(n_seeds.max(1)))
+                            .collect()
+                    })
+                    .collect(),
+                errors: lint,
+            };
+        }
         let rows: Vec<Vec<Result<SeedSummary, String>>> = std::thread::scope(|s| {
             let handles: Vec<_> = benches
                 .iter()
@@ -559,12 +608,12 @@ mod tests {
         assert!(fig.cell("li", "zzz").is_none());
     }
 
-    /// A configuration the machine rejects (zero-depth buffer) must not
-    /// abort the sweep: its cells are zeroed and reported as errors naming
-    /// the benchmark and the configuration, while the valid column still
-    /// produces real statistics.
+    /// A configuration the machine would reject (zero-depth buffer) is
+    /// caught by the design-space linter *before* any simulation runs:
+    /// the whole sweep is gated with zeroed cells and a `(grid lint)`
+    /// error naming the offending column, rather than panicking per cell.
     #[test]
-    fn sweep_survives_a_panicking_cell() {
+    fn sweep_gates_invalid_grids_through_the_linter() {
         let h = Harness {
             instructions: 5_000,
             warmup: 0,
@@ -579,25 +628,25 @@ mod tests {
             ("bad".to_string(), bad.clone()),
         ];
         let fig = h.sweep("Figure T", "test", &benches, &configs);
+        // Grid shape is preserved so renderers never index out of bounds…
         assert_eq!(fig.cells.len(), 2);
         assert_eq!(fig.cells[0].len(), 2);
-        assert_eq!(fig.errors.len(), 2, "one error per benchmark");
-        for (err, bench) in fig.errors.iter().zip(["espresso", "li"]) {
-            assert_eq!(err.bench, bench);
-            assert_eq!(err.config, "bad");
-            assert!(!err.message.is_empty());
-            assert!(err.to_string().contains("bad"), "{err}");
-        }
-        // The healthy column is unaffected…
-        assert!(fig.cell("espresso", "ok").unwrap().stats.cycles > 0);
-        // …and the broken one is zeroed, not garbage.
+        // …but no cell ran: the lint gate fires once per bad column, not
+        // once per (bench, config) cell.
+        assert_eq!(fig.errors.len(), 1, "one lint error for the bad column");
+        let err = &fig.errors[0];
+        assert_eq!(err.bench, "(grid lint)");
+        assert!(err.config.starts_with("bad:"), "{}", err.config);
+        assert!(err.message.contains("CFG"), "{}", err.message);
+        assert_eq!(fig.cell("espresso", "ok").unwrap().stats.cycles, 0);
         assert_eq!(fig.cell("li", "bad").unwrap().stats.cycles, 0);
 
-        // The seed-spread sweep survives the same bad column.
+        // The seed-spread sweep is gated by the same linter.
         let spread = h.sweep_seeds("Figure T", "test", &benches, &configs, 2);
-        assert_eq!(spread.errors.len(), 2);
+        assert_eq!(spread.errors.len(), 1);
+        assert_eq!(spread.errors[0].bench, "(grid lint)");
         assert_eq!(spread.summaries[0][1].total.0, 0.0);
-        assert!(spread.summaries[0][0].total.0 >= 0.0);
+        assert_eq!(spread.summaries[0][0].total.0, 0.0);
 
         // And the non-aborting seed runner reports rather than panics.
         let err = h

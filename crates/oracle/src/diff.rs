@@ -315,7 +315,20 @@ fn final_words(
         .collect()
 }
 
-fn check_conservation(
+/// Checks the paper's conservation identities over one finished run: the
+/// three-way stall partition (Table 3), cycle accounting (when
+/// `cycle_accounting` — single-issue blocking machines only),
+/// occupancy-histogram coverage, store accounting for write-through L1s,
+/// and entry accounting (allocations + victim allocations = retirements +
+/// flushes + `residual` entries still buffered).
+///
+/// Shared between [`diff_run`] and the `wbsim-check` bounded model checker
+/// so both gates test the same identities.
+///
+/// # Errors
+///
+/// Returns the first violated identity as a [`Divergence`].
+pub fn check_conservation(
     cfg: &MachineConfig,
     stats: &SimStats,
     victim_allocs: u64,

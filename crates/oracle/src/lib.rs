@@ -40,5 +40,5 @@ pub mod arch;
 pub mod diff;
 
 pub use arch::ArchModel;
-pub use diff::{diff_run, diff_run_nonblocking, DiffReport};
+pub use diff::{check_conservation, diff_run, diff_run_nonblocking, DiffReport};
 pub use wbsim_types::divergence::Divergence;

@@ -225,24 +225,7 @@ impl Machine {
     {
         let mut warm = warmup_instructions == 0;
         let mut cycle_base = 0;
-        loop {
-            self.hier.complete_retirement(obs);
-            if self.write_priority_active() {
-                self.wb_try_retire(obs);
-            }
-            if !self.cpu_step(iter, obs) {
-                break;
-            }
-            if !matches!(self.cpu, CpuState::HazardWait { .. }) {
-                self.wb_try_retire(obs);
-            }
-            let occupancy = self.hier.wb.occupancy();
-            self.hier.stats.wb_detail.record_occupancy(occupancy);
-            obs.event(&Event::CycleEnd {
-                now: self.hier.now,
-                occupancy: occupancy as u64,
-            });
-            self.hier.now += 1;
+        while self.step(iter, obs) {
             if !warm && self.hier.stats.instructions >= warmup_instructions {
                 warm = true;
                 self.hier.stats = SimStats::default();
@@ -250,6 +233,68 @@ impl Machine {
             }
         }
         self.hier.stats.cycles = self.hier.now - cycle_base;
+    }
+
+    /// Advances the machine by exactly one cycle: retirement completion,
+    /// optional write-priority retirement, one CPU step, autonomous
+    /// retirement, and the closing [`Event::CycleEnd`].
+    ///
+    /// This is the pure single-step transition the bounded model checker
+    /// enumerates over. Returns `false` once the reference stream is
+    /// exhausted and all buffered work has drained — that final call
+    /// consumes no cycle and emits no events. Statistics accumulate as in
+    /// [`Machine::run_observed`], except `cycles`, which only the `run_*`
+    /// wrappers finalize.
+    pub fn step<I, O>(&mut self, iter: &mut I, obs: &mut O) -> bool
+    where
+        I: Iterator<Item = Op>,
+        O: Observer,
+    {
+        self.hier.complete_retirement(obs);
+        if self.write_priority_active() {
+            self.wb_try_retire(obs);
+        }
+        if !self.cpu_step(iter, obs) {
+            return false;
+        }
+        if !matches!(self.cpu, CpuState::HazardWait { .. }) {
+            self.wb_try_retire(obs);
+        }
+        let occupancy = self.hier.wb.occupancy();
+        self.hier.stats.wb_detail.record_occupancy(occupancy);
+        obs.event(&Event::CycleEnd {
+            now: self.hier.now,
+            occupancy: occupancy as u64,
+        });
+        self.hier.now += 1;
+        true
+    }
+
+    /// The current simulation timestamp: how many cycles have elapsed since
+    /// the machine was constructed.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.hier.now
+    }
+
+    /// Like [`Machine::run_observed`], but gives up and returns `None` if
+    /// the run has not finished after `max_cycles` cycles — a liveness
+    /// budget for exhaustive enumeration, where a progress bug would
+    /// otherwise hang the checker instead of failing it. Call only on a
+    /// freshly constructed machine.
+    pub fn run_bounded<I, O>(&mut self, ops: I, max_cycles: u64, obs: &mut O) -> Option<SimStats>
+    where
+        I: IntoIterator<Item = Op>,
+        O: Observer,
+    {
+        let mut iter = ops.into_iter();
+        while self.step(&mut iter, obs) {
+            if self.hier.now >= max_cycles {
+                return None;
+            }
+        }
+        self.hier.stats.cycles = self.hier.now;
+        Some(self.hier.stats)
     }
 
     /// Simulates the paper's implicit lower bound: "a perfect buffer that

@@ -200,6 +200,15 @@ impl WriteBufferConfig {
                 constraint: "must be at least 1 cycle when set",
             });
         }
+        if let L2Priority::WritePriorityAbove(0) = self.priority {
+            // Threshold 0 would mean "writes always have priority", which the
+            // retirement datapath expresses as RetireAt(1), not as a priority
+            // inversion; reject rather than silently behave like read-bypass.
+            return Err(ConfigError::OutOfRange {
+                what: "write-priority threshold",
+                constraint: "must be at least 1 entry",
+            });
+        }
         Ok(())
     }
 }
@@ -338,6 +347,12 @@ impl L1Config {
     /// Returns a [`ConfigError`] when sizes are not powers of two or the
     /// cache has fewer than one set.
     pub fn validate(&self, geometry: &Geometry) -> Result<(), ConfigError> {
+        if self.hit_latency == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "L1 hit latency",
+                constraint: "must be at least 1 cycle",
+            });
+        }
         validate_cache_shape("L1", self.size_bytes, self.assoc, geometry)
     }
 }
@@ -764,5 +779,32 @@ mod tests {
             .max_age(Some(256))
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn zero_write_priority_threshold_rejected() {
+        let err = WriteBufferConfig::builder()
+            .priority(L2Priority::WritePriorityAbove(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::OutOfRange { .. }));
+        assert!(WriteBufferConfig::builder()
+            .priority(L2Priority::WritePriorityAbove(1))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_l1_hit_latency_rejected() {
+        let mut m = MachineConfig::baseline();
+        m.l1.hit_latency = 0;
+        let err = m.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OutOfRange {
+                what: "L1 hit latency",
+                ..
+            }
+        ));
     }
 }

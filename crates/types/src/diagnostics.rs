@@ -1,0 +1,228 @@
+//! Structured diagnostics for configuration linting.
+//!
+//! The design-space linter in `wbsim-check` and the file-config loader both
+//! report problems as [`Diagnostic`] values: a stable machine-readable
+//! `code`, a [`Severity`], the dotted path of the offending field, a
+//! human-readable message, and an optional suggested fix. Diagnostics render
+//! either as compiler-style text ([`Diagnostic::render`]) or as one JSON
+//! object per line ([`Diagnostic::to_json`]) for tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use wbsim_types::diagnostics::{Diagnostic, Severity};
+//!
+//! let d = Diagnostic::new("LNT001", Severity::Warning, "wb.retirement")
+//!     .with_message("retire-at mark equals depth: zero headroom")
+//!     .with_suggestion("lower the high-water mark below wb.depth");
+//! assert!(d.render().starts_with("warning[LNT001]"));
+//! assert!(d.to_json().contains("\"code\":\"LNT001\""));
+//! ```
+
+/// How bad a diagnostic is.
+///
+/// `Error` diagnostics make `wbsim check` exit non-zero and make the
+/// experiments harness refuse to run a sweep; the other two are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Noteworthy but harmless (e.g. an unusual but valid design point).
+    Info,
+    /// Likely a mistake; the run proceeds (e.g. zero-headroom buffer).
+    Warning,
+    /// The configuration is rejected (e.g. retire threshold above depth).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case token used in both renders (`info`/`warning`/`error`).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One linter finding: a stable code, severity, field path, and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`CFG…` for validation errors shared
+    /// with [`crate::config::ConfigError`], `LNT…` for advisory lint rules).
+    pub code: &'static str,
+    /// How bad this is.
+    pub severity: Severity,
+    /// Dotted path of the offending field in `.wbcfg` notation
+    /// (e.g. `wb.retirement`), or a synthetic path like `grid` for
+    /// findings about a whole sweep.
+    pub field_path: String,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Suggested fix, if one is obvious.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Starts a diagnostic; message and suggestion are added with the
+    /// builder methods.
+    #[must_use]
+    pub fn new(code: &'static str, severity: Severity, field_path: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            field_path: field_path.into(),
+            message: String::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Sets the human-readable message.
+    #[must_use]
+    pub fn with_message(mut self, message: impl Into<String>) -> Self {
+        self.message = message.into();
+        self
+    }
+
+    /// Sets the suggested fix.
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Compiler-style one- or two-line text render:
+    ///
+    /// ```text
+    /// warning[LNT001] wb.retirement: retire-at mark equals depth
+    ///   help: lower the high-water mark below wb.depth
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.field_path, self.message
+        );
+        if let Some(help) = &self.suggestion {
+            s.push_str("\n  help: ");
+            s.push_str(help);
+        }
+        s
+    }
+
+    /// One-line JSON object, suitable for JSONL output. Keys are emitted in
+    /// a fixed order so the output is byte-stable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_json_str(&mut s, "code", self.code);
+        s.push(',');
+        push_json_str(&mut s, "severity", self.severity.token());
+        s.push(',');
+        push_json_str(&mut s, "field_path", &self.field_path);
+        s.push(',');
+        push_json_str(&mut s, "message", &self.message);
+        if let Some(help) = &self.suggestion {
+            s.push(',');
+            push_json_str(&mut s, "suggestion", help);
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Appends `"key":"value"` with minimal JSON string escaping (quotes,
+/// backslashes, and control characters — everything our messages contain).
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// True if any diagnostic in the slice is [`Severity::Error`].
+#[must_use]
+pub fn any_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new("LNT001", Severity::Warning, "wb.retirement")
+            .with_message("retire-at mark equals depth: zero headroom")
+            .with_suggestion("lower the high-water mark below wb.depth")
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_last() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn render_is_compiler_style() {
+        let d = sample();
+        let text = d.render();
+        assert!(text.starts_with("warning[LNT001] wb.retirement: "));
+        assert!(text.contains("\n  help: lower"));
+        // No suggestion: single line.
+        let d = Diagnostic::new("CFG002", Severity::Error, "wb.depth").with_message("depth is 0");
+        assert_eq!(d.render(), "error[CFG002] wb.depth: depth is 0");
+        assert_eq!(d.to_string(), d.render());
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let d = sample();
+        assert_eq!(
+            d.to_json(),
+            "{\"code\":\"LNT001\",\"severity\":\"warning\",\
+             \"field_path\":\"wb.retirement\",\
+             \"message\":\"retire-at mark equals depth: zero headroom\",\
+             \"suggestion\":\"lower the high-water mark below wb.depth\"}"
+        );
+        let tricky = Diagnostic::new("CFG001", Severity::Error, "p")
+            .with_message("got \"x\\y\"\nand a\ttab");
+        assert!(tricky
+            .to_json()
+            .contains("got \\\"x\\\\y\\\"\\nand a\\ttab"));
+    }
+
+    #[test]
+    fn any_errors_detects_only_error_severity() {
+        let mut ds = vec![
+            Diagnostic::new("LNT001", Severity::Info, "a"),
+            Diagnostic::new("LNT002", Severity::Warning, "b"),
+        ];
+        assert!(!any_errors(&ds));
+        ds.push(Diagnostic::new("CFG002", Severity::Error, "c"));
+        assert!(any_errors(&ds));
+    }
+}

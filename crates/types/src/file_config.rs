@@ -1,7 +1,8 @@
 //! A plain-text machine-configuration format (`.wbcfg`).
 //!
 //! One `key = value` pair per line, `#` comments, unknown keys rejected.
-//! [`MachineConfig`] implements [`FromStr`] for parsing and
+//! [`MachineConfig`] implements [`FromStr`] for parsing (first error only);
+//! [`parse_machine_config`] reports every bad line at once; and
 //! [`to_config_string`] serializes a
 //! configuration such that it parses back identically.
 //!
@@ -58,150 +59,215 @@ fn err(line: usize, message: impl Into<String>) -> ConfigParseError {
     }
 }
 
+/// Every parse failure in one `.wbcfg` document, in line order.
+///
+/// Produced by [`parse_machine_config`], which keeps scanning past bad lines
+/// so a user fixing a config file sees all of its problems at once instead
+/// of one per attempt. Never empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParseErrors(pub Vec<ConfigParseError>);
+
+impl std::fmt::Display for ConfigParseErrors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ConfigParseErrors {}
+
+/// L2 keys arrive on separate lines; collected here and resolved at the end.
+struct L2Keys {
+    real: bool,
+    latency: u64,
+    size_kb: u32,
+    mm: u64,
+}
+
+/// Parses a `.wbcfg` document, reporting **all** invalid lines at once.
+///
+/// Unspecified keys keep their baseline values. Lines that fail to parse are
+/// skipped (their keys keep the baseline value) and collected into the error;
+/// whole-config validation runs only when every line parsed, so its `line 0`
+/// entry never duplicates a per-line failure.
+///
+/// # Errors
+///
+/// Returns a non-empty [`ConfigParseErrors`] listing every bad line.
+pub fn parse_machine_config(s: &str) -> Result<MachineConfig, ConfigParseErrors> {
+    let mut cfg = MachineConfig::baseline();
+    let mut l2 = L2Keys {
+        real: false,
+        latency: cfg.l2.latency(),
+        size_kb: 1024,
+        mm: 25,
+    };
+    let mut errors = Vec::new();
+
+    for (i, raw) in s.lines().enumerate() {
+        let n = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = apply_line(&mut cfg, &mut l2, line, n) {
+            errors.push(e);
+        }
+    }
+    cfg.l2 = if l2.real {
+        L2Config::Real {
+            size_bytes: l2.size_kb * 1024,
+            assoc: 1,
+            latency: l2.latency,
+            mm_latency: l2.mm,
+        }
+    } else {
+        L2Config::Perfect {
+            latency: l2.latency,
+        }
+    };
+    if errors.is_empty() {
+        if let Err(e) = cfg.validate() {
+            errors.push(err(0, format!("invalid configuration: {e}")));
+        }
+    }
+    if errors.is_empty() {
+        Ok(cfg)
+    } else {
+        Err(ConfigParseErrors(errors))
+    }
+}
+
+/// Applies one non-empty, comment-stripped `key = value` line to `cfg`.
+fn apply_line(
+    cfg: &mut MachineConfig,
+    l2: &mut L2Keys,
+    line: &str,
+    n: usize,
+) -> Result<(), ConfigParseError> {
+    let (key, value) = line
+        .split_once('=')
+        .ok_or_else(|| err(n, format!("expected `key = value`, got {line:?}")))?;
+    let key = key.trim();
+    let value = value.trim();
+    let int = |what: &str| -> Result<u64, ConfigParseError> {
+        value
+            .parse::<u64>()
+            .map_err(|_| err(n, format!("{what} must be an integer, got {value:?}")))
+    };
+    match key {
+        "issue_width" => cfg.issue_width = int("issue_width")? as u32,
+        "l1.size_kb" => cfg.l1.size_bytes = int("l1.size_kb")? as u32 * 1024,
+        "l1.assoc" => cfg.l1.assoc = int("l1.assoc")? as u32,
+        "l1.write_policy" => {
+            cfg.l1.write_policy = match value {
+                "write-through" => L1WritePolicy::WriteThrough,
+                "write-back" => L1WritePolicy::WriteBack,
+                _ => return Err(err(n, format!("unknown L1 write policy {value:?}"))),
+            }
+        }
+        "l2" => match value {
+            "perfect" => l2.real = false,
+            "real" => l2.real = true,
+            _ => {
+                return Err(err(
+                    n,
+                    format!("l2 must be `perfect` or `real`, got {value:?}"),
+                ))
+            }
+        },
+        "l2.latency" => l2.latency = int("l2.latency")?,
+        "l2.size_kb" => l2.size_kb = int("l2.size_kb")? as u32,
+        "l2.mm_latency" => l2.mm = int("l2.mm_latency")?,
+        "icache" => {
+            cfg.icache = if value == "perfect" {
+                IcacheConfig::Perfect
+            } else if let Some(rest) = value.strip_prefix("miss-every:") {
+                IcacheConfig::MissEvery {
+                    interval: rest
+                        .parse()
+                        .map_err(|_| err(n, format!("bad miss-every interval {rest:?}")))?,
+                }
+            } else {
+                return Err(err(n, format!("unknown icache model {value:?}")));
+            }
+        }
+        "wb.depth" => cfg.write_buffer.depth = int("wb.depth")? as usize,
+        "wb.width_words" => cfg.write_buffer.width_words = int("wb.width_words")? as usize,
+        "wb.order" => {
+            cfg.write_buffer.order = match value {
+                "fifo" => RetirementOrder::Fifo,
+                "lru" => RetirementOrder::Lru,
+                _ => return Err(err(n, format!("unknown retirement order {value:?}"))),
+            }
+        }
+        "wb.retirement" => {
+            cfg.write_buffer.retirement = if let Some(rest) = value.strip_prefix("retire-at-") {
+                RetirementPolicy::RetireAt(
+                    rest.parse()
+                        .map_err(|_| err(n, format!("bad retire-at high-water mark {rest:?}")))?,
+                )
+            } else if let Some(rest) = value.strip_prefix("fixed-rate-") {
+                RetirementPolicy::FixedRate(
+                    rest.parse()
+                        .map_err(|_| err(n, format!("bad fixed-rate interval {rest:?}")))?,
+                )
+            } else {
+                return Err(err(n, format!("unknown retirement policy {value:?}")));
+            }
+        }
+        "wb.hazard" => {
+            cfg.write_buffer.hazard = match value {
+                "flush-full" => LoadHazardPolicy::FlushFull,
+                "flush-partial" => LoadHazardPolicy::FlushPartial,
+                "flush-item-only" => LoadHazardPolicy::FlushItemOnly,
+                "read-from-wb" => LoadHazardPolicy::ReadFromWb,
+                _ => return Err(err(n, format!("unknown hazard policy {value:?}"))),
+            }
+        }
+        "wb.priority" => {
+            cfg.write_buffer.priority = if value == "read-bypass" {
+                L2Priority::ReadBypass
+            } else if let Some(rest) = value.strip_prefix("write-priority-above-") {
+                L2Priority::WritePriorityAbove(
+                    rest.parse()
+                        .map_err(|_| err(n, format!("bad priority threshold {rest:?}")))?,
+                )
+            } else {
+                return Err(err(n, format!("unknown L2 priority {value:?}")));
+            }
+        }
+        "wb.max_age" => {
+            cfg.write_buffer.max_age = if value == "none" {
+                None
+            } else {
+                Some(int("wb.max_age")?)
+            }
+        }
+        "wb.datapath" => {
+            cfg.write_buffer.datapath = match value {
+                "full-line" => DatapathWidth::FullLine,
+                "half-line" => DatapathWidth::HalfLine,
+                _ => return Err(err(n, format!("unknown datapath width {value:?}"))),
+            }
+        }
+        _ => return Err(err(n, format!("unknown key {key:?}"))),
+    }
+    Ok(())
+}
+
 impl FromStr for MachineConfig {
     type Err = ConfigParseError;
 
-    /// Parses a `.wbcfg` document; unspecified keys keep their baseline
-    /// values, and the result is validated before being returned.
+    /// Parses a `.wbcfg` document via [`parse_machine_config`], reporting
+    /// only the first failure (use `parse_machine_config` for all of them).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut cfg = MachineConfig::baseline();
-        // A real L2 needs several keys; collect them and resolve at the end.
-        let mut l2_kind_real = false;
-        let mut l2_latency = cfg.l2.latency();
-        let mut l2_size_kb = 1024u32;
-        let mut l2_mm = 25u64;
-
-        for (i, raw) in s.lines().enumerate() {
-            let n = i + 1;
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| err(n, format!("expected `key = value`, got {line:?}")))?;
-            let key = key.trim();
-            let value = value.trim();
-            let int = |what: &str| -> Result<u64, ConfigParseError> {
-                value
-                    .parse::<u64>()
-                    .map_err(|_| err(n, format!("{what} must be an integer, got {value:?}")))
-            };
-            match key {
-                "issue_width" => cfg.issue_width = int("issue_width")? as u32,
-                "l1.size_kb" => cfg.l1.size_bytes = int("l1.size_kb")? as u32 * 1024,
-                "l1.assoc" => cfg.l1.assoc = int("l1.assoc")? as u32,
-                "l1.write_policy" => {
-                    cfg.l1.write_policy = match value {
-                        "write-through" => L1WritePolicy::WriteThrough,
-                        "write-back" => L1WritePolicy::WriteBack,
-                        _ => return Err(err(n, format!("unknown L1 write policy {value:?}"))),
-                    }
-                }
-                "l2" => match value {
-                    "perfect" => l2_kind_real = false,
-                    "real" => l2_kind_real = true,
-                    _ => {
-                        return Err(err(
-                            n,
-                            format!("l2 must be `perfect` or `real`, got {value:?}"),
-                        ))
-                    }
-                },
-                "l2.latency" => l2_latency = int("l2.latency")?,
-                "l2.size_kb" => l2_size_kb = int("l2.size_kb")? as u32,
-                "l2.mm_latency" => l2_mm = int("l2.mm_latency")?,
-                "icache" => {
-                    cfg.icache = if value == "perfect" {
-                        IcacheConfig::Perfect
-                    } else if let Some(rest) = value.strip_prefix("miss-every:") {
-                        IcacheConfig::MissEvery {
-                            interval: rest
-                                .parse()
-                                .map_err(|_| err(n, format!("bad miss-every interval {rest:?}")))?,
-                        }
-                    } else {
-                        return Err(err(n, format!("unknown icache model {value:?}")));
-                    }
-                }
-                "wb.depth" => cfg.write_buffer.depth = int("wb.depth")? as usize,
-                "wb.width_words" => cfg.write_buffer.width_words = int("wb.width_words")? as usize,
-                "wb.order" => {
-                    cfg.write_buffer.order = match value {
-                        "fifo" => RetirementOrder::Fifo,
-                        "lru" => RetirementOrder::Lru,
-                        _ => return Err(err(n, format!("unknown retirement order {value:?}"))),
-                    }
-                }
-                "wb.retirement" => {
-                    cfg.write_buffer.retirement = if let Some(rest) =
-                        value.strip_prefix("retire-at-")
-                    {
-                        RetirementPolicy::RetireAt(rest.parse().map_err(|_| {
-                            err(n, format!("bad retire-at high-water mark {rest:?}"))
-                        })?)
-                    } else if let Some(rest) = value.strip_prefix("fixed-rate-") {
-                        RetirementPolicy::FixedRate(
-                            rest.parse()
-                                .map_err(|_| err(n, format!("bad fixed-rate interval {rest:?}")))?,
-                        )
-                    } else {
-                        return Err(err(n, format!("unknown retirement policy {value:?}")));
-                    }
-                }
-                "wb.hazard" => {
-                    cfg.write_buffer.hazard = match value {
-                        "flush-full" => LoadHazardPolicy::FlushFull,
-                        "flush-partial" => LoadHazardPolicy::FlushPartial,
-                        "flush-item-only" => LoadHazardPolicy::FlushItemOnly,
-                        "read-from-wb" => LoadHazardPolicy::ReadFromWb,
-                        _ => return Err(err(n, format!("unknown hazard policy {value:?}"))),
-                    }
-                }
-                "wb.priority" => {
-                    cfg.write_buffer.priority = if value == "read-bypass" {
-                        L2Priority::ReadBypass
-                    } else if let Some(rest) = value.strip_prefix("write-priority-above-") {
-                        L2Priority::WritePriorityAbove(
-                            rest.parse()
-                                .map_err(|_| err(n, format!("bad priority threshold {rest:?}")))?,
-                        )
-                    } else {
-                        return Err(err(n, format!("unknown L2 priority {value:?}")));
-                    }
-                }
-                "wb.max_age" => {
-                    cfg.write_buffer.max_age = if value == "none" {
-                        None
-                    } else {
-                        Some(int("wb.max_age")?)
-                    }
-                }
-                "wb.datapath" => {
-                    cfg.write_buffer.datapath = match value {
-                        "full-line" => DatapathWidth::FullLine,
-                        "half-line" => DatapathWidth::HalfLine,
-                        _ => return Err(err(n, format!("unknown datapath width {value:?}"))),
-                    }
-                }
-                _ => return Err(err(n, format!("unknown key {key:?}"))),
-            }
-        }
-        cfg.l2 = if l2_kind_real {
-            L2Config::Real {
-                size_bytes: l2_size_kb * 1024,
-                assoc: 1,
-                latency: l2_latency,
-                mm_latency: l2_mm,
-            }
-        } else {
-            L2Config::Perfect {
-                latency: l2_latency,
-            }
-        };
-        cfg.validate()
-            .map_err(|e| err(0, format!("invalid configuration: {e}")))?;
-        Ok(cfg)
+        parse_machine_config(s).map_err(|mut e| e.0.remove(0))
     }
 }
 
@@ -384,5 +450,45 @@ wb.priority = write-priority-above-10
     fn error_display_mentions_line() {
         let e = err(3, "boom");
         assert_eq!(e.to_string(), "config line 3: boom");
+    }
+
+    #[test]
+    fn aggregates_all_bad_lines_in_one_pass() {
+        let doc = "\
+wb.depth = four
+wb.hazard = flush-everything
+l1.size_kb = 16
+zz.depth = 4
+wb.order = lru
+";
+        let errs = parse_machine_config(doc).unwrap_err();
+        assert_eq!(errs.0.len(), 3);
+        assert_eq!(errs.0[0].line, 1);
+        assert!(errs.0[0].message.contains("integer"));
+        assert_eq!(errs.0[1].line, 2);
+        assert!(errs.0[1].message.contains("unknown hazard policy"));
+        assert_eq!(errs.0[2].line, 4);
+        assert!(errs.0[2].message.contains("unknown key"));
+        // The combined display lists one failure per line.
+        assert_eq!(errs.to_string().lines().count(), 3);
+        // FromStr reports only the first of them.
+        let first = doc.parse::<MachineConfig>().unwrap_err();
+        assert_eq!(first, errs.0[0]);
+    }
+
+    #[test]
+    fn validation_runs_only_when_every_line_parsed() {
+        // Both a bad line and a would-be validation failure: only the parse
+        // error is reported, since the bad line may be the one that would
+        // have fixed validation.
+        let doc = "wb.depth = 2\nwb.retirement = retire-at-eight";
+        let errs = parse_machine_config(doc).unwrap_err();
+        assert_eq!(errs.0.len(), 1);
+        assert_eq!(errs.0[0].line, 2);
+        // With all lines parsing, validation failures surface as line 0.
+        let errs = parse_machine_config("wb.depth = 2\nwb.retirement = retire-at-8").unwrap_err();
+        assert_eq!(errs.0.len(), 1);
+        assert_eq!(errs.0[0].line, 0);
+        assert!(errs.0[0].message.contains("invalid configuration"));
     }
 }

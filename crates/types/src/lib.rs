@@ -13,6 +13,8 @@
 //! * [`stats`] — counters accumulated by a simulation run and derived
 //!   metrics (stall percentages, hit rates, CPI);
 //! * [`file_config`] — a plain-text `.wbcfg` machine-configuration format;
+//! * [`diagnostics`] — structured lint findings ([`diagnostics::Diagnostic`])
+//!   shared by the file-config loader and the `wbsim-check` linter;
 //! * [`divergence`] — differential-oracle vocabulary: divergence reports
 //!   and deliberate fault injection.
 //!
@@ -41,6 +43,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod diagnostics;
 pub mod divergence;
 pub mod file_config;
 pub mod op;
@@ -51,6 +54,7 @@ pub mod testutil;
 
 pub use addr::{Addr, Geometry, LineAddr, WordMask};
 pub use config::{ConfigError, IcacheConfig, L1Config, L2Config, MachineConfig, WriteBufferConfig};
+pub use diagnostics::{Diagnostic, Severity};
 pub use divergence::{Divergence, FaultInjection, LoadSource};
 pub use op::Op;
 pub use policy::{DatapathWidth, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy};

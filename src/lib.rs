@@ -16,6 +16,8 @@
 //! * [`trace`] — reference streams and synthetic benchmark models;
 //! * [`oracle`] — an untimed architectural reference model and the
 //!   differential harness that cross-checks the machine against it;
+//! * [`check`] — the design-space linter and bounded exhaustive model
+//!   checker behind `wbsim check`;
 //! * [`experiments`] — runners for every table and figure;
 //! * [`analytic`] — a first-order queueing model of write-buffer stalls.
 //!
@@ -33,6 +35,7 @@
 //! ```
 
 pub use wbsim_analytic as analytic;
+pub use wbsim_check as check;
 pub use wbsim_core as core;
 pub use wbsim_experiments as experiments;
 pub use wbsim_mem as mem;

@@ -1,0 +1,198 @@
+//! Property fuzzing for the JSONL event codec ([`wbsim::sim::Event`]).
+//!
+//! The `wbsim trace events` stream and the model checker's counterexample
+//! traces both rely on `Event::from_json` rejecting anything that is not
+//! exactly what `Event::to_json` emits. These suites drive the parser's
+//! error paths with randomized inputs:
+//!
+//! * every variant with arbitrary field values round-trips losslessly;
+//! * every *proper prefix* of a serialized event is rejected (truncated
+//!   lines — the common failure when a trace write is cut short);
+//! * a mangled `"event"` tag is rejected as an unknown tag;
+//! * a number field rewritten as a string (`"now":3` → `"now":"3"`) is
+//!   rejected as a type mismatch;
+//! * arbitrary byte junk never panics the parser.
+
+use proptest::prelude::*;
+
+use wbsim::sim::event::PortUse;
+use wbsim::sim::Event;
+use wbsim::types::divergence::LoadSource;
+use wbsim::types::policy::LoadHazardPolicy;
+use wbsim::types::stall::StallKind;
+use wbsim::types::Addr;
+
+fn arb_hazard() -> impl Strategy<Value = LoadHazardPolicy> {
+    prop_oneof![
+        Just(LoadHazardPolicy::FlushFull),
+        Just(LoadHazardPolicy::FlushPartial),
+        Just(LoadHazardPolicy::FlushItemOnly),
+        Just(LoadHazardPolicy::ReadFromWb),
+    ]
+}
+
+fn arb_stall_kind() -> impl Strategy<Value = StallKind> {
+    prop_oneof![
+        Just(StallKind::BufferFull),
+        Just(StallKind::L2ReadAccess),
+        Just(StallKind::LoadHazard),
+    ]
+}
+
+fn arb_source() -> impl Strategy<Value = LoadSource> {
+    prop_oneof![
+        Just(LoadSource::L1),
+        Just(LoadSource::WriteBuffer),
+        Just(LoadSource::L2Fill),
+    ]
+}
+
+fn arb_port_use() -> impl Strategy<Value = PortUse> {
+    prop_oneof![
+        Just(PortUse::WbWrite),
+        Just(PortUse::CpuRead),
+        Just(PortUse::IFetch),
+    ]
+}
+
+/// Every event variant, with whole-domain field values — the codec must
+/// not depend on fields staying in "realistic" ranges.
+fn arb_event() -> impl Strategy<Value = Event> {
+    let addr = any::<u64>().prop_map(Addr::new);
+    prop_oneof![
+        (any::<u64>(), addr.clone(), any::<bool>())
+            .prop_map(|(now, addr, merged)| Event::StoreAccepted { now, addr, merged }),
+        (any::<u64>(), any::<u64>(), any::<bool>())
+            .prop_map(|(now, id, flush)| Event::RetireStart { now, id, flush }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(|(now, id, line, lifetime, valid_words, flush)| {
+                Event::RetireComplete {
+                    now,
+                    id,
+                    line,
+                    lifetime,
+                    valid_words,
+                    flush,
+                }
+            }),
+        (any::<u64>(), addr.clone(), arb_hazard(), any::<u64>()).prop_map(
+            |(now, addr, policy, flush_entries)| Event::HazardTriggered {
+                now,
+                addr,
+                policy,
+                flush_entries,
+            }
+        ),
+        (any::<u64>(), arb_stall_kind()).prop_map(|(now, kind)| Event::StallCycle { now, kind }),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(now, line, for_store, merged_wb)| Event::FillInstalled {
+                now,
+                line,
+                for_store,
+                merged_wb,
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<bool>())
+            .prop_map(|(now, line, merged)| Event::VictimWriteback { now, line, merged }),
+        (any::<u64>(), arb_port_use(), any::<u64>())
+            .prop_map(|(now, owner, until)| Event::PortGranted { now, owner, until }),
+        (any::<u64>(), addr.clone(), any::<u64>(), arb_source()).prop_map(
+            |(now, addr, value, source)| Event::LoadResolved {
+                now,
+                addr,
+                value,
+                source,
+            }
+        ),
+        (any::<u64>(), addr).prop_map(|(now, addr)| Event::LoadMiss { now, addr }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(now, occupancy)| Event::CycleEnd { now, occupancy }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Lossless round trip for every variant at whole-domain field values.
+    #[test]
+    fn any_event_round_trips(ev in arb_event()) {
+        let json = ev.to_json();
+        match Event::from_json(&json) {
+            Ok(back) => prop_assert_eq!(ev, back, "{}", json),
+            Err(e) => return Err(TestCaseError::fail(format!("{json}: {e}"))),
+        }
+    }
+
+    /// The encoding is pure ASCII with the closing brace only at the end,
+    /// so *every* proper prefix must fail to parse — a truncated trace
+    /// line can never be mistaken for a shorter valid event.
+    #[test]
+    fn any_truncation_is_rejected(ev in arb_event(), cut in any::<u64>()) {
+        let json = ev.to_json();
+        prop_assert!(json.is_ascii());
+        prop_assert_eq!(json.find('}'), Some(json.len() - 1));
+        let cut = (cut % json.len() as u64) as usize; // 0..len: proper prefixes only
+        prop_assert!(Event::from_json(&json[..cut]).is_err(), "accepted: {}", &json[..cut]);
+    }
+
+    /// Mangling the `"event"` tag turns any valid line into an
+    /// unknown-tag error (no tag is a prefix of another tag plus `-zz`).
+    #[test]
+    fn any_unknown_tag_is_rejected(ev in arb_event()) {
+        let json = ev.to_json();
+        let mangled = json.replacen("\",\"now\":", "-zz\",\"now\":", 1);
+        prop_assert!(mangled != json);
+        match Event::from_json(&mangled) {
+            Ok(ev) => return Err(TestCaseError::fail(format!("accepted {mangled} as {ev:?}"))),
+            Err(e) => prop_assert!(
+                e.to_string().contains("unknown event tag"),
+                "wrong error for {}: {}", mangled, e
+            ),
+        }
+    }
+
+    /// Rewriting the numeric `"now"` field as a string is a type
+    /// mismatch, not a silent coercion.
+    #[test]
+    fn any_mistyped_now_is_rejected(ev in arb_event()) {
+        let json = ev.to_json();
+        let now = match ev {
+            Event::StoreAccepted { now, .. }
+            | Event::RetireStart { now, .. }
+            | Event::RetireComplete { now, .. }
+            | Event::HazardTriggered { now, .. }
+            | Event::StallCycle { now, .. }
+            | Event::FillInstalled { now, .. }
+            | Event::VictimWriteback { now, .. }
+            | Event::PortGranted { now, .. }
+            | Event::LoadResolved { now, .. }
+            | Event::LoadMiss { now, .. }
+            | Event::CycleEnd { now, .. } => now,
+        };
+        let mistyped = json.replacen(
+            &format!("\"now\":{now}"),
+            &format!("\"now\":\"{now}\""),
+            1,
+        );
+        prop_assert!(mistyped != json);
+        prop_assert!(Event::from_json(&mistyped).is_err(), "accepted: {}", mistyped);
+    }
+
+    /// Arbitrary bytes (lossily decoded) never panic the parser; they
+    /// produce `Err`, or in the astronomically unlikely case the junk IS
+    /// a valid event line, an `Ok` that round-trips.
+    #[test]
+    fn arbitrary_junk_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(ev) = Event::from_json(&text) {
+            prop_assert_eq!(Event::from_json(&ev.to_json()).ok(), Some(ev));
+        }
+    }
+}

@@ -25,7 +25,9 @@
 //! [`Counterexample`] carries a JSONL event trace replayable with
 //! `wbsim trace validate`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use wbsim_oracle::{check_conservation, ArchModel};
 use wbsim_sim::{Event, Machine, Observer};
@@ -40,15 +42,51 @@ use wbsim_types::Addr;
 /// this many has livelocked, which is itself a violation.
 const CYCLE_BUDGET: u64 = 10_000;
 
-/// What a clean exhaustive check covered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What a clean check covered. Produced by both the bounded exhaustive
+/// checker (which fills the sequence-enumeration fields) and the
+/// reachability checker (which fills the state-graph fields); the unused
+/// family is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CheckReport {
     /// Boundary configurations enumerated.
     pub configs: u64,
-    /// Op sequences per configuration.
+    /// Op sequences per configuration (bounded checker only).
     pub sequences: u64,
-    /// Total machine runs (`configs × sequences`).
+    /// Total machine runs, `configs × sequences` (bounded checker only).
     pub runs: u64,
+    /// Distinct canonical abstract states visited across all
+    /// configurations (reachability checker only).
+    pub states_explored: u64,
+    /// State-graph transitions executed across all configurations
+    /// (reachability checker only).
+    pub edges: u64,
+    /// Strongly connected components of the drain graph across all
+    /// configurations — every one a singleton in a clean run, because any
+    /// larger SCC would be a no-progress cycle, i.e. a livelock
+    /// (reachability checker only).
+    pub sccs: u64,
+    /// Wall-clock time of the whole check in milliseconds. The only field
+    /// that varies between byte-identical runs.
+    pub wall_ms: u64,
+}
+
+impl CheckReport {
+    /// Renders the report as a single JSON object (hand-rolled, like the
+    /// event codec — the workspace takes no serialization dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"configs\":{},\"sequences\":{},\"runs\":{},\"states_explored\":{},\
+             \"edges\":{},\"sccs\":{},\"wall_ms\":{}}}",
+            self.configs,
+            self.sequences,
+            self.runs,
+            self.states_explored,
+            self.edges,
+            self.sccs,
+            self.wall_ms
+        )
+    }
 }
 
 /// A minimized invariant violation.
@@ -259,8 +297,8 @@ pub fn check_sequence(cfg: &MachineConfig, ops: &[Op]) -> Result<(), String> {
 
 /// Collects the event stream as JSONL for counterexample replay.
 #[derive(Debug, Default)]
-struct TraceObserver {
-    lines: Vec<String>,
+pub(crate) struct TraceObserver {
+    pub(crate) lines: Vec<String>,
 }
 
 impl Observer for TraceObserver {
@@ -287,7 +325,7 @@ fn minimize(cfg: &MachineConfig, ops: &[Op]) -> Vec<Op> {
     }
 }
 
-fn counterexample(cfg: &MachineConfig, ops: &[Op]) -> Box<Counterexample> {
+pub(crate) fn counterexample(cfg: &MachineConfig, ops: &[Op]) -> Box<Counterexample> {
     let ops = minimize(cfg, ops);
     let violation = check_sequence(cfg, &ops).expect_err("minimization preserves the violation");
     let mut trace = TraceObserver::default();
@@ -309,11 +347,113 @@ fn sequence_count(universe: u64, max_ops: u32) -> u64 {
     (1..=max_ops).map(|k| universe.pow(k)).sum()
 }
 
+/// Enumerates the full sequence space for one configuration in a fixed
+/// odometer order and returns the first violating sequence. `abort` is
+/// polled once per sequence; a `true` poll abandons the search (`None`).
+pub(crate) fn first_violating_sequence(
+    cfg: &MachineConfig,
+    max_ops: u32,
+    abort: &dyn Fn() -> bool,
+) -> Option<Vec<Op>> {
+    let universe = op_universe(cfg);
+    let mut ops = Vec::with_capacity(max_ops as usize);
+    for len in 1..=max_ops as usize {
+        let mut odometer = vec![0usize; len];
+        loop {
+            if abort() {
+                return None;
+            }
+            ops.clear();
+            ops.extend(odometer.iter().map(|&i| universe[i]));
+            if check_sequence(cfg, &ops).is_err() {
+                return Some(ops);
+            }
+            // Advance the odometer; carry out means done.
+            let mut pos = 0;
+            loop {
+                if pos == len {
+                    break;
+                }
+                odometer[pos] += 1;
+                if odometer[pos] < universe.len() {
+                    break;
+                }
+                odometer[pos] = 0;
+                pos += 1;
+            }
+            if pos == len {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Default `--jobs` value: available parallelism, or 1 when unknown.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `work(i, abort)` for every index `0..n` on `jobs` worker threads
+/// and returns either every success, or the *lowest-index* failure —
+/// exactly what a serial in-order scan would return, regardless of thread
+/// scheduling.
+///
+/// Determinism: indices are claimed from an atomic dispenser; the lowest
+/// failing index so far lives in an atomic min-register. A worker aborts
+/// work on index `i` only when some index `j < i` has already failed — so
+/// the first-failing index (and its payload, for deterministic `work`) is
+/// schedule-independent, and indices below it are never abandoned.
+pub(crate) fn run_indexed_earliest<T, E>(
+    n: usize,
+    jobs: usize,
+    work: impl Fn(usize, &dyn Fn() -> bool) -> Result<T, E> + Sync,
+) -> Result<Vec<T>, (usize, E)>
+where
+    T: Send,
+    E: Send,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let earliest = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || earliest.load(Ordering::Relaxed) < i {
+                    // Done, or an earlier index already failed (every index
+                    // still in the dispenser is larger than this one).
+                    return;
+                }
+                let earliest = &earliest;
+                let abort = move || earliest.load(Ordering::Relaxed) < i;
+                let result = work(i, &abort);
+                if result.is_err() {
+                    earliest.fetch_min(i, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("worker never panics holding it") = Some(result);
+            });
+        }
+    });
+    // First non-Ok slot in index order. A `None` (abandoned) slot can only
+    // follow a failed lower index, so the scan hits the failure first.
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().expect("workers joined") {
+            Some(Ok(t)) => out.push(t),
+            Some(Err(e)) => return Err((i, e)),
+            None => unreachable!("index {i} abandoned without an earlier failure"),
+        }
+    }
+    Ok(out)
+}
+
 /// Enumerates every op sequence of length 1..=`max_ops` over the bounded
 /// universe, across all boundary configurations, checking every invariant
-/// on every run. Configurations are checked in parallel; the search stops
-/// at the first violating configuration (ties broken by configuration
-/// order, so the result is deterministic for a deterministic machine).
+/// on every run, with [`default_jobs`] worker threads. See
+/// [`check_exhaustive_jobs`].
 ///
 /// # Errors
 ///
@@ -322,66 +462,44 @@ pub fn check_exhaustive(
     max_ops: u32,
     fault: Option<FaultInjection>,
 ) -> Result<CheckReport, Box<Counterexample>> {
+    check_exhaustive_jobs(max_ops, fault, default_jobs())
+}
+
+/// [`check_exhaustive`] with an explicit worker-thread count. The result
+/// is byte-identical for every `jobs` value (only `wall_ms` varies): the
+/// search always reports the first violating configuration in
+/// configuration order, and within it the first violating sequence in
+/// odometer order.
+///
+/// # Errors
+///
+/// Returns the minimized, replayable [`Counterexample`] for the violation.
+pub fn check_exhaustive_jobs(
+    max_ops: u32,
+    fault: Option<FaultInjection>,
+    jobs: usize,
+) -> Result<CheckReport, Box<Counterexample>> {
+    let start = Instant::now();
     let configs = bounded_configs(fault);
-    let stop = AtomicBool::new(false);
-
-    // One worker per configuration: each enumerates the full sequence space
-    // in a fixed odometer order and reports its first violation.
-    let firsts: Vec<Option<Vec<Op>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .iter()
-            .map(|cfg| {
-                let stop = &stop;
-                scope.spawn(move || {
-                    let universe = op_universe(cfg);
-                    let mut ops = Vec::with_capacity(max_ops as usize);
-                    for len in 1..=max_ops as usize {
-                        let mut odometer = vec![0usize; len];
-                        loop {
-                            if stop.load(Ordering::Relaxed) {
-                                return None;
-                            }
-                            ops.clear();
-                            ops.extend(odometer.iter().map(|&i| universe[i]));
-                            if check_sequence(cfg, &ops).is_err() {
-                                stop.store(true, Ordering::Relaxed);
-                                return Some(ops);
-                            }
-                            // Advance the odometer; carry out means done.
-                            let mut pos = 0;
-                            loop {
-                                if pos == len {
-                                    break;
-                                }
-                                odometer[pos] += 1;
-                                if odometer[pos] < universe.len() {
-                                    break;
-                                }
-                                odometer[pos] = 0;
-                                pos += 1;
-                            }
-                            if pos == len {
-                                break;
-                            }
-                        }
-                    }
-                    None
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-
-    for (cfg, first) in configs.iter().zip(firsts) {
-        if let Some(ops) = first {
-            return Err(counterexample(cfg, &ops));
-        }
+    let outcome =
+        run_indexed_earliest(
+            configs.len(),
+            jobs,
+            |i, abort| match first_violating_sequence(&configs[i], max_ops, abort) {
+                None => Ok(()),
+                Some(ops) => Err(ops),
+            },
+        );
+    if let Err((i, ops)) = outcome {
+        return Err(counterexample(&configs[i], &ops));
     }
     let sequences = sequence_count(op_universe(&configs[0]).len() as u64, max_ops);
     Ok(CheckReport {
         configs: configs.len() as u64,
         sequences,
         runs: configs.len() as u64 * sequences,
+        wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+        ..CheckReport::default()
     })
 }
 
@@ -454,6 +572,52 @@ mod tests {
         for line in &ce.trace {
             let ev: Result<Event, EventParseError> = Event::from_json(line);
             ev.expect("counterexample trace must be valid JSONL");
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_exhaustive_runs_agree() {
+        // Satellite: parallelized check must be byte-identical to serial
+        // (wall time excepted) — both on a clean grid and, with a fault
+        // injected, down to the exact counterexample.
+        let mut one = check_exhaustive_jobs(2, None, 1).expect("clean grid");
+        let mut four = check_exhaustive_jobs(2, None, 4).expect("clean grid");
+        one.wall_ms = 0;
+        four.wall_ms = 0;
+        assert_eq!(one, four);
+
+        let a = check_exhaustive_jobs(3, Some(FaultInjection::SkipWbForwarding), 1)
+            .expect_err("fault must be caught");
+        let b = check_exhaustive_jobs(3, Some(FaultInjection::SkipWbForwarding), 4)
+            .expect_err("fault must be caught");
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn report_json_names_every_field() {
+        let r = CheckReport {
+            configs: 1,
+            sequences: 2,
+            runs: 3,
+            states_explored: 4,
+            edges: 5,
+            sccs: 6,
+            wall_ms: 7,
+        };
+        let j = r.to_json();
+        for key in [
+            "configs",
+            "sequences",
+            "runs",
+            "states_explored",
+            "edges",
+            "sccs",
+            "wall_ms",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
         }
     }
 

@@ -17,6 +17,11 @@
 //!   × depth 1–4 × retire-at mark, asserting the paper's invariants from
 //!   the event stream on every run. Violations come back as minimized,
 //!   replayable JSONL counterexamples.
+//! * [`reach`] — *unbounded* reachability: a visited-set BFS over the
+//!   canonical [`abstract_state`] quotient of the machine (value-blind,
+//!   time-shifted, line-renamed), proving the same invariants for op
+//!   sequences of arbitrary length, plus a drain-graph liveness analysis
+//!   that catches livelocks no bounded enumeration can see.
 //!
 //! The CLI front end is `wbsim check`; the experiments harness lints every
 //! sweep grid before running it.
@@ -42,9 +47,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abstract_state;
 pub mod bounded;
 pub mod lint;
+pub mod reach;
 
-pub use bounded::{check_exhaustive, check_sequence, CheckReport, Counterexample};
-pub use lint::{config_error_diagnostic, lint_config, lint_grid, parse_error_diagnostic};
+pub use abstract_state::{canonical_state, AbsEntry, AbsLine, AbsState, ShadowTracker, WordAbs};
+pub use bounded::{
+    check_exhaustive, check_exhaustive_jobs, check_sequence, default_jobs, CheckReport,
+    Counterexample,
+};
+pub use lint::{
+    config_error_diagnostic, lint_config, lint_grid, parse_error_diagnostic, Rule, RULES,
+};
+pub use reach::{
+    check_liveness_sequence, check_reach, check_reach_config, check_reach_jobs, ReachConfigStats,
+    ReachViolation,
+};
 pub use wbsim_types::diagnostics::{any_errors, Diagnostic, Severity};

@@ -25,11 +25,114 @@
 //! | LNT100 | warning  | sweep grid collapses to a single point |
 //! | LNT101 | info     | sweep mixes read-from-WB with flush policies |
 //! | LNT102 | warning  | duplicate configuration labels in a sweep |
+//! | RCH001 | error    | a safety invariant fails at a reachable state |
+//! | RCH002 | error    | livelock: buffered stores can never all retire |
+//! | RCH003 | error    | configuration outside the abstractable class |
+//!
+//! The machine-readable version of this table is [`RULES`]; a test pins
+//! `docs/static-analysis.md` against it so the rendered docs cannot drift.
 
 use wbsim_types::config::{ConfigError, MachineConfig};
 use wbsim_types::diagnostics::{Diagnostic, Severity};
 use wbsim_types::file_config::ConfigParseError;
 use wbsim_types::policy::{L2Priority, LoadHazardPolicy, RetirementPolicy};
+
+/// One row of the diagnostic-code registry: everything a front end needs
+/// to enumerate, group, or document the codes this crate can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable machine-readable code (`CFG…`, `LNT…`, `RCH…`).
+    pub code: &'static str,
+    /// The severity every diagnostic under this code carries.
+    pub severity: Severity,
+    /// One-line summary, matching the table in the module docs.
+    pub summary: &'static str,
+}
+
+/// Every diagnostic code the crate can emit — the linter's `CFG`/`LNT`
+/// families and the reachability checker's `RCH` family — in code order.
+pub static RULES: &[Rule] = &[
+    Rule {
+        code: "CFG001",
+        severity: Severity::Error,
+        summary: "a size that must be a power of two is not",
+    },
+    Rule {
+        code: "CFG002",
+        severity: Severity::Error,
+        summary: "a parameter is zero or out of range",
+    },
+    Rule {
+        code: "CFG003",
+        severity: Severity::Error,
+        summary: "retire-at mark exceeds the buffer depth",
+    },
+    Rule {
+        code: "CFG004",
+        severity: Severity::Error,
+        summary: "line/word geometry is inconsistent",
+    },
+    Rule {
+        code: "CFG005",
+        severity: Severity::Error,
+        summary: "a `.wbcfg` line failed to parse",
+    },
+    Rule {
+        code: "LNT001",
+        severity: Severity::Warning,
+        summary: "zero headroom: retire-at mark equals depth",
+    },
+    Rule {
+        code: "LNT002",
+        severity: Severity::Info,
+        summary: "retire-at-1 defeats coalescing",
+    },
+    Rule {
+        code: "LNT003",
+        severity: Severity::Warning,
+        summary: "L2 latency ≤ L1 hit latency",
+    },
+    Rule {
+        code: "LNT004",
+        severity: Severity::Info,
+        summary: "buffer depth beyond the paper's studied range",
+    },
+    Rule {
+        code: "LNT005",
+        severity: Severity::Warning,
+        summary: "write-priority threshold exceeds depth",
+    },
+    Rule {
+        code: "LNT100",
+        severity: Severity::Warning,
+        summary: "sweep grid collapses to a single point",
+    },
+    Rule {
+        code: "LNT101",
+        severity: Severity::Info,
+        summary: "sweep mixes read-from-WB with flush policies",
+    },
+    Rule {
+        code: "LNT102",
+        severity: Severity::Warning,
+        summary: "duplicate configuration labels in a sweep",
+    },
+    Rule {
+        code: "RCH001",
+        severity: Severity::Error,
+        summary: "a safety invariant fails at a reachable state",
+    },
+    Rule {
+        code: "RCH002",
+        severity: Severity::Error,
+        summary: "livelock: buffered stores can never all retire",
+    },
+    Rule {
+        code: "RCH003",
+        severity: Severity::Error,
+        summary: "configuration outside the abstractable class",
+    },
+];
 
 /// Maps a [`ConfigError`]'s `what` description onto the `.wbcfg` field it
 /// talks about.
@@ -369,6 +472,52 @@ mod tests {
         assert!(codes(&lint_grid(&grid)).contains(&"LNT102"));
         let grid = vec![("a".to_string(), b.clone()), ("b".to_string(), b)];
         assert!(!codes(&lint_grid(&grid)).contains(&"LNT102"));
+    }
+
+    #[test]
+    fn rules_registry_is_sorted_and_unique() {
+        assert!(RULES.windows(2).all(|w| w[0].code < w[1].code));
+        assert!(RULES.iter().all(|r| !r.summary.is_empty()));
+    }
+
+    /// Satellite: `docs/static-analysis.md` must document exactly the codes
+    /// in [`RULES`], each with the registry's severity. Parses every
+    /// markdown table row whose first cell looks like a rule code.
+    #[test]
+    fn rendered_docs_agree_with_the_rules_registry() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/static-analysis.md");
+        let doc = std::fs::read_to_string(path).expect("docs/static-analysis.md exists");
+        let looks_like_code = |s: &str| {
+            s.len() == 6
+                && s.bytes().take(3).all(|b| b.is_ascii_uppercase())
+                && s.bytes().skip(3).all(|b| b.is_ascii_digit())
+        };
+        let mut documented = std::collections::BTreeMap::new();
+        for line in doc.lines() {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            // A table row is `| CODE | severity | ... |`: empty edge cells.
+            if cells.len() >= 4 && looks_like_code(cells[1]) {
+                let prev = documented.insert(cells[1].to_string(), cells[2].to_string());
+                assert!(prev.is_none(), "{} documented twice", cells[1]);
+            }
+        }
+        for rule in RULES {
+            let severity = documented
+                .get(rule.code)
+                .unwrap_or_else(|| panic!("{} missing from docs/static-analysis.md", rule.code));
+            assert_eq!(
+                severity,
+                rule.severity.token(),
+                "{} severity drifted in docs/static-analysis.md",
+                rule.code
+            );
+        }
+        for code in documented.keys() {
+            assert!(
+                RULES.iter().any(|r| r.code == code),
+                "docs/static-analysis.md documents unknown code {code}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,883 @@
+//! Unbounded reachability checking: abstract state-graph exploration with
+//! liveness analysis.
+//!
+//! The bounded checker (`bounded.rs`) enumerates op *sequences* up to a
+//! small length, so its guarantees stop at short traces. This module
+//! explores the canonical abstract *state graph* instead: a visited-set
+//! BFS over `state × op-universe`, where a state is the value-blind,
+//! time-shifted, line-renamed quotient of [`crate::abstract_state`] — finite, so
+//! the closure proves every per-state invariant for op sequences of
+//! **arbitrary length** over the same universe. Safety violations are
+//! reconstructed from BFS parent pointers, minimized by greedy deletion,
+//! and rendered as `wbsim trace validate`-replayable JSONL, exactly like
+//! the bounded checker's counterexamples.
+//!
+//! On top of the explored graph the checker runs a liveness analysis the
+//! bounded checker cannot express at all: from every reachable state it
+//! walks the *drain graph* — the deterministic fair schedule in which
+//! retirement runs at the maximum rate and no new ops issue
+//! ([`wbsim_sim::Machine::drain_step`]). The drain graph is functional
+//! (at most one successor per state), so its strongly connected components
+//! are its simple cycles plus singletons; any cycle is, by construction, a
+//! set of states with buffered entries that never retire under even the
+//! fairest schedule — a livelock. A second livelock shape is caught during
+//! expansion itself: an op that exceeds its cycle budget while the machine
+//! makes no retirement progress (a wedged stall, e.g. a store spinning on
+//! a full buffer that will never drain).
+//!
+//! Diagnostics use the same [`Diagnostic`] type as the linter, under three
+//! new codes: `RCH001` (safety invariant violated at a reachable state),
+//! `RCH002` (livelock), `RCH003` (configuration outside the abstractable
+//! class — the time-shift quotient is only sound when no policy consults
+//! absolute time).
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use wbsim_sim::{Event, Machine, MachineSnapshot, NullObserver, Observer};
+use wbsim_types::addr::{Addr, Geometry, LineAddr};
+use wbsim_types::config::{IcacheConfig, L2Config, MachineConfig};
+use wbsim_types::diagnostics::{Diagnostic, Severity};
+use wbsim_types::divergence::FaultInjection;
+use wbsim_types::op::Op;
+use wbsim_types::policy::{L1WritePolicy, RetirementOrder, RetirementPolicy};
+
+use crate::abstract_state::{canonical_state, AbsState, ShadowTracker};
+use crate::bounded::{
+    bounded_configs, check_sequence, counterexample, default_jobs, op_universe,
+    run_indexed_earliest, CheckReport, Counterexample, TraceObserver,
+};
+
+/// Cycle budget for one op during expansion. Every legitimate op in the
+/// gated configuration class completes in well under 100 cycles (worst
+/// case: a flush-full hazard over four half-line entries); an op still
+/// running after this many cycles is wedged. Deliberately small so that
+/// stalled-op livelock counterexample traces stay short.
+pub const OP_CYCLE_BUDGET: u64 = 256;
+
+/// After an op exceeds [`OP_CYCLE_BUDGET`], the machine is stepped this
+/// many further cycles watching for retirement progress; a window with no
+/// progress and a non-empty buffer is a livelock, not a slow op. Long
+/// enough to span any in-flight write transaction in the gated class.
+const STALL_PROBE_WINDOW: u64 = 32;
+
+/// Defensive bound on a single drain walk; the drain graph of any gated
+/// configuration is orders of magnitude smaller.
+const DRAIN_WALK_BOUND: usize = 100_000;
+
+/// Per-configuration exploration statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReachConfigStats {
+    /// Distinct canonical abstract states visited.
+    pub states: u64,
+    /// Completed `state × op` transitions.
+    pub edges: u64,
+    /// Strongly connected components of the drain graph (all singletons in
+    /// a clean run).
+    pub sccs: u64,
+}
+
+/// A reachability violation: a structured diagnostic, plus — for safety
+/// violations and livelocks, though not for `RCH003` configuration
+/// rejections — a minimized replayable counterexample.
+#[derive(Debug, Clone)]
+pub struct ReachViolation {
+    /// The rendered finding (`RCH001`/`RCH002`/`RCH003`).
+    pub diagnostic: Diagnostic,
+    /// The minimized op sequence and its JSONL event trace.
+    pub counterexample: Option<Box<Counterexample>>,
+}
+
+/// The two cache lines the bounded op universe touches.
+fn universe_lines(cfg: &MachineConfig) -> [LineAddr; 2] {
+    let g = &cfg.geometry;
+    [
+        g.line_of(Addr::new(0)),
+        g.line_of(Addr::new(u64::from(g.line_bytes()))),
+    ]
+}
+
+/// Why a configuration is outside the abstractable class, if it is.
+///
+/// The state quotient stores countdowns instead of absolute cycles and
+/// renames lines; both are only sound when no policy consults absolute
+/// time, entry age, or write recency, and when entries are full lines (so
+/// a buffer block *is* a line). The bounded grid satisfies all of this by
+/// construction; arbitrary configurations may not.
+fn gate(cfg: &MachineConfig) -> Result<(), (String, String)> {
+    let wb = &cfg.write_buffer;
+    if wb.order != RetirementOrder::Fifo {
+        return Err((
+            "write_buffer.order".into(),
+            "LRU retirement order consults write recency, which the time-shifted \
+             abstraction erases"
+                .into(),
+        ));
+    }
+    if wb.max_age.is_some() {
+        return Err((
+            "write_buffer.max_age".into(),
+            "age-based retirement consults absolute entry age, which the time-shifted \
+             abstraction erases"
+                .into(),
+        ));
+    }
+    if !matches!(wb.retirement, RetirementPolicy::RetireAt(_)) {
+        return Err((
+            "write_buffer.retirement".into(),
+            "fixed-rate retirement consults cycles-since-last-retirement, which the \
+             time-shifted abstraction erases"
+                .into(),
+        ));
+    }
+    if wb.width_words != cfg.geometry.words_per_line() {
+        return Err((
+            "write_buffer.width_words".into(),
+            "sub-line entries decouple buffer blocks from cache lines, which the \
+             line-renamed abstraction assumes"
+                .into(),
+        ));
+    }
+    if !matches!(cfg.l2, L2Config::Perfect { .. }) {
+        return Err((
+            "l2".into(),
+            "a real L2 has eviction state outside the two-line snapshot".into(),
+        ));
+    }
+    if cfg.icache != IcacheConfig::Perfect {
+        return Err((
+            "icache".into(),
+            "the statistical I-cache model draws from a seeded stream, which is not \
+             part of the abstract state"
+                .into(),
+        ));
+    }
+    if cfg.l1.write_policy != L1WritePolicy::WriteThrough {
+        return Err((
+            "l1.write_policy".into(),
+            "write-back L1 victim state depends on LRU stamps, which the time-shifted \
+             abstraction erases"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Checks the per-event invariants during one transition and maintains the
+/// shadow map. Mirrors the bounded checker's `InvariantObserver`, but with
+/// the FIFO cursor carried across transitions by the caller.
+struct TransObserver<'a> {
+    g: Geometry,
+    depth: u64,
+    shadow: &'a mut ShadowTracker,
+    last_retire_id: &'a mut Option<u64>,
+    last_stall_now: Option<u64>,
+    progress: bool,
+    violation: Option<String>,
+}
+
+impl TransObserver<'_> {
+    fn fail(&mut self, msg: String) {
+        if self.violation.is_none() {
+            self.violation = Some(msg);
+        }
+    }
+}
+
+impl Observer for TransObserver<'_> {
+    fn event(&mut self, ev: &Event) {
+        match *ev {
+            Event::CycleEnd { now, occupancy } if occupancy > self.depth => {
+                self.fail(format!(
+                    "cycle {now}: occupancy {occupancy} exceeds depth {}",
+                    self.depth
+                ));
+            }
+            Event::StallCycle { now, kind } => {
+                if self.last_stall_now == Some(now) {
+                    self.fail(format!(
+                        "cycle {now}: second stall cause ({kind:?}) in one cycle; \
+                         Table-3 causes must be mutually exclusive"
+                    ));
+                }
+                self.last_stall_now = Some(now);
+            }
+            Event::RetireStart { now, id, flush } if !flush => {
+                if let Some(prev) = *self.last_retire_id {
+                    if id <= prev {
+                        self.fail(format!(
+                            "cycle {now}: autonomous retirement of entry {id} after \
+                             entry {prev}; FIFO order requires strictly increasing ids"
+                        ));
+                    }
+                }
+                *self.last_retire_id = Some(id);
+            }
+            Event::RetireComplete { .. } => self.progress = true,
+            Event::StoreAccepted { addr, .. } => {
+                self.shadow.record_store(self.g.word_addr(addr));
+            }
+            Event::LoadResolved {
+                now,
+                addr,
+                value,
+                source,
+            } => {
+                let want = self.shadow.expected(self.g.word_addr(addr));
+                if value != want {
+                    self.fail(format!(
+                        "cycle {now}: load of {addr:?} via {source} observed \
+                         {value:#x}, freshest store is {want:#x} (stale or lost store)"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Watches for retirement progress only.
+#[derive(Default)]
+struct ProgressProbe {
+    progress: bool,
+}
+
+impl Observer for ProgressProbe {
+    fn event(&mut self, ev: &Event) {
+        if matches!(ev, Event::RetireComplete { .. }) {
+            self.progress = true;
+        }
+    }
+}
+
+/// Invariants checked at every op boundary, against the node's concrete
+/// representative.
+fn boundary_checks(
+    cfg: &MachineConfig,
+    m: &Machine,
+    shadow: &ShadowTracker,
+    universe: &[Op],
+) -> Result<(), String> {
+    let g = &cfg.geometry;
+    for op in universe {
+        if let Op::Load(addr) | Op::Store(addr) = *op {
+            let got = m.read_word_architectural(addr);
+            let want = shadow.expected(g.word_addr(addr));
+            if got != want {
+                return Err(format!(
+                    "architectural read of {addr:?} is {got:#x}, freshest store is \
+                     {want:#x} (lost or stale store)"
+                ));
+            }
+        }
+    }
+    let stats = m.stats();
+    let occupancy = m.wb_occupancy() as u64;
+    let created = stats.wb_allocations + m.wb_victim_allocs();
+    let destroyed = stats.wb_retirements + stats.wb_flushes + occupancy;
+    if created != destroyed {
+        return Err(format!(
+            "entry conservation broken: {} allocations + {} victim inserts != {} \
+             retirements + {} flushes + {occupancy} residual",
+            stats.wb_allocations,
+            m.wb_victim_allocs(),
+            stats.wb_retirements,
+            stats.wb_flushes
+        ));
+    }
+    if stats.stores != stats.wb_allocations + stats.wb_store_merges {
+        return Err(format!(
+            "store accounting broken: {} stores != {} allocations + {} merges",
+            stats.stores, stats.wb_allocations, stats.wb_store_merges
+        ));
+    }
+    Ok(())
+}
+
+/// A BFS node. The machine is kept only until the node is expanded (the
+/// parent pointer suffices to reconstruct paths), bounding peak memory to
+/// the frontier.
+struct Node {
+    machine: Option<Machine>,
+    shadow: ShadowTracker,
+    last_retire_id: Option<u64>,
+    parent: Option<(usize, Op)>,
+}
+
+/// Reconstructs the op sequence leading to `idx`, optionally extended by
+/// one more op.
+fn path_ops(nodes: &[Node], idx: usize, last: Option<Op>) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut i = idx;
+    while let Some((p, op)) = nodes[i].parent {
+        ops.push(op);
+        i = p;
+    }
+    ops.reverse();
+    ops.extend(last);
+    ops
+}
+
+/// Walks the drain graph from `m` until it terminates (buffer empty),
+/// revisits a memoized state, or closes a cycle. Returns `true` for
+/// livelock. Every state on the walk is memoized with the verdict: a state
+/// that reaches a livelock is itself livelocked, and the drain graph is
+/// functional so the verdict is path-independent.
+fn drain_livelocked(
+    m: &Machine,
+    g: &Geometry,
+    lines: &[LineAddr; 2],
+    shadow: &ShadowTracker,
+    memo: &mut HashMap<AbsState, bool>,
+) -> bool {
+    let mut m = m.clone();
+    let mut path: Vec<AbsState> = Vec::new();
+    let verdict = loop {
+        let s = canonical_state(g, &m.snapshot(lines.as_slice()), shadow);
+        if let Some(&v) = memo.get(&s) {
+            break v;
+        }
+        if path.contains(&s) {
+            // A cycle under the fair drain schedule. No progress is
+            // possible along it: occupancy is non-increasing during a
+            // drain, so a cycle retires nothing — livelock.
+            break true;
+        }
+        path.push(s);
+        if !m.drain_step(&mut NullObserver) {
+            break false;
+        }
+        if path.len() > DRAIN_WALK_BOUND {
+            break true;
+        }
+    };
+    for s in path {
+        memo.insert(s, verdict);
+    }
+    verdict
+}
+
+/// The livelock predicate for counterexample minimization: replays `ops`
+/// op by op and reports whether the run wedges — either an op exceeds its
+/// cycle budget with no retirement progress in a further probe window, or
+/// the final state's drain walk closes a cycle. Deterministic, so greedy
+/// deletion against it is sound.
+#[must_use]
+pub fn check_liveness_sequence(cfg: &MachineConfig, ops: &[Op]) -> bool {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let lines = universe_lines(&cfg);
+    let mut m = Machine::new(cfg).expect("caller validates the configuration");
+    for &op in ops {
+        if m.run_op_bounded(op, OP_CYCLE_BUDGET, &mut NullObserver)
+            .is_none()
+        {
+            let mut probe = ProgressProbe::default();
+            for _ in 0..STALL_PROBE_WINDOW {
+                if !m.step(&mut std::iter::empty(), &mut probe) {
+                    break;
+                }
+            }
+            return !probe.progress && m.wb_occupancy() > 0;
+        }
+    }
+    // Drain-walk the final state; snapshots are time-shift invariant and
+    // frozen during a drain, so a repeat is exactly an abstract cycle.
+    let mut seen: Vec<MachineSnapshot> = Vec::new();
+    loop {
+        let s = m.snapshot(&lines);
+        if seen.contains(&s) {
+            return true;
+        }
+        seen.push(s);
+        if !m.drain_step(&mut NullObserver) {
+            return false;
+        }
+        if seen.len() > DRAIN_WALK_BOUND {
+            return true;
+        }
+    }
+}
+
+/// Greedily deletes ops while [`check_liveness_sequence`] still reports a
+/// livelock; the result is 1-minimal.
+fn minimize_liveness(cfg: &MachineConfig, ops: &[Op]) -> Vec<Op> {
+    let mut ops = ops.to_vec();
+    'outer: loop {
+        for i in 0..ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if check_liveness_sequence(cfg, &candidate) {
+                ops = candidate;
+                continue 'outer;
+            }
+        }
+        return ops;
+    }
+}
+
+/// Replays a liveness counterexample under a trace collector: the ops, the
+/// wedged-stall probe window if an op never completes, and otherwise one
+/// full period of the drain cycle.
+fn liveness_trace(cfg: &MachineConfig, ops: &[Op]) -> Vec<String> {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let lines = universe_lines(&cfg);
+    let mut trace = TraceObserver::default();
+    let mut m = Machine::new(cfg).expect("caller validates the configuration");
+    for &op in ops {
+        if m.run_op_bounded(op, OP_CYCLE_BUDGET, &mut trace).is_none() {
+            for _ in 0..STALL_PROBE_WINDOW {
+                if !m.step(&mut std::iter::empty(), &mut trace) {
+                    break;
+                }
+            }
+            return trace.lines;
+        }
+    }
+    let mut seen: Vec<MachineSnapshot> = Vec::new();
+    loop {
+        let s = m.snapshot(&lines);
+        if seen.contains(&s) || seen.len() > DRAIN_WALK_BOUND {
+            return trace.lines;
+        }
+        seen.push(s);
+        if !m.drain_step(&mut trace) {
+            return trace.lines;
+        }
+    }
+}
+
+fn rch_diagnostic(code: &'static str, field_path: &str, msg: String) -> Diagnostic {
+    Diagnostic::new(code, Severity::Error, field_path.to_string()).with_message(msg)
+}
+
+/// Builds the `RCH001` violation for a safety failure on `ops`. When the
+/// bounded sequence checker can see the same violation, its minimizer and
+/// trace collector are reused wholesale; a reach-only violation keeps the
+/// unminimized path with a fresh trace.
+fn safety_violation(cfg: &MachineConfig, ops: Vec<Op>, msg: String) -> Box<ReachViolation> {
+    let ce = if check_sequence(cfg, &ops).is_err() {
+        counterexample(cfg, &ops)
+    } else {
+        let mut run_cfg = cfg.clone();
+        run_cfg.check_data = false;
+        let mut trace = TraceObserver::default();
+        let _ = Machine::new(run_cfg)
+            .expect("caller validates the configuration")
+            .run_bounded(ops.iter().copied(), 10_000, &mut trace);
+        Box::new(Counterexample {
+            config: cfg.clone(),
+            ops,
+            violation: msg.clone(),
+            trace: trace.lines,
+        })
+    };
+    Box::new(ReachViolation {
+        diagnostic: rch_diagnostic(
+            "RCH001",
+            "machine",
+            format!("safety invariant violated at a reachable state: {msg}"),
+        ),
+        counterexample: Some(ce),
+    })
+}
+
+/// Builds the `RCH002` violation for a livelock witnessed by `ops`.
+fn liveness_violation(cfg: &MachineConfig, ops: Vec<Op>, detail: &str) -> Box<ReachViolation> {
+    debug_assert!(check_liveness_sequence(cfg, &ops));
+    let ops = minimize_liveness(cfg, &ops);
+    let violation = format!("livelock: {detail}");
+    let trace = liveness_trace(cfg, &ops);
+    Box::new(ReachViolation {
+        diagnostic: rch_diagnostic(
+            "RCH002",
+            "write_buffer",
+            format!("{violation} ({} ops reach it)", ops.len()),
+        ),
+        counterexample: Some(Box::new(Counterexample {
+            config: cfg.clone(),
+            ops,
+            violation,
+            trace,
+        })),
+    })
+}
+
+/// Explores one configuration to closure. Returns `Ok(None)` only when
+/// `abort` fired.
+fn explore_config(
+    cfg: &MachineConfig,
+    abort: &dyn Fn() -> bool,
+) -> Result<Option<ReachConfigStats>, Box<ReachViolation>> {
+    if let Err((field, why)) = gate(cfg) {
+        return Err(Box::new(ReachViolation {
+            diagnostic: rch_diagnostic(
+                "RCH003",
+                &field,
+                format!("configuration is outside the abstractable class: {why}"),
+            ),
+            counterexample: None,
+        }));
+    }
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let g = cfg.geometry;
+    let lines = universe_lines(&cfg);
+    let universe = op_universe(&cfg);
+    let depth = cfg.write_buffer.depth as u64;
+
+    let m0 = Machine::new(cfg.clone()).expect("bounded configs are valid");
+    let shadow0 = ShadowTracker::default();
+    let mut drain_memo: HashMap<AbsState, bool> = HashMap::new();
+    if drain_livelocked(&m0, &g, &lines, &shadow0, &mut drain_memo) {
+        return Err(liveness_violation(
+            &cfg,
+            Vec::new(),
+            "the initial state cycles under the fair drain schedule",
+        ));
+    }
+    let s0 = canonical_state(&g, &m0.snapshot(&lines), &shadow0);
+    let mut nodes = vec![Node {
+        machine: Some(m0),
+        shadow: shadow0,
+        last_retire_id: None,
+        parent: None,
+    }];
+    let mut visited: HashMap<AbsState, usize> = HashMap::from([(s0, 0)]);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut edges: u64 = 0;
+
+    while let Some(idx) = queue.pop_front() {
+        if abort() {
+            return Ok(None);
+        }
+        let machine = nodes[idx].machine.take().expect("nodes expand once");
+        for &op in &universe {
+            let mut m = machine.clone();
+            let mut shadow = nodes[idx].shadow.clone();
+            let mut last_retire_id = nodes[idx].last_retire_id;
+            let mut obs = TransObserver {
+                g,
+                depth,
+                shadow: &mut shadow,
+                last_retire_id: &mut last_retire_id,
+                last_stall_now: None,
+                progress: false,
+                violation: None,
+            };
+            let completed = m.run_op_bounded(op, OP_CYCLE_BUDGET, &mut obs);
+            let violation = obs.violation.take();
+            if let Some(msg) = violation {
+                return Err(safety_violation(&cfg, path_ops(&nodes, idx, Some(op)), msg));
+            }
+            if completed.is_none() {
+                // The op wedged. Probe for progress to tell a livelock from
+                // an undersized budget.
+                let mut probe = ProgressProbe::default();
+                for _ in 0..STALL_PROBE_WINDOW {
+                    if !m.step(&mut std::iter::empty(), &mut probe) {
+                        break;
+                    }
+                }
+                let ops = path_ops(&nodes, idx, Some(op));
+                if !probe.progress && m.wb_occupancy() > 0 {
+                    return Err(liveness_violation(
+                        &cfg,
+                        ops,
+                        "an op exceeds its cycle budget while the buffer makes no \
+                         retirement progress",
+                    ));
+                }
+                return Err(Box::new(ReachViolation {
+                    diagnostic: rch_diagnostic(
+                        "RCH001",
+                        "machine",
+                        format!(
+                            "op {op:?} after {} ops exceeded the {OP_CYCLE_BUDGET}-cycle \
+                             budget while retirement still progresses; the budget is \
+                             undersized for this configuration",
+                            ops.len() - 1
+                        ),
+                    ),
+                    counterexample: None,
+                }));
+            }
+            edges += 1;
+            if let Err(msg) = boundary_checks(&cfg, &m, &shadow, &universe) {
+                return Err(safety_violation(&cfg, path_ops(&nodes, idx, Some(op)), msg));
+            }
+            let state = canonical_state(&g, &m.snapshot(&lines), &shadow);
+            if visited.contains_key(&state) {
+                continue;
+            }
+            if drain_livelocked(&m, &g, &lines, &shadow, &mut drain_memo) {
+                return Err(liveness_violation(
+                    &cfg,
+                    path_ops(&nodes, idx, Some(op)),
+                    "a reachable state cycles under the fair drain schedule without \
+                     retiring anything",
+                ));
+            }
+            visited.insert(state, nodes.len());
+            queue.push_back(nodes.len());
+            nodes.push(Node {
+                machine: Some(m),
+                shadow,
+                last_retire_id,
+                parent: Some((idx, op)),
+            });
+        }
+    }
+    Ok(Some(ReachConfigStats {
+        states: nodes.len() as u64,
+        edges,
+        // Every memoized drain state proved acyclic, so each is its own
+        // SCC; a cycle would have returned RCH002 above.
+        sccs: drain_memo.len() as u64,
+    }))
+}
+
+/// Explores a single configuration's abstract state graph to closure,
+/// checking every safety invariant at every reachable state and the
+/// liveness property on the drain graph.
+///
+/// # Errors
+///
+/// [`ReachViolation`] with `RCH001` (safety), `RCH002` (livelock), or
+/// `RCH003` (the configuration is outside the abstractable class).
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`MachineConfig::validate`] — like the bounded
+/// checker, this explores behavior of valid configurations only.
+pub fn check_reach_config(cfg: &MachineConfig) -> Result<ReachConfigStats, Box<ReachViolation>> {
+    Ok(explore_config(cfg, &|| false)?.expect("no abort requested"))
+}
+
+/// Runs the reachability check over the whole bounded configuration grid
+/// (the same 40 configurations as [`crate::check_exhaustive`]) with
+/// [`default_jobs`] worker threads. See [`check_reach_jobs`].
+///
+/// # Errors
+///
+/// The first violating configuration's [`ReachViolation`], in
+/// configuration order.
+pub fn check_reach(fault: Option<FaultInjection>) -> Result<CheckReport, Box<ReachViolation>> {
+    check_reach_jobs(fault, default_jobs())
+}
+
+/// [`check_reach`] with an explicit worker-thread count. Like
+/// [`crate::check_exhaustive_jobs`], the result is identical for every
+/// `jobs` value (only `wall_ms` varies): a violation is always reported
+/// for the first violating configuration in configuration order, and the
+/// clean-run statistics are order-independent sums.
+///
+/// # Errors
+///
+/// The first violating configuration's [`ReachViolation`], in
+/// configuration order.
+pub fn check_reach_jobs(
+    fault: Option<FaultInjection>,
+    jobs: usize,
+) -> Result<CheckReport, Box<ReachViolation>> {
+    let start = Instant::now();
+    let configs = bounded_configs(fault);
+    match run_indexed_earliest(configs.len(), jobs, |i, abort| {
+        explore_config(&configs[i], abort)
+    }) {
+        Err((_, violation)) => Err(violation),
+        Ok(results) => {
+            let mut report = CheckReport {
+                configs: configs.len() as u64,
+                wall_ms: 0,
+                ..CheckReport::default()
+            };
+            for stats in results.into_iter().flatten() {
+                report.states_explored += stats.states;
+                report.edges += stats.edges;
+                report.sccs += stats.sccs;
+            }
+            report.wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+            Ok(report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::first_violating_sequence;
+    use wbsim_sim::EventParseError;
+    use wbsim_types::policy::LoadHazardPolicy;
+    use wbsim_types::testutil::a;
+
+    fn starve_config(depth: usize, hw: usize) -> MachineConfig {
+        let mut cfg = MachineConfig::baseline();
+        cfg.write_buffer.depth = depth;
+        cfg.write_buffer.retirement = RetirementPolicy::RetireAt(hw);
+        cfg.check_data = false;
+        cfg.fault = Some(FaultInjection::StarveRetirement);
+        cfg
+    }
+
+    #[test]
+    fn baseline_grid_reach_is_clean() {
+        let report = check_reach(None).expect("the paper's design space is clean");
+        assert_eq!(report.configs, 40);
+        assert_eq!(report.sequences, 0, "reach does not enumerate sequences");
+        // The closure proves the invariants for arbitrarily long op
+        // sequences; the explored graph is substantial even though the
+        // quotient is small.
+        assert!(
+            report.states_explored >= 400,
+            "suspiciously small exploration: {} states",
+            report.states_explored
+        );
+        assert!(report.edges >= report.states_explored);
+        assert!(report.sccs > 0, "drain graphs were explored");
+    }
+
+    #[test]
+    fn parallel_and_serial_reach_runs_agree() {
+        let mut one = check_reach_jobs(None, 1).expect("clean grid");
+        let mut four = check_reach_jobs(None, 4).expect("clean grid");
+        one.wall_ms = 0;
+        four.wall_ms = 0;
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn reach_agrees_with_bounded_on_every_configuration() {
+        // Cross-validation: on every shared configuration, the bounded
+        // checker (N=3) and the reachability checker must agree on whether
+        // a *safety* fault is present. skip-wb-forwarding is a pure safety
+        // bug, so the verdicts must match exactly.
+        for fault in [None, Some(FaultInjection::SkipWbForwarding)] {
+            for cfg in bounded_configs(fault) {
+                let bounded_dirty = first_violating_sequence(&cfg, 3, &|| false).is_some();
+                let reach = check_reach_config(&cfg);
+                assert_eq!(
+                    bounded_dirty,
+                    reach.is_err(),
+                    "bounded and reach disagree on {:?} depth {} hw {:?} fault {:?}",
+                    cfg.write_buffer.hazard,
+                    cfg.write_buffer.depth,
+                    cfg.write_buffer.retirement,
+                    fault
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_wb_forwarding_yields_minimized_replayable_safety_counterexample() {
+        let v = check_reach(Some(FaultInjection::SkipWbForwarding))
+            .expect_err("skipping WB forwarding must violate freshness");
+        assert_eq!(v.diagnostic.code, "RCH001");
+        let ce = v.counterexample.expect("safety violations carry one");
+        assert_eq!(
+            ce.config.write_buffer.hazard,
+            LoadHazardPolicy::ReadFromWb,
+            "the fault only bites under read-from-WB"
+        );
+        assert!(!ce.ops.is_empty());
+        // 1-minimal under the bounded sequence checker.
+        for i in 0..ce.ops.len() {
+            let mut fewer = ce.ops.clone();
+            fewer.remove(i);
+            assert!(
+                check_sequence(&ce.config, &fewer).is_ok(),
+                "counterexample is not minimal: op {i} is removable"
+            );
+        }
+        assert!(!ce.trace.is_empty());
+        for line in &ce.trace {
+            let ev: Result<Event, EventParseError> = Event::from_json(line);
+            ev.expect("counterexample trace must be valid JSONL");
+        }
+    }
+
+    #[test]
+    fn starved_retirement_yields_minimized_replayable_livelock_counterexample() {
+        // With autonomous retirement starved, any non-empty buffer already
+        // cycles under the fair drain schedule: one store is the minimal
+        // witness, and the BFS finds it at the first non-initial state.
+        let v = check_reach(Some(FaultInjection::StarveRetirement))
+            .expect_err("starved retirement is a livelock");
+        assert_eq!(v.diagnostic.code, "RCH002");
+        let ce = v.counterexample.expect("livelocks carry a counterexample");
+        assert_eq!(ce.ops.len(), 1, "one store suffices: {:?}", ce.ops);
+        assert!(ce.ops.iter().all(|op| matches!(op, Op::Store(_))));
+        assert!(check_liveness_sequence(&ce.config, &ce.ops));
+        for i in 0..ce.ops.len() {
+            let mut fewer = ce.ops.clone();
+            fewer.remove(i);
+            assert!(
+                !check_liveness_sequence(&ce.config, &fewer),
+                "livelock counterexample is not minimal: op {i} is removable"
+            );
+        }
+        assert!(!ce.trace.is_empty());
+        for line in &ce.trace {
+            let ev: Result<Event, EventParseError> = Event::from_json(line);
+            ev.expect("livelock trace must be valid JSONL");
+        }
+    }
+
+    #[test]
+    fn deep_buffer_starvation_is_a_drain_cycle_livelock() {
+        // At depth 2 over a two-line universe the buffer never fills (the
+        // second store to a line merges), so no op ever wedges and the
+        // bounded checker at any N sees nothing wrong. Only the drain-graph
+        // cycle analysis exposes the livelock — and a single store suffices.
+        let cfg = starve_config(2, 2);
+        let v = check_reach_config(&cfg).expect_err("buffered entries never retire");
+        assert_eq!(v.diagnostic.code, "RCH002");
+        let ce = v.counterexample.expect("livelocks carry a counterexample");
+        assert_eq!(ce.ops.len(), 1, "one store suffices: {:?}", ce.ops);
+        assert!(matches!(ce.ops[0], Op::Store(_)));
+        // The bounded checker is blind to it: every short sequence is clean.
+        assert!(first_violating_sequence(&cfg, 3, &|| false).is_none());
+    }
+
+    #[test]
+    fn liveness_predicate_is_clean_on_healthy_configs() {
+        let mut cfg = MachineConfig::baseline();
+        cfg.check_data = false;
+        assert!(!check_liveness_sequence(&cfg, &[Op::Store(a(0, 0))]));
+        assert!(!check_liveness_sequence(
+            &cfg,
+            &[Op::Store(a(0, 0)), Op::Store(a(1, 0)), Op::Load(a(0, 1))]
+        ));
+        assert!(check_liveness_sequence(
+            &starve_config(2, 2),
+            &[Op::Store(a(0, 0))]
+        ));
+    }
+
+    #[test]
+    fn unabstractable_configs_are_rejected_with_rch003() {
+        let mut cfg = MachineConfig::baseline();
+        cfg.write_buffer.order = RetirementOrder::Lru;
+        let v = check_reach_config(&cfg).expect_err("LRU order is time-dependent");
+        assert_eq!(v.diagnostic.code, "RCH003");
+        assert!(v.counterexample.is_none());
+        assert_eq!(v.diagnostic.field_path, "write_buffer.order");
+
+        let mut cfg = MachineConfig::baseline();
+        cfg.write_buffer.max_age = Some(64);
+        assert_eq!(
+            check_reach_config(&cfg)
+                .expect_err("max-age")
+                .diagnostic
+                .code,
+            "RCH003"
+        );
+
+        // The whole bounded grid is abstractable by construction.
+        for cfg in bounded_configs(None) {
+            assert!(gate(&cfg).is_ok());
+        }
+    }
+}

@@ -24,7 +24,15 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Boolean flags recognized without a value.
-const BOOL_FLAGS: &[&str] = &["csv", "binary", "check-data", "ideal", "exhaustive", "json"];
+const BOOL_FLAGS: &[&str] = &[
+    "csv",
+    "binary",
+    "check-data",
+    "ideal",
+    "exhaustive",
+    "reach",
+    "json",
+];
 // note: --svg takes a directory value, so it is not listed here.
 
 /// Splits `argv` into positionals, `--key value` options, and bare flags.

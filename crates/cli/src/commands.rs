@@ -4,7 +4,10 @@ use std::error::Error;
 use std::fs::File;
 use std::io::{self, BufRead as _, BufReader, BufWriter};
 
-use wbsim_check::{check_exhaustive, lint_config, parse_error_diagnostic};
+use wbsim_check::{
+    check_exhaustive_jobs, check_reach_jobs, default_jobs, lint_config, parse_error_diagnostic,
+    Counterexample,
+};
 use wbsim_experiments::harness::Harness;
 use wbsim_experiments::{ablations, figures, render, tables};
 use wbsim_sim::{Event, Machine, Observer};
@@ -70,13 +73,19 @@ USAGE:
   wbsim trace run <FILE> [--depth N] [--retire-at N] [--hazard P] [--check-data]
   wbsim trace events --bench NAME [--out FILE] [--mshrs N] [config flags as for run]
         (emits the machine's structured event stream as JSON lines)
-  wbsim trace validate <FILE.jsonl>
+  wbsim trace validate <FILE.jsonl | -> (`-` reads JSONL from stdin)
   wbsim check [--config FILE.wbcfg] [--depth N] [--retire-at N] [--hazard P] [--json]
         (lint the configuration; exits non-zero on any error-severity finding)
-  wbsim check --exhaustive [--max-ops N] [--fault skip-wb-forwarding] [--out FILE.jsonl]
+  wbsim check --exhaustive [--max-ops N] [--fault F] [--out FILE.jsonl] [--jobs N] [--json]
         (bounded exhaustive model check; a violation writes a replayable
-         counterexample trace for `wbsim trace validate`)
+         counterexample trace for `wbsim trace validate`; `--out -` streams
+         the trace to stdout with the human report on stderr)
+  wbsim check --reach [--fault F] [--out FILE.jsonl] [--jobs N] [--json]
+        (unbounded reachability check over the abstract state graph, with
+         livelock analysis; same counterexample plumbing as --exhaustive)
   wbsim list
+
+FAULTS (--fault): skip-wb-forwarding | starve-retirement
 
 HAZARD POLICIES: flush-full | flush-partial | flush-item-only | read-from-wb
 ABLATIONS: a1 retirement, a2 max-age, a3 coalescing, a4 write-cache,
@@ -750,29 +759,33 @@ fn cmd_trace(p: &Parsed) -> CmdResult {
             Ok(())
         }
         "validate" => {
-            let path = p
-                .positionals
-                .get(2)
-                .ok_or_else(|| ArgError("trace validate: FILE required".into()))?;
-            let f = BufReader::new(File::open(path)?);
+            let path = p.positionals.get(2).ok_or_else(|| {
+                ArgError("trace validate: FILE (or `-` for stdin) required".into())
+            })?;
+            // `-` reads from stdin, so counterexample traces pipe straight in.
+            let (reader, display): (Box<dyn io::BufRead>, &str) = if path == "-" {
+                (Box::new(BufReader::new(io::stdin().lock())), "<stdin>")
+            } else {
+                (Box::new(BufReader::new(File::open(path)?)), path)
+            };
             let mut count = 0u64;
             let mut cycles = 0u64;
-            for (i, line) in f.lines().enumerate() {
+            for (i, line) in reader.lines().enumerate() {
                 let line = line?;
                 if line.trim().is_empty() {
                     continue;
                 }
                 let ev = Event::from_json(&line)
-                    .map_err(|e| ArgError(format!("{path}:{}: {e}", i + 1)))?;
+                    .map_err(|e| ArgError(format!("{display}:{}: {e}", i + 1)))?;
                 count += 1;
                 if matches!(ev, Event::CycleEnd { .. }) {
                     cycles += 1;
                 }
             }
             if count == 0 {
-                return Err(ArgError(format!("{path}: no events")).into());
+                return Err(ArgError(format!("{display}: no events")).into());
             }
-            println!("{path}: {count} events over {cycles} cycles, all valid");
+            println!("{display}: {count} events over {cycles} cycles, all valid");
             Ok(())
         }
         other => Err(ArgError(format!("trace: unknown subcommand {other:?}")).into()),
@@ -826,6 +839,9 @@ fn cmd_check(p: &Parsed) -> CmdResult {
     if p.has_flag("exhaustive") {
         return cmd_check_exhaustive(p);
     }
+    if p.has_flag("reach") {
+        return cmd_check_reach(p);
+    }
     let (cfg, mut diags) = config_for_lint(p)?;
     if let Some(cfg) = cfg {
         diags.extend(lint_config(&cfg));
@@ -853,46 +869,125 @@ fn cmd_check(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+fn fault_from(p: &Parsed) -> Result<Option<FaultInjection>, ArgError> {
+    match p.options.get("fault").map(String::as_str) {
+        None => Ok(None),
+        Some("skip-wb-forwarding") => Ok(Some(FaultInjection::SkipWbForwarding)),
+        Some("starve-retirement") => Ok(Some(FaultInjection::StarveRetirement)),
+        Some(other) => Err(ArgError(format!(
+            "unknown fault {other:?} (try skip-wb-forwarding or starve-retirement)"
+        ))),
+    }
+}
+
+/// Writes a counterexample's trace (to `--out`, default
+/// `wbsim-counterexample.jsonl`; `-` streams JSONL to stdout) and prints
+/// the human report — to stderr when stdout carries the trace, so
+/// `--out - | wbsim trace validate -` stays a clean pipe.
+fn report_counterexample(p: &Parsed, ce: &Counterexample, violation: &str) -> CmdResult {
+    use std::io::Write as _;
+    let out = p
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "wbsim-counterexample.jsonl".into());
+    let replay = if out == "-" {
+        let stdout = io::stdout().lock();
+        let mut w = BufWriter::new(stdout);
+        for line in &ce.trace {
+            writeln!(w, "{line}")?;
+        }
+        w.flush()?;
+        "`wbsim trace validate -`".to_string()
+    } else {
+        let mut w = BufWriter::new(File::create(&out)?);
+        for line in &ce.trace {
+            writeln!(w, "{line}")?;
+        }
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        format!("`wbsim trace validate {out}`")
+    };
+    let mut human: Box<dyn io::Write> = if out == "-" {
+        Box::new(io::stderr().lock())
+    } else {
+        Box::new(io::stdout().lock())
+    };
+    writeln!(human, "invariant violated: {violation}")?;
+    writeln!(human, "configuration:\n{}", to_config_string(&ce.config))?;
+    writeln!(
+        human,
+        "minimized sequence ({} ops): {:?}",
+        ce.ops.len(),
+        ce.ops
+    )?;
+    writeln!(
+        human,
+        "event trace: {out} ({} events) — replay with {replay}",
+        ce.trace.len()
+    )?;
+    Ok(())
+}
+
 fn cmd_check_exhaustive(p: &Parsed) -> CmdResult {
     let max_ops = p.get_or("max-ops", 5u32)?;
-    let fault = match p.options.get("fault").map(String::as_str) {
-        None => None,
-        Some("skip-wb-forwarding") => Some(FaultInjection::SkipWbForwarding),
-        Some(other) => {
-            return Err(
-                ArgError(format!("unknown fault {other:?} (try skip-wb-forwarding)")).into(),
-            )
-        }
-    };
-    match check_exhaustive(max_ops, fault) {
+    let fault = fault_from(p)?;
+    let jobs = p.get_or("jobs", default_jobs())?;
+    match check_exhaustive_jobs(max_ops, fault, jobs) {
         Ok(report) => {
-            println!(
-                "bounded exhaustive check clean: {} runs ({} configurations x {} op \
-                 sequences of length 1..={max_ops}), no invariant violations",
-                report.runs, report.configs, report.sequences
-            );
+            if p.has_flag("json") {
+                println!("{}", report.to_json());
+            } else {
+                println!(
+                    "bounded exhaustive check clean: {} runs ({} configurations x {} op \
+                     sequences of length 1..={max_ops}) in {} ms, no invariant violations",
+                    report.runs, report.configs, report.sequences, report.wall_ms
+                );
+            }
             Ok(())
         }
         Err(ce) => {
-            let out = p
-                .options
-                .get("out")
-                .cloned()
-                .unwrap_or_else(|| "wbsim-counterexample.jsonl".into());
-            let mut w = BufWriter::new(File::create(&out)?);
-            use std::io::Write as _;
-            for line in &ce.trace {
-                writeln!(w, "{line}")?;
-            }
-            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-            println!("invariant violated: {}", ce.violation);
-            println!("configuration:\n{}", to_config_string(&ce.config));
-            println!("minimized sequence ({} ops): {:?}", ce.ops.len(), ce.ops);
-            println!(
-                "event trace: {out} ({} events) — replay with `wbsim trace validate {out}`",
-                ce.trace.len()
-            );
+            report_counterexample(p, &ce, &ce.violation)?;
             Err(ArgError("bounded exhaustive check found an invariant violation".into()).into())
+        }
+    }
+}
+
+fn cmd_check_reach(p: &Parsed) -> CmdResult {
+    let fault = fault_from(p)?;
+    let jobs = p.get_or("jobs", default_jobs())?;
+    match check_reach_jobs(fault, jobs) {
+        Ok(report) => {
+            if p.has_flag("json") {
+                println!("{}", report.to_json());
+            } else {
+                println!(
+                    "reachability check clean: {} configurations, {} abstract states, \
+                     {} transitions, {} drain-graph SCCs (all progressing) in {} ms; \
+                     every safety invariant holds at every reachable state and no \
+                     livelock exists",
+                    report.configs,
+                    report.states_explored,
+                    report.edges,
+                    report.sccs,
+                    report.wall_ms
+                );
+            }
+            Ok(())
+        }
+        Err(v) => {
+            // The diagnostic goes to stderr whenever stdout may carry the
+            // trace (`--out -`) or JSON; the counterexample plumbing below
+            // handles its own stream choice.
+            let rendered = if p.has_flag("json") {
+                v.diagnostic.to_json()
+            } else {
+                v.diagnostic.render()
+            };
+            eprintln!("{rendered}");
+            if let Some(ce) = &v.counterexample {
+                report_counterexample(p, ce, &ce.violation)?;
+            }
+            Err(ArgError(format!("reachability check failed ({})", v.diagnostic.code)).into())
         }
     }
 }
@@ -1165,6 +1260,38 @@ wb.retirement = retire-at-8
         assert!(dispatch(&v(&["trace", "validate"])).is_err());
         assert!(dispatch(&v(&["trace", "events"])).is_err());
         assert!(dispatch(&v(&["trace", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn check_lint_via_cli() {
+        assert!(dispatch(&v(&["check", "--depth", "4", "--retire-at", "2"])).is_ok());
+        // Error-severity finding → non-zero exit.
+        assert!(dispatch(&v(&["check", "--depth", "2", "--retire-at", "9"])).is_err());
+        assert!(dispatch(&v(&["check", "--depth", "4", "--retire-at", "4", "--json"])).is_ok());
+    }
+
+    #[test]
+    fn check_reach_fault_writes_replayable_counterexample() {
+        let dir = std::env::temp_dir().join("wbsim-reach-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cex.jsonl");
+        let path_s = path.to_str().unwrap();
+        // Starved retirement is a livelock: the run fails and leaves a
+        // trace that `trace validate` accepts.
+        assert!(dispatch(&v(&[
+            "check",
+            "--reach",
+            "--fault",
+            "starve-retirement",
+            "--out",
+            path_s,
+            "--jobs",
+            "2"
+        ]))
+        .is_err());
+        assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
+        // Unknown faults are rejected up front.
+        assert!(dispatch(&v(&["check", "--reach", "--fault", "bogus"])).is_err());
     }
 
     #[test]

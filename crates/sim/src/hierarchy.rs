@@ -38,8 +38,9 @@ pub(crate) struct Pending {
 }
 
 /// The shared datapath: caches, buffer, port, memory, shadow, and stats.
-/// See the module docs.
-#[derive(Debug)]
+/// See the module docs. `Clone` supports the reachability checker, which
+/// forks the machine at every explored state.
+#[derive(Debug, Clone)]
 pub(crate) struct Hierarchy {
     pub(crate) cfg: MachineConfig,
     pub(crate) g: Geometry,
@@ -173,6 +174,12 @@ impl Hierarchy {
     /// which forces the maximum rate, or the age limit) calls for one and
     /// the port is free.
     pub(crate) fn wb_try_retire<O: Observer>(&mut self, barrier_drain: bool, obs: &mut O) {
+        if self.cfg.fault == Some(FaultInjection::StarveRetirement) {
+            // Injected liveness bug: the autonomous retirement engine is
+            // dead. Hazard flushes (CPU-driven) still work, so every safety
+            // invariant holds — only progress is lost.
+            return;
+        }
         if self.wb_retire.is_some() || !self.port.is_free(self.now) {
             return;
         }

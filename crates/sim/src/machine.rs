@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 
 use wbsim_core::entry::EntryId;
 use wbsim_mem::Icache;
-use wbsim_types::addr::Addr;
+use wbsim_types::addr::{Addr, LineAddr};
 use wbsim_types::config::{ConfigError, MachineConfig};
 use wbsim_types::op::Op;
 use wbsim_types::policy::{L1WritePolicy, L2Priority, LoadHazardPolicy};
@@ -112,12 +112,61 @@ enum CpuState {
 
 /// The simulated machine. Build one with [`Machine::new`], then drive it
 /// with [`Machine::run`] (or [`Machine::run_observed`] to receive the
-/// structured event stream).
-#[derive(Debug)]
+/// structured event stream). `Clone` forks the complete machine state —
+/// the reachability checker clones a machine at every explored state and
+/// steps each copy independently.
+#[derive(Debug, Clone)]
 pub struct Machine {
     hier: Hierarchy,
     icache: Icache,
     cpu: CpuState,
+}
+
+/// One write-buffer entry in a [`MachineSnapshot`]: the block tag plus the
+/// per-word values (`None` = word invalid), in buffer order (allocation
+/// order, which is also FIFO retirement order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WbEntrySnapshot {
+    /// Block tag (for line-wide entries, the line address).
+    pub block: u64,
+    /// Whether a retirement or flush transaction for this entry is
+    /// underway.
+    pub retiring: bool,
+    /// Concrete word values; `None` where the valid-bit is clear.
+    pub words: Vec<Option<u64>>,
+}
+
+/// The memory-system state of one cache line in a [`MachineSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineSnapshot {
+    /// The line address.
+    pub line: u64,
+    /// L1 contents (`None` when the line is not resident).
+    pub l1: Option<Vec<u64>>,
+    /// The memory-side value of each word: L2 if resident there, else main
+    /// memory (zero for never-written words).
+    pub mem: Vec<u64>,
+}
+
+/// A value-level structural snapshot of the machine at (or between) op
+/// boundaries: write-buffer entries, in-flight retirement/port countdowns,
+/// and the state of a chosen set of cache lines. Everything is expressed
+/// relative to `now`, so two machines that differ only by a time shift
+/// snapshot identically — the property the reachability checker's
+/// canonical state abstraction is built on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    /// Write-buffer entries in buffer (FIFO) order.
+    pub wb: Vec<WbEntrySnapshot>,
+    /// Cycles until the in-flight autonomous retirement completes
+    /// (`None` when no retirement is underway).
+    pub retire_countdown: Option<u64>,
+    /// Cycles until the L2 port frees (0 = free now).
+    pub port_countdown: u64,
+    /// State of the requested lines, in request order.
+    pub lines: Vec<LineSnapshot>,
+    /// Whether the CPU sits at an op boundary (no instruction mid-flight).
+    pub at_op_boundary: bool,
 }
 
 impl Machine {
@@ -295,6 +344,129 @@ impl Machine {
         }
         self.hier.stats.cycles = self.hier.now;
         Some(self.hier.stats)
+    }
+
+    /// Whether the CPU sits at an op boundary: the previous op (if any)
+    /// has fully completed and no instruction is mid-flight. Autonomous
+    /// write-buffer retirements may still be underway.
+    #[must_use]
+    pub fn at_op_boundary(&self) -> bool {
+        matches!(self.cpu, CpuState::NeedOp | CpuState::Finished)
+    }
+
+    /// Runs exactly one op to completion from an op boundary, giving up
+    /// after `max_cycles` additional cycles (`None`, with the machine left
+    /// mid-op — a livelock probe for the reachability checker). On
+    /// completion returns the new timestamp and leaves the machine at the
+    /// next op boundary.
+    ///
+    /// Feeding ops one at a time this way is equivalent to a continuous
+    /// [`Machine::run_observed`] over the concatenated stream: the same
+    /// cycles elapse and the observer sees the same event sequence (the
+    /// boundary-detecting step consumes no cycle and only performs the
+    /// retirement-completion work the next op's first cycle would have
+    /// performed at the same timestamp).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the machine is at an op boundary.
+    pub fn run_op_bounded<O: Observer>(
+        &mut self,
+        op: Op,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Option<u64> {
+        debug_assert!(self.at_op_boundary(), "run_op_bounded mid-op");
+        if matches!(self.cpu, CpuState::Finished) {
+            self.cpu = CpuState::NeedOp;
+        }
+        let deadline = self.hier.now + max_cycles;
+        let mut iter = std::iter::once(op);
+        while self.step(&mut iter, obs) {
+            if self.hier.now >= deadline {
+                return None;
+            }
+        }
+        Some(self.hier.now)
+    }
+
+    /// Advances one cycle of a forced drain: retirement runs at the
+    /// maximum rate (as under a barrier) and no new ops issue. Returns
+    /// `false` — consuming no cycle — once the buffer is empty and no
+    /// retirement is in flight. The reachability checker's liveness
+    /// analysis walks this deterministic drain schedule from every
+    /// reachable state: a state cycle without retirement progress under it
+    /// is a livelock.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no instruction is mid-flight (op boundary or an
+    /// earlier `drain_step`).
+    pub fn drain_step<O: Observer>(&mut self, obs: &mut O) -> bool {
+        debug_assert!(
+            matches!(
+                self.cpu,
+                CpuState::NeedOp | CpuState::Finished | CpuState::BarrierDrain
+            ),
+            "drain_step mid-op"
+        );
+        if self.hier.wb.occupancy() == 0 && self.hier.wb_retire.is_none() {
+            return false;
+        }
+        self.cpu = CpuState::BarrierDrain;
+        self.step(&mut std::iter::empty(), obs)
+    }
+
+    /// Captures a value-level structural snapshot: write-buffer entries in
+    /// FIFO order, in-flight retirement and port countdowns relative to
+    /// `now`, and the L1/memory-side state of the requested `lines`. See
+    /// [`MachineSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self, lines: &[LineAddr]) -> MachineSnapshot {
+        let g = &self.hier.g;
+        let wpl = g.words_per_line();
+        let mut entries: Vec<_> = self.hier.wb.iter().collect();
+        entries.sort_by_key(|e| e.id);
+        let wb = entries
+            .into_iter()
+            .map(|e| WbEntrySnapshot {
+                block: e.block,
+                retiring: e.retiring,
+                words: (0..e.data.len())
+                    .map(|w| e.mask.get(w).then(|| e.data[w]))
+                    .collect(),
+            })
+            .collect();
+        let lines = lines
+            .iter()
+            .map(|&line| {
+                let l1 = self.hier.l1.contains(line).then(|| {
+                    (0..wpl)
+                        .map(|w| self.hier.l1.peek_word(line, w).unwrap_or(0))
+                        .collect()
+                });
+                let mem = (0..wpl)
+                    .map(|w| {
+                        self.hier.l2.peek_word(line, w).unwrap_or_else(|| {
+                            self.hier.mem.read_word(g.word_addr_in_line(line, w))
+                        })
+                    })
+                    .collect();
+                LineSnapshot {
+                    line: line.as_u64(),
+                    l1,
+                    mem,
+                }
+            })
+            .collect();
+        let now = self.hier.now;
+        MachineSnapshot {
+            wb,
+            retire_countdown: self.hier.wb_retire.map(|p| p.done_at.saturating_sub(now)),
+            port_countdown: self.hier.port.free_at().saturating_sub(now),
+            lines,
+            at_op_boundary: self.at_op_boundary(),
+        }
     }
 
     /// Simulates the paper's implicit lower bound: "a perfect buffer that
@@ -1590,6 +1762,111 @@ mod tests {
         assert!(
             s.stalls.get(StallKind::L2ReadAccess) >= base.stalls.get(StallKind::L2ReadAccess),
             "write priority should delay the read at least as much"
+        );
+    }
+
+    #[test]
+    fn op_by_op_stepping_matches_continuous_run() {
+        // run_op_bounded feeds one op at a time; the observer must see the
+        // exact event stream of a continuous run over the same ops, and the
+        // machines must land on the same timestamp and statistics.
+        use crate::event::Event;
+        struct Collect(Vec<String>);
+        impl Observer for Collect {
+            fn event(&mut self, ev: &Event) {
+                self.0.push(ev.to_json());
+            }
+        }
+        let ops = vec![
+            Op::Store(a(1, 0)),
+            Op::Store(a(2, 0)), // retire-at-2 fires mid-stream
+            Op::Load(a(1, 0)),  // hazard flush
+            Op::Store(a(2, 1)),
+            Op::Compute(3),
+            Op::Load(a(2, 1)),
+        ];
+        let mut cont = Collect(Vec::new());
+        let mut m1 = Machine::new(MachineConfig::baseline()).unwrap();
+        let s1 = m1.run_observed(ops.clone(), &mut cont);
+
+        let mut step = Collect(Vec::new());
+        let mut m2 = Machine::new(MachineConfig::baseline()).unwrap();
+        for op in ops {
+            let t = m2.run_op_bounded(op, 10_000, &mut step);
+            assert!(t.is_some(), "no op livelocks in the baseline");
+            assert!(m2.at_op_boundary());
+        }
+        assert_eq!(cont.0, step.0, "event streams must be identical");
+        assert_eq!(m1.now(), m2.now());
+        assert_eq!(s1.cycles, m2.now());
+        assert_eq!(m1.stats().stores, m2.stats().stores);
+        assert_eq!(m1.stats().stalls, m2.stats().stalls);
+        assert_eq!(m1.stats().wb_retirements, m2.stats().wb_retirements);
+        assert_eq!(m1.stats().wb_flushes, m2.stats().wb_flushes);
+    }
+
+    #[test]
+    fn drain_step_empties_the_buffer_then_reports_done() {
+        let mut obs = NullObserver;
+        let mut m = Machine::new(MachineConfig::baseline()).unwrap();
+        m.run_op_bounded(Op::Store(a(1, 0)), 100, &mut obs).unwrap();
+        assert_eq!(m.wb_occupancy(), 1);
+        let mut steps = 0;
+        while m.drain_step(&mut obs) {
+            steps += 1;
+            assert!(steps < 100, "drain must terminate");
+        }
+        assert_eq!(m.wb_occupancy(), 0);
+        assert!(steps >= 6, "one retirement takes the full write time");
+        assert!(!m.drain_step(&mut obs), "empty drain consumes nothing");
+        assert!(m.at_op_boundary());
+    }
+
+    #[test]
+    fn snapshot_captures_buffer_and_is_time_shift_invariant() {
+        let mut obs = NullObserver;
+        let mut m = Machine::new(MachineConfig::baseline()).unwrap();
+        m.run_op_bounded(Op::Store(a(1, 0)), 100, &mut obs).unwrap();
+        let s = m.snapshot(&[LineAddr::new(1), LineAddr::new(2)]);
+        assert_eq!(s.wb.len(), 1);
+        assert_eq!(s.wb[0].block, 1);
+        assert!(!s.wb[0].retiring);
+        assert_eq!(s.wb[0].words, vec![Some(1), None, None, None]);
+        assert_eq!(
+            s.retire_countdown, None,
+            "lone entry sits below retire-at-2"
+        );
+        assert_eq!(s.port_countdown, 0);
+        assert!(s.at_op_boundary);
+        assert_eq!(s.lines.len(), 2);
+        assert_eq!(s.lines[0].l1, None, "write-around store does not fill L1");
+        assert_eq!(s.lines[0].mem, vec![0; 4]);
+        // Idle cycles move `now` but nothing else: the snapshot — built on
+        // countdowns, not absolute timestamps — must not change.
+        m.run_op_bounded(Op::Compute(10), 100, &mut obs).unwrap();
+        assert_eq!(m.snapshot(&[LineAddr::new(1), LineAddr::new(2)]), s);
+    }
+
+    #[test]
+    fn starve_retirement_fault_wedges_a_full_buffer() {
+        use wbsim_types::divergence::FaultInjection;
+        let cfg = MachineConfig {
+            write_buffer: WriteBufferConfig {
+                depth: 1,
+                retirement: RetirementPolicy::RetireAt(1),
+                ..WriteBufferConfig::baseline()
+            },
+            fault: Some(FaultInjection::StarveRetirement),
+            check_data: false,
+            ..MachineConfig::baseline()
+        };
+        let mut obs = NullObserver;
+        let mut m = Machine::new(cfg).unwrap();
+        m.run_op_bounded(Op::Store(a(1, 0)), 100, &mut obs).unwrap();
+        assert!(
+            m.run_op_bounded(Op::Store(a(2, 0)), 200, &mut obs)
+                .is_none(),
+            "with retirement starved, a second line can never allocate"
         );
     }
 

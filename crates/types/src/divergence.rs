@@ -26,12 +26,18 @@ pub enum FaultInjection {
     /// stale-data bug the paper's §2.2 forwarding datapath exists to
     /// prevent ("the fill into L1 would obtain stale data").
     SkipWbForwarding,
+    /// Autonomous retirement never fires: buffered entries sit in the
+    /// write buffer forever unless a hazard flush or barrier pushes them
+    /// out. A liveness bug — the safety invariants all still hold — used
+    /// to prove the reachability checker's livelock detection fires.
+    StarveRetirement,
 }
 
 impl fmt::Display for FaultInjection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::SkipWbForwarding => f.write_str("skip-wb-forwarding"),
+            Self::StarveRetirement => f.write_str("starve-retirement"),
         }
     }
 }
@@ -288,6 +294,10 @@ mod tests {
         assert_eq!(
             FaultInjection::SkipWbForwarding.to_string(),
             "skip-wb-forwarding"
+        );
+        assert_eq!(
+            FaultInjection::StarveRetirement.to_string(),
+            "starve-retirement"
         );
         assert_eq!(LoadSource::WriteBuffer.to_string(), "write-buffer forward");
     }

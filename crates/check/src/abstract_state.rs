@@ -22,8 +22,16 @@
 //!   identically), so the canonical state is the lexicographic minimum of
 //!   the abstraction under the identity and under the swap.
 //!
+//! * **Completion commutation.** The non-blocking machine's MSHR file is
+//!   abstracted as queued misses (in issue order — the port serves them in
+//!   that order) followed by in-flight misses sorted by countdown: once
+//!   issued, an MSHR's allocation order is never consulted again, and
+//!   fills to distinct lines commute, so the sorted form is a sound
+//!   partial-order reduction.
+//!
 //! The quotient is finite: at most `depth` entries × 2 lines × 3 word
-//! classes per word × bounded countdowns.
+//! classes per word × bounded countdowns × at most `mshrs` outstanding
+//! misses.
 
 use std::collections::HashMap;
 
@@ -47,10 +55,25 @@ pub struct AbsEntry {
     /// Index of the entry's line in the universe (0 or 1), under the
     /// current renaming.
     pub line: usize,
+    /// Which aligned `width_words` block of the line the entry covers
+    /// (always 0 for full-line entries). Retirement writes land at
+    /// `sub × width_words`, so entries differing only here diverge.
+    pub sub: usize,
     /// Whether a retirement or flush transaction for the entry is underway.
     pub retiring: bool,
     /// Per-word classification.
     pub words: Vec<WordAbs>,
+}
+
+/// One outstanding miss, abstracted. Ordered by countdown first so that
+/// the issued suffix of [`AbsState::mshrs`] sorts into completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AbsMshr {
+    /// Cycles until the fill completes (`None` while queued for the port).
+    pub countdown: Option<u64>,
+    /// Index of the outstanding line in the universe (0 or 1), under the
+    /// current renaming.
+    pub line: usize,
 }
 
 /// The memory-side state of one universe line, abstracted.
@@ -73,6 +96,14 @@ pub struct AbsState {
     pub retire_countdown: Option<u64>,
     /// Cycles until the L2 port frees.
     pub port_countdown: u64,
+    /// Outstanding misses (non-blocking machine only): queued MSHRs first
+    /// in issue order (the port serves them in that order), then issued
+    /// MSHRs sorted by `(countdown, line)` — a partial-order reduction:
+    /// once issued, an MSHR's allocation order is never consulted again,
+    /// and in-flight completions to distinct lines commute, so states
+    /// differing only in the issued suffix's order are behaviorally
+    /// identical.
+    pub mshrs: Vec<AbsMshr>,
     /// The universe lines, under the current renaming.
     pub lines: Vec<AbsLine>,
 }
@@ -128,14 +159,20 @@ fn abstract_snapshot(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTracke
         .wb
         .iter()
         .map(|e| {
+            // Blocks are aligned `width`-word groups: block b covers word
+            // addresses b·width .. (b+1)·width, so with sub-line entries
+            // the owning line is b / blocks_per_line.
+            let width = e.words.len();
+            let bpl = (g.words_per_line() / width) as u64;
+            let line_no = e.block / bpl;
             let line = snap
                 .lines
                 .iter()
-                .position(|l| l.line == e.block)
+                .position(|l| l.line == line_no)
                 .expect("write-buffer entry outside the bounded universe");
-            let la = LineAddr::new(e.block);
             AbsEntry {
                 line,
+                sub: (e.block % bpl) as usize,
                 retiring: e.retiring,
                 words: e
                     .words
@@ -143,12 +180,32 @@ fn abstract_snapshot(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTracke
                     .enumerate()
                     .map(|(w, v)| match v {
                         None => WordAbs::Invalid,
-                        Some(v) => shadow.classify(g.word_addr_in_line(la, w), *v),
+                        Some(v) => shadow.classify(e.block * width as u64 + w as u64, *v),
                     })
                     .collect(),
             }
         })
         .collect();
+    let mut queued = Vec::new();
+    let mut issued = Vec::new();
+    for m in &snap.mshrs {
+        let line = snap
+            .lines
+            .iter()
+            .position(|l| l.line == m.line)
+            .expect("outstanding miss outside the bounded universe");
+        let am = AbsMshr {
+            countdown: m.countdown,
+            line,
+        };
+        if m.countdown.is_some() {
+            issued.push(am);
+        } else {
+            queued.push(am);
+        }
+    }
+    issued.sort_unstable();
+    queued.extend(issued);
     let lines = snap
         .lines
         .iter()
@@ -161,6 +218,7 @@ fn abstract_snapshot(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTracke
         wb,
         retire_countdown: snap.retire_countdown,
         port_countdown: snap.port_countdown,
+        mshrs: queued,
         lines,
     }
 }
@@ -182,6 +240,18 @@ pub fn canonical_state(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTrac
     for e in &mut b.wb {
         e.line = 1 - e.line;
     }
+    for m in &mut b.mshrs {
+        m.line = 1 - m.line;
+    }
+    // Renaming perturbs the issued suffix's sort key; restore its
+    // canonical (countdown, line) order. The queued prefix keeps issue
+    // order, which renaming does not touch.
+    let first_issued = b
+        .mshrs
+        .iter()
+        .position(|m| m.countdown.is_some())
+        .unwrap_or(b.mshrs.len());
+    b.mshrs[first_issued..].sort_unstable();
     a.min(b)
 }
 

@@ -30,7 +30,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use wbsim_oracle::{check_conservation, ArchModel};
-use wbsim_sim::{Event, Machine, Observer};
+use wbsim_sim::{Event, Machine, NonBlockingMachine, Observer};
 use wbsim_types::config::MachineConfig;
 use wbsim_types::divergence::FaultInjection;
 use wbsim_types::op::Op;
@@ -94,6 +94,9 @@ impl CheckReport {
 pub struct Counterexample {
     /// The configuration the violation occurred under.
     pub config: MachineConfig,
+    /// The MSHR count when the violating machine was non-blocking
+    /// (`None`: the blocking machine).
+    pub mshrs: Option<usize>,
     /// The minimized op sequence (no single op can be removed and still
     /// violate).
     pub ops: Vec<Op>,
@@ -336,6 +339,7 @@ pub(crate) fn counterexample(cfg: &MachineConfig, ops: &[Op]) -> Box<Counterexam
         .run_bounded(ops.iter().copied(), CYCLE_BUDGET, &mut trace);
     Box::new(Counterexample {
         config: cfg.clone(),
+        mshrs: None,
         ops,
         violation,
         trace: trace.lines,
@@ -503,6 +507,383 @@ pub fn check_exhaustive_jobs(
     })
 }
 
+/// The non-blocking boundary configurations: depth 1..=4 × every retire-at
+/// mark × MSHR counts 1..=4 (or just `mshrs` when given), hazard forced to
+/// read-from-WB (the only policy the machine accepts), optionally with an
+/// injected fault. 40 `(config, mshrs)` pairs on the full grid.
+#[must_use]
+pub fn nonblocking_configs(
+    fault: Option<FaultInjection>,
+    mshrs: Option<usize>,
+) -> Vec<(MachineConfig, usize)> {
+    let mut out = Vec::new();
+    for depth in 1..=4usize {
+        for hw in 1..=depth {
+            for m in 1..=4usize {
+                if mshrs.is_some_and(|only| only != m) {
+                    continue;
+                }
+                let mut cfg = MachineConfig::baseline();
+                cfg.write_buffer.depth = depth;
+                cfg.write_buffer.retirement = RetirementPolicy::RetireAt(hw);
+                cfg.write_buffer.hazard = LoadHazardPolicy::ReadFromWb;
+                cfg.check_data = false;
+                cfg.fault = fault;
+                debug_assert!(cfg.validate().is_ok());
+                out.push((cfg, m));
+            }
+        }
+    }
+    out
+}
+
+/// [`InvariantObserver`] for the non-blocking machine. Two invariants
+/// change under overlap:
+///
+/// * the stall taxonomy is exclusive **per cause**, not per cycle: a store
+///   can find the buffer full in the same cycle a queued read sits behind
+///   an underway write, so a cycle may carry at most one `BufferFull` plus
+///   at most one `L2ReadAccess` — and nothing else (hazards never stall
+///   this machine; they merge into the fill);
+/// * loads have two terminal events: resolved-at-issue (checked at its
+///   program-order ordinal) or miss-to-MSHR (no architecturally returned
+///   value; the fill is checked through final memory instead).
+#[derive(Debug, Default)]
+struct NbInvariantObserver {
+    depth: u64,
+    /// Program-ordered terminal events: `Some` = resolved at issue with
+    /// this (addr, value); `None` = went to an MSHR.
+    loads: Vec<Option<(Addr, u64)>>,
+    cycles_seen: u64,
+    max_occupancy: u64,
+    stall_now: Option<u64>,
+    stall_kinds: Vec<wbsim_types::stall::StallKind>,
+    last_autonomous_retire_id: Option<u64>,
+    violation: Option<String>,
+}
+
+impl NbInvariantObserver {
+    fn new(cfg: &MachineConfig) -> Self {
+        NbInvariantObserver {
+            depth: cfg.write_buffer.depth as u64,
+            ..Self::default()
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.violation.is_none() {
+            self.violation = Some(msg);
+        }
+    }
+}
+
+impl Observer for NbInvariantObserver {
+    fn event(&mut self, ev: &Event) {
+        use wbsim_types::stall::StallKind;
+        match *ev {
+            Event::CycleEnd { now, occupancy } => {
+                self.cycles_seen += 1;
+                self.max_occupancy = self.max_occupancy.max(occupancy);
+                if occupancy > self.depth {
+                    self.fail(format!(
+                        "cycle {now}: occupancy {occupancy} exceeds depth {}",
+                        self.depth
+                    ));
+                }
+            }
+            Event::StallCycle { now, kind } => {
+                if self.stall_now != Some(now) {
+                    self.stall_now = Some(now);
+                    self.stall_kinds.clear();
+                }
+                if !matches!(kind, StallKind::BufferFull | StallKind::L2ReadAccess) {
+                    self.fail(format!(
+                        "cycle {now}: stall cause {kind:?} cannot occur on the \
+                         non-blocking machine (hazards merge into fills)"
+                    ));
+                }
+                if self.stall_kinds.contains(&kind) {
+                    self.fail(format!(
+                        "cycle {now}: stall cause {kind:?} charged twice in one \
+                         cycle; under overlap each cause is exclusive per cycle"
+                    ));
+                }
+                self.stall_kinds.push(kind);
+            }
+            Event::RetireStart { now, id, flush } if !flush => {
+                if let Some(prev) = self.last_autonomous_retire_id {
+                    if id <= prev {
+                        self.fail(format!(
+                            "cycle {now}: autonomous retirement of entry {id} \
+                             after entry {prev}; FIFO order requires strictly \
+                             increasing ids"
+                        ));
+                    }
+                }
+                self.last_autonomous_retire_id = Some(id);
+            }
+            Event::LoadResolved { addr, value, .. } => self.loads.push(Some((addr, value))),
+            Event::LoadMiss { .. } => self.loads.push(None),
+            _ => {}
+        }
+    }
+}
+
+/// Runs one sequence on the non-blocking machine with `mshrs` registers
+/// and checks every invariant: the per-event ones asserted by
+/// `NbInvariantObserver`, the per-cycle structural MSHR invariants (at
+/// most `mshrs` outstanding misses, never two to the same line), the
+/// architectural comparison (resolved-load values at their program-order
+/// ordinal, terminal-event count, and final memory — which also proves
+/// merge-on-fill: an unmerged fill installs a stale line that the final
+/// architectural read exposes), the high-water identity, and the
+/// conservation identities (minus cycle accounting — overlap is the whole
+/// point).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated invariant.
+///
+/// # Panics
+///
+/// Panics if `cfg`/`mshrs` are rejected by
+/// [`wbsim_sim::NonBlockingMachine::new`] — the checker explores behavior,
+/// not configuration validation.
+pub fn check_sequence_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+    ops: &[Op],
+) -> Result<(), String> {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let mut machine =
+        NonBlockingMachine::new(cfg.clone(), mshrs).expect("non-blocking configs are valid");
+    let mut obs = NbInvariantObserver::new(&cfg);
+    let mut iter = ops.iter().copied();
+    while machine.step(&mut iter, &mut obs) {
+        // Structural MSHR invariants live in machine state, invisible to
+        // the event stream: check them on every cycle.
+        let lines = machine.mshr_lines();
+        if lines.len() > mshrs {
+            return Err(format!(
+                "cycle {}: {} outstanding misses exceed the {mshrs} MSHRs",
+                machine.now(),
+                lines.len()
+            ));
+        }
+        for (i, line) in lines.iter().enumerate() {
+            if lines[..i].contains(line) {
+                return Err(format!(
+                    "cycle {}: two MSHRs outstanding for line {line:?}; \
+                     secondary misses must merge",
+                    machine.now()
+                ));
+            }
+        }
+        if machine.now() >= CYCLE_BUDGET {
+            return Err(format!(
+                "run exceeded the {CYCLE_BUDGET}-cycle liveness budget"
+            ));
+        }
+    }
+    if let Some(v) = obs.violation {
+        return Err(v);
+    }
+    let mut stats = *machine.stats();
+    stats.cycles = machine.now();
+
+    // Resolved loads at their program-order ordinal, and exactly one
+    // terminal event per load.
+    let mut oracle = ArchModel::new(cfg.geometry);
+    let expected = oracle.run(ops);
+    for (i, terminal) in obs.loads.iter().enumerate() {
+        let Some((addr, got)) = *terminal else {
+            continue;
+        };
+        let Some(&want) = expected.get(i) else {
+            break; // the count check below reports the mismatch
+        };
+        if got != want {
+            return Err(format!(
+                "load #{i} at {addr:?} observed {got:#x}, architectural model \
+                 says {want:#x} (stale or lost store)"
+            ));
+        }
+    }
+    if obs.loads.len() != expected.len() {
+        return Err(format!(
+            "machine terminated {} loads, stream has {}",
+            obs.loads.len(),
+            expected.len()
+        ));
+    }
+    // Final memory — the merge-on-fill oracle: a fill that skipped the
+    // write-buffer merge leaves a stale line in L1, which the
+    // architectural read (L1-first) exposes.
+    for op in ops {
+        if let Op::Load(addr) | Op::Store(addr) = *op {
+            let got = machine.read_word_architectural(addr);
+            let want = oracle.read_word(addr);
+            if got != want {
+                return Err(format!(
+                    "final memory at {addr:?}: machine reads {got:#x}, \
+                     architectural model says {want:#x}"
+                ));
+            }
+        }
+    }
+
+    let depth = cfg.write_buffer.depth as u64;
+    let hw = stats.wb_detail.high_water;
+    if hw != obs.max_occupancy || hw > depth {
+        return Err(format!(
+            "high-water mark {hw} disagrees with the event stream's maximum \
+             occupancy {} (depth {depth})",
+            obs.max_occupancy
+        ));
+    }
+
+    check_conservation(
+        &cfg,
+        &stats,
+        machine.wb_victim_allocs(),
+        machine.wb_occupancy() as u64,
+        obs.cycles_seen,
+        false, // misses overlap execution; cycle accounting is meaningless
+    )
+    .map_err(|d| format!("conservation identity violated: {d}"))
+}
+
+/// [`minimize`] against the non-blocking checker.
+fn minimize_nonblocking(cfg: &MachineConfig, mshrs: usize, ops: &[Op]) -> Vec<Op> {
+    let mut ops = ops.to_vec();
+    'outer: loop {
+        for i in 0..ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if check_sequence_nonblocking(cfg, mshrs, &candidate).is_err() {
+                ops = candidate;
+                continue 'outer;
+            }
+        }
+        return ops;
+    }
+}
+
+pub(crate) fn counterexample_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+    ops: &[Op],
+) -> Box<Counterexample> {
+    let ops = minimize_nonblocking(cfg, mshrs, ops);
+    let violation = check_sequence_nonblocking(cfg, mshrs, &ops)
+        .expect_err("minimization preserves the violation");
+    let mut trace = TraceObserver::default();
+    let mut cfg_run = cfg.clone();
+    cfg_run.check_data = false;
+    let _ = NonBlockingMachine::new(cfg_run, mshrs)
+        .expect("non-blocking configs are valid")
+        .run_bounded(ops.iter().copied(), CYCLE_BUDGET, &mut trace);
+    Box::new(Counterexample {
+        config: cfg.clone(),
+        mshrs: Some(mshrs),
+        ops,
+        violation,
+        trace: trace.lines,
+    })
+}
+
+/// [`first_violating_sequence`] against the non-blocking checker.
+pub(crate) fn first_violating_sequence_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+    max_ops: u32,
+    abort: &dyn Fn() -> bool,
+) -> Option<Vec<Op>> {
+    let universe = op_universe(cfg);
+    let mut ops = Vec::with_capacity(max_ops as usize);
+    for len in 1..=max_ops as usize {
+        let mut odometer = vec![0usize; len];
+        loop {
+            if abort() {
+                return None;
+            }
+            ops.clear();
+            ops.extend(odometer.iter().map(|&i| universe[i]));
+            if check_sequence_nonblocking(cfg, mshrs, &ops).is_err() {
+                return Some(ops);
+            }
+            let mut pos = 0;
+            loop {
+                if pos == len {
+                    break;
+                }
+                odometer[pos] += 1;
+                if odometer[pos] < universe.len() {
+                    break;
+                }
+                odometer[pos] = 0;
+                pos += 1;
+            }
+            if pos == len {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// [`check_exhaustive`] for the non-blocking machine: every op sequence of
+/// length 1..=`max_ops` across the non-blocking grid (× MSHR counts 1–4,
+/// or just `mshrs` when given), with [`default_jobs`] worker threads.
+///
+/// # Errors
+///
+/// Returns the minimized, replayable [`Counterexample`] for the violation.
+pub fn check_exhaustive_nonblocking(
+    max_ops: u32,
+    fault: Option<FaultInjection>,
+    mshrs: Option<usize>,
+) -> Result<CheckReport, Box<Counterexample>> {
+    check_exhaustive_nonblocking_jobs(max_ops, fault, mshrs, default_jobs())
+}
+
+/// [`check_exhaustive_nonblocking`] with an explicit worker-thread count;
+/// byte-identical for every `jobs` value (only `wall_ms` varies), like
+/// [`check_exhaustive_jobs`].
+///
+/// # Errors
+///
+/// Returns the minimized, replayable [`Counterexample`] for the violation.
+pub fn check_exhaustive_nonblocking_jobs(
+    max_ops: u32,
+    fault: Option<FaultInjection>,
+    mshrs: Option<usize>,
+    jobs: usize,
+) -> Result<CheckReport, Box<Counterexample>> {
+    let start = Instant::now();
+    let configs = nonblocking_configs(fault, mshrs);
+    let outcome = run_indexed_earliest(configs.len(), jobs, |i, abort| {
+        let (cfg, m) = &configs[i];
+        match first_violating_sequence_nonblocking(cfg, *m, max_ops, abort) {
+            None => Ok(()),
+            Some(ops) => Err(ops),
+        }
+    });
+    if let Err((i, ops)) = outcome {
+        let (cfg, m) = &configs[i];
+        return Err(counterexample_nonblocking(cfg, *m, &ops));
+    }
+    let sequences = sequence_count(op_universe(&configs[0].0).len() as u64, max_ops);
+    Ok(CheckReport {
+        configs: configs.len() as u64,
+        sequences,
+        runs: configs.len() as u64 * sequences,
+        wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+        ..CheckReport::default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +975,82 @@ mod tests {
         assert_eq!(a.ops, b.ops);
         assert_eq!(a.violation, b.violation);
         assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn nonblocking_configs_cover_the_grid() {
+        let cfgs = nonblocking_configs(None, None);
+        assert_eq!(cfgs.len(), 40); // 10 (depth, retire-at) shapes × 4 MSHR counts
+        assert!(cfgs.iter().all(|(c, _)| c.validate().is_ok()));
+        assert!(cfgs
+            .iter()
+            .all(|(c, _)| c.write_buffer.hazard == LoadHazardPolicy::ReadFromWb));
+        for m in 1..=4usize {
+            assert!(cfgs.iter().any(|&(_, got)| got == m));
+            assert_eq!(nonblocking_configs(None, Some(m)).len(), 10);
+        }
+    }
+
+    #[test]
+    fn short_nonblocking_exhaustive_check_is_clean() {
+        let report = check_exhaustive_nonblocking(3, None, None).expect("no violations");
+        assert_eq!(report.configs, 40);
+        assert_eq!(report.sequences, 8 + 64 + 512);
+        assert_eq!(report.runs, 40 * (8 + 64 + 512));
+    }
+
+    #[test]
+    fn nonblocking_injected_fault_yields_minimized_replayable_counterexample() {
+        let ce = check_exhaustive_nonblocking(3, Some(FaultInjection::SkipWbForwarding), None)
+            .expect_err("an unmerged fill must corrupt final memory");
+        let m = ce
+            .mshrs
+            .expect("non-blocking counterexamples carry the MSHR count");
+        assert!(!ce.ops.is_empty());
+        assert!(!ce.violation.is_empty());
+        for i in 0..ce.ops.len() {
+            let mut fewer = ce.ops.clone();
+            fewer.remove(i);
+            assert!(
+                check_sequence_nonblocking(&ce.config, m, &fewer).is_ok(),
+                "counterexample is not minimal: op {i} is removable"
+            );
+        }
+        assert!(!ce.trace.is_empty());
+        for line in &ce.trace {
+            let ev: Result<Event, EventParseError> = Event::from_json(line);
+            ev.expect("counterexample trace must be valid JSONL");
+        }
+    }
+
+    #[test]
+    fn nonblocking_parallel_and_serial_exhaustive_runs_agree() {
+        let mut one = check_exhaustive_nonblocking_jobs(2, None, None, 1).expect("clean grid");
+        let mut four = check_exhaustive_nonblocking_jobs(2, None, None, 4).expect("clean grid");
+        one.wall_ms = 0;
+        four.wall_ms = 0;
+        assert_eq!(one, four);
+
+        let a =
+            check_exhaustive_nonblocking_jobs(3, Some(FaultInjection::SkipWbForwarding), None, 1)
+                .expect_err("fault must be caught");
+        let b =
+            check_exhaustive_nonblocking_jobs(3, Some(FaultInjection::SkipWbForwarding), None, 4)
+                .expect_err("fault must be caught");
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.mshrs, b.mshrs);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn nonblocking_check_accepts_overlap_heavy_pairs() {
+        for (cfg, m) in nonblocking_configs(None, None) {
+            let u = op_universe(&cfg);
+            // Store then load of the same word (hazard → MSHR merge path).
+            check_sequence_nonblocking(&cfg, m, &[u[0], u[1]]).expect("hazard pair is clean");
+        }
     }
 
     #[test]

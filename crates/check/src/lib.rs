@@ -52,16 +52,21 @@ pub mod bounded;
 pub mod lint;
 pub mod reach;
 
-pub use abstract_state::{canonical_state, AbsEntry, AbsLine, AbsState, ShadowTracker, WordAbs};
+pub use abstract_state::{
+    canonical_state, AbsEntry, AbsLine, AbsMshr, AbsState, ShadowTracker, WordAbs,
+};
 pub use bounded::{
-    check_exhaustive, check_exhaustive_jobs, check_sequence, default_jobs, CheckReport,
-    Counterexample,
+    check_exhaustive, check_exhaustive_jobs, check_exhaustive_nonblocking,
+    check_exhaustive_nonblocking_jobs, check_sequence, check_sequence_nonblocking, default_jobs,
+    nonblocking_configs, CheckReport, Counterexample,
 };
 pub use lint::{
-    config_error_diagnostic, lint_config, lint_grid, parse_error_diagnostic, Rule, RULES,
+    config_error_diagnostic, lint_config, lint_grid, lint_nonblocking, parse_error_diagnostic,
+    Rule, RULES,
 };
 pub use reach::{
-    check_liveness_sequence, check_reach, check_reach_config, check_reach_jobs, ReachConfigStats,
-    ReachViolation,
+    check_liveness_sequence, check_liveness_sequence_nonblocking, check_reach, check_reach_config,
+    check_reach_config_nonblocking, check_reach_jobs, check_reach_nonblocking,
+    check_reach_nonblocking_jobs, ReachConfigStats, ReachViolation,
 };
 pub use wbsim_types::diagnostics::{any_errors, Diagnostic, Severity};

@@ -22,6 +22,7 @@
 //! | LNT003 | warning  | L2 latency ≤ L1 hit latency |
 //! | LNT004 | info     | buffer depth beyond the paper's studied range |
 //! | LNT005 | warning  | write-priority threshold exceeds depth |
+//! | LNT006 | info     | more MSHRs than write-buffer entries |
 //! | LNT100 | warning  | sweep grid collapses to a single point |
 //! | LNT101 | info     | sweep mixes read-from-WB with flush policies |
 //! | LNT102 | warning  | duplicate configuration labels in a sweep |
@@ -101,6 +102,11 @@ pub static RULES: &[Rule] = &[
         code: "LNT005",
         severity: Severity::Warning,
         summary: "write-priority threshold exceeds depth",
+    },
+    Rule {
+        code: "LNT006",
+        severity: Severity::Info,
+        summary: "more MSHRs than write-buffer entries",
     },
     Rule {
         code: "LNT100",
@@ -264,6 +270,36 @@ pub fn lint_config(cfg: &MachineConfig) -> Vec<Diagnostic> {
     out
 }
 
+/// Lints a non-blocking (MSHR) machine configuration: everything
+/// [`lint_config`] checks, plus the advisory MSHR-sizing rule (LNT006) —
+/// more miss registers than write-buffer entries is legal, but the single
+/// L2 port serializes fills and read-bypassing already lets every load
+/// miss jump the write queue, so the extra registers mostly widen
+/// retirement-starvation windows (§4.3).
+#[must_use]
+pub fn lint_nonblocking(cfg: &MachineConfig, mshrs: usize) -> Vec<Diagnostic> {
+    let mut out = lint_config(cfg);
+    if out.iter().any(|d| d.severity == Severity::Error) {
+        return out;
+    }
+    if mshrs > cfg.write_buffer.depth {
+        out.push(
+            Diagnostic::new("LNT006", Severity::Info, "mshrs")
+                .with_message(format!(
+                    "{mshrs} MSHRs exceed the write-buffer depth {}: the single L2 \
+                     port serializes fills, so the extra miss parallelism mostly \
+                     widens retirement-starvation windows",
+                    cfg.write_buffer.depth
+                ))
+                .with_suggestion(format!(
+                    "use at most {} MSHRs or deepen the write buffer",
+                    cfg.write_buffer.depth
+                )),
+        );
+    }
+    out
+}
+
 /// Lints a sweep grid: every configuration individually (diagnostics get
 /// their label as a `field_path` prefix), plus grid-level rules — a grid
 /// that collapses to a single design point (LNT100), a hazard axis mixing
@@ -423,6 +459,23 @@ mod tests {
         assert!(codes(&lint_config(&m)).contains(&"LNT005"));
         let m = with_wb(|wb| wb.priority = L2Priority::WritePriorityAbove(3));
         assert!(!codes(&lint_config(&m)).contains(&"LNT005"));
+    }
+
+    #[test]
+    fn lnt006_more_mshrs_than_buffer_entries() {
+        let b = MachineConfig::baseline(); // depth 4
+        let ds = lint_nonblocking(&b, 8);
+        assert!(codes(&ds).contains(&"LNT006"));
+        let d = ds.iter().find(|d| d.code == "LNT006").unwrap();
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.field_path, "mshrs");
+        assert!(d.suggestion.is_some());
+        // Non-firing: MSHR count at or below the depth.
+        assert!(!codes(&lint_nonblocking(&b, 4)).contains(&"LNT006"));
+        assert!(!codes(&lint_nonblocking(&b, 1)).contains(&"LNT006"));
+        // An invalid configuration reports only its CFG error.
+        let bad = with_wb(|wb| wb.depth = 0);
+        assert_eq!(codes(&lint_nonblocking(&bad, 8)), ["CFG002"]);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
-use wbsim_sim::{Event, Machine, MachineSnapshot, NullObserver, Observer};
+use wbsim_sim::{Event, Machine, MachineSnapshot, NonBlockingMachine, NullObserver, Observer};
 use wbsim_types::addr::{Addr, Geometry, LineAddr};
 use wbsim_types::config::{IcacheConfig, L2Config, MachineConfig};
 use wbsim_types::diagnostics::{Diagnostic, Severity};
@@ -44,7 +44,8 @@ use wbsim_types::policy::{L1WritePolicy, RetirementOrder, RetirementPolicy};
 
 use crate::abstract_state::{canonical_state, AbsState, ShadowTracker};
 use crate::bounded::{
-    bounded_configs, check_sequence, counterexample, default_jobs, op_universe,
+    bounded_configs, check_sequence, check_sequence_nonblocking, counterexample,
+    counterexample_nonblocking, default_jobs, nonblocking_configs, op_universe,
     run_indexed_earliest, CheckReport, Counterexample, TraceObserver,
 };
 
@@ -97,81 +98,103 @@ fn universe_lines(cfg: &MachineConfig) -> [LineAddr; 2] {
     ]
 }
 
-/// Why a configuration is outside the abstractable class, if it is.
+/// Why a configuration is outside the abstractable class.
+#[derive(Debug, Clone)]
+struct GateReject {
+    /// The offending configuration field.
+    field: String,
+    /// Why the abstraction is unsound for it.
+    why: String,
+    /// The nearest admissible value — rendered as the `RCH003`
+    /// suggestion.
+    suggestion: String,
+}
+
+/// Checks whether `cfg` is inside the abstractable class.
 ///
 /// The state quotient stores countdowns instead of absolute cycles and
 /// renames lines; both are only sound when no policy consults absolute
-/// time, entry age, or write recency, and when entries are full lines (so
-/// a buffer block *is* a line). The bounded grid satisfies all of this by
-/// construction; arbitrary configurations may not.
-fn gate(cfg: &MachineConfig) -> Result<(), (String, String)> {
+/// time, entry age, or write recency. Buffer entries may be full lines
+/// *or* aligned sub-line blocks: the word-validity bitmap is value-blind,
+/// so block-tagged entries fit the shadow-map abstraction unchanged. The
+/// bounded grid satisfies all of this by construction; arbitrary
+/// configurations may not.
+fn gate(cfg: &MachineConfig) -> Result<(), GateReject> {
+    let reject = |field: &str, why: &str, suggestion: &str| {
+        Err(GateReject {
+            field: field.into(),
+            why: why.into(),
+            suggestion: suggestion.into(),
+        })
+    };
     let wb = &cfg.write_buffer;
     if wb.order != RetirementOrder::Fifo {
-        return Err((
-            "write_buffer.order".into(),
+        return reject(
+            "write_buffer.order",
             "LRU retirement order consults write recency, which the time-shifted \
-             abstraction erases"
-                .into(),
-        ));
+             abstraction erases",
+            "set write_buffer.order to fifo, the nearest abstractable order",
+        );
     }
     if wb.max_age.is_some() {
-        return Err((
-            "write_buffer.max_age".into(),
+        return reject(
+            "write_buffer.max_age",
             "age-based retirement consults absolute entry age, which the time-shifted \
-             abstraction erases"
-                .into(),
-        ));
+             abstraction erases",
+            "remove write_buffer.max_age (no age bound is the nearest abstractable \
+             setting)",
+        );
     }
     if !matches!(wb.retirement, RetirementPolicy::RetireAt(_)) {
-        return Err((
-            "write_buffer.retirement".into(),
+        return reject(
+            "write_buffer.retirement",
             "fixed-rate retirement consults cycles-since-last-retirement, which the \
-             time-shifted abstraction erases"
-                .into(),
-        ));
-    }
-    if wb.width_words != cfg.geometry.words_per_line() {
-        return Err((
-            "write_buffer.width_words".into(),
-            "sub-line entries decouple buffer blocks from cache lines, which the \
-             line-renamed abstraction assumes"
-                .into(),
-        ));
+             time-shifted abstraction erases",
+            "set write_buffer.retirement to retire-at(N), the nearest abstractable \
+             policy",
+        );
     }
     if !matches!(cfg.l2, L2Config::Perfect { .. }) {
-        return Err((
-            "l2".into(),
-            "a real L2 has eviction state outside the two-line snapshot".into(),
-        ));
+        return reject(
+            "l2",
+            "a real L2 has eviction state outside the two-line snapshot",
+            "set l2 to perfect (keep its latency), the nearest abstractable model",
+        );
     }
     if cfg.icache != IcacheConfig::Perfect {
-        return Err((
-            "icache".into(),
+        return reject(
+            "icache",
             "the statistical I-cache model draws from a seeded stream, which is not \
-             part of the abstract state"
-                .into(),
-        ));
+             part of the abstract state",
+            "set icache to perfect, the nearest abstractable model",
+        );
     }
     if cfg.l1.write_policy != L1WritePolicy::WriteThrough {
-        return Err((
-            "l1.write_policy".into(),
+        return reject(
+            "l1.write_policy",
             "write-back L1 victim state depends on LRU stamps, which the time-shifted \
-             abstraction erases"
-                .into(),
-        ));
+             abstraction erases",
+            "set l1.write_policy to write-through, the nearest abstractable policy",
+        );
     }
     Ok(())
 }
 
 /// Checks the per-event invariants during one transition and maintains the
 /// shadow map. Mirrors the bounded checker's `InvariantObserver`, but with
-/// the FIFO cursor carried across transitions by the caller.
+/// the FIFO cursor carried across transitions by the caller. With
+/// `overlap` set (the non-blocking machine) the stall taxonomy is
+/// exclusive per *cause* instead of per cycle: a buffer-full store and an
+/// overlapped L2-read-access charge may share a cycle, but no cause
+/// repeats and no other cause occurs.
 struct TransObserver<'a> {
     g: Geometry,
     depth: u64,
+    overlap: bool,
     shadow: &'a mut ShadowTracker,
     last_retire_id: &'a mut Option<u64>,
     last_stall_now: Option<u64>,
+    stall_kinds: Vec<wbsim_types::stall::StallKind>,
     progress: bool,
     violation: Option<String>,
 }
@@ -186,6 +209,7 @@ impl TransObserver<'_> {
 
 impl Observer for TransObserver<'_> {
     fn event(&mut self, ev: &Event) {
+        use wbsim_types::stall::StallKind;
         match *ev {
             Event::CycleEnd { now, occupancy } if occupancy > self.depth => {
                 self.fail(format!(
@@ -194,13 +218,30 @@ impl Observer for TransObserver<'_> {
                 ));
             }
             Event::StallCycle { now, kind } => {
-                if self.last_stall_now == Some(now) {
+                if self.last_stall_now != Some(now) {
+                    self.last_stall_now = Some(now);
+                    self.stall_kinds.clear();
+                }
+                if self.overlap {
+                    if !matches!(kind, StallKind::BufferFull | StallKind::L2ReadAccess) {
+                        self.fail(format!(
+                            "cycle {now}: stall cause {kind:?} cannot occur on the \
+                             non-blocking machine (hazards merge into fills)"
+                        ));
+                    }
+                    if self.stall_kinds.contains(&kind) {
+                        self.fail(format!(
+                            "cycle {now}: stall cause {kind:?} charged twice in one \
+                             cycle; under overlap each cause is exclusive per cycle"
+                        ));
+                    }
+                } else if !self.stall_kinds.is_empty() {
                     self.fail(format!(
                         "cycle {now}: second stall cause ({kind:?}) in one cycle; \
                          Table-3 causes must be mutually exclusive"
                     ));
                 }
-                self.last_stall_now = Some(now);
+                self.stall_kinds.push(kind);
             }
             Event::RetireStart { now, id, flush } if !flush => {
                 if let Some(prev) = *self.last_retire_id {
@@ -251,17 +292,20 @@ impl Observer for ProgressProbe {
 }
 
 /// Invariants checked at every op boundary, against the node's concrete
-/// representative.
-fn boundary_checks(
-    cfg: &MachineConfig,
-    m: &Machine,
+/// representative — shared between the blocking and non-blocking walks
+/// through the machine-agnostic pieces.
+fn boundary_checks_impl(
+    g: &Geometry,
     shadow: &ShadowTracker,
     universe: &[Op],
+    read: &dyn Fn(Addr) -> u64,
+    stats: &wbsim_types::stats::SimStats,
+    victim_allocs: u64,
+    occupancy: u64,
 ) -> Result<(), String> {
-    let g = &cfg.geometry;
     for op in universe {
         if let Op::Load(addr) | Op::Store(addr) = *op {
-            let got = m.read_word_architectural(addr);
+            let got = read(addr);
             let want = shadow.expected(g.word_addr(addr));
             if got != want {
                 return Err(format!(
@@ -271,18 +315,13 @@ fn boundary_checks(
             }
         }
     }
-    let stats = m.stats();
-    let occupancy = m.wb_occupancy() as u64;
-    let created = stats.wb_allocations + m.wb_victim_allocs();
+    let created = stats.wb_allocations + victim_allocs;
     let destroyed = stats.wb_retirements + stats.wb_flushes + occupancy;
     if created != destroyed {
         return Err(format!(
-            "entry conservation broken: {} allocations + {} victim inserts != {} \
-             retirements + {} flushes + {occupancy} residual",
-            stats.wb_allocations,
-            m.wb_victim_allocs(),
-            stats.wb_retirements,
-            stats.wb_flushes
+            "entry conservation broken: {} allocations + {victim_allocs} victim \
+             inserts != {} retirements + {} flushes + {occupancy} residual",
+            stats.wb_allocations, stats.wb_retirements, stats.wb_flushes
         ));
     }
     if stats.stores != stats.wb_allocations + stats.wb_store_merges {
@@ -294,11 +333,63 @@ fn boundary_checks(
     Ok(())
 }
 
-/// A BFS node. The machine is kept only until the node is expanded (the
-/// parent pointer suffices to reconstruct paths), bounding peak memory to
-/// the frontier.
-struct Node {
-    machine: Option<Machine>,
+fn boundary_checks(
+    cfg: &MachineConfig,
+    m: &Machine,
+    shadow: &ShadowTracker,
+    universe: &[Op],
+) -> Result<(), String> {
+    boundary_checks_impl(
+        &cfg.geometry,
+        shadow,
+        universe,
+        &|addr| m.read_word_architectural(addr),
+        m.stats(),
+        m.wb_victim_allocs(),
+        m.wb_occupancy() as u64,
+    )
+}
+
+/// [`boundary_checks`] for the non-blocking machine, plus the structural
+/// MSHR invariants the event stream cannot see: at most `max_mshrs`
+/// outstanding misses, never two to the same line.
+fn boundary_checks_nonblocking(
+    cfg: &MachineConfig,
+    m: &NonBlockingMachine,
+    shadow: &ShadowTracker,
+    universe: &[Op],
+) -> Result<(), String> {
+    let lines = m.mshr_lines();
+    if lines.len() > m.max_mshrs() {
+        return Err(format!(
+            "{} outstanding misses exceed the {} MSHRs",
+            lines.len(),
+            m.max_mshrs()
+        ));
+    }
+    for (i, line) in lines.iter().enumerate() {
+        if lines[..i].contains(line) {
+            return Err(format!(
+                "two MSHRs outstanding for line {line:?}; secondary misses must merge"
+            ));
+        }
+    }
+    boundary_checks_impl(
+        &cfg.geometry,
+        shadow,
+        universe,
+        &|addr| m.read_word_architectural(addr),
+        m.stats(),
+        m.wb_victim_allocs(),
+        m.wb_occupancy() as u64,
+    )
+}
+
+/// A BFS node (over either machine). The machine is kept only until the
+/// node is expanded (the parent pointer suffices to reconstruct paths),
+/// bounding peak memory to the frontier.
+struct Node<M> {
+    machine: Option<M>,
     shadow: ShadowTracker,
     last_retire_id: Option<u64>,
     parent: Option<(usize, Op)>,
@@ -306,7 +397,7 @@ struct Node {
 
 /// Reconstructs the op sequence leading to `idx`, optionally extended by
 /// one more op.
-fn path_ops(nodes: &[Node], idx: usize, last: Option<Op>) -> Vec<Op> {
+fn path_ops<M>(nodes: &[Node<M>], idx: usize, last: Option<Op>) -> Vec<Op> {
     let mut ops = Vec::new();
     let mut i = idx;
     while let Some((p, op)) = nodes[i].parent {
@@ -341,6 +432,40 @@ fn drain_livelocked(
             // A cycle under the fair drain schedule. No progress is
             // possible along it: occupancy is non-increasing during a
             // drain, so a cycle retires nothing — livelock.
+            break true;
+        }
+        path.push(s);
+        if !m.drain_step(&mut NullObserver) {
+            break false;
+        }
+        if path.len() > DRAIN_WALK_BOUND {
+            break true;
+        }
+    };
+    for s in path {
+        memo.insert(s, verdict);
+    }
+    verdict
+}
+
+/// [`drain_livelocked`] for the non-blocking machine: the drain also
+/// completes outstanding misses (a queued MSHR blocks retirement through
+/// read-bypassing, so a drain that never issues it would wedge spuriously).
+fn drain_livelocked_nonblocking(
+    m: &NonBlockingMachine,
+    g: &Geometry,
+    lines: &[LineAddr; 2],
+    shadow: &ShadowTracker,
+    memo: &mut HashMap<AbsState, bool>,
+) -> bool {
+    let mut m = m.clone();
+    let mut path: Vec<AbsState> = Vec::new();
+    let verdict = loop {
+        let s = canonical_state(g, &m.snapshot(lines.as_slice()), shadow);
+        if let Some(&v) = memo.get(&s) {
+            break v;
+        }
+        if path.contains(&s) {
             break true;
         }
         path.push(s);
@@ -448,6 +573,95 @@ fn liveness_trace(cfg: &MachineConfig, ops: &[Op]) -> Vec<String> {
     }
 }
 
+/// [`check_liveness_sequence`] for the non-blocking machine with `mshrs`
+/// registers.
+///
+/// # Panics
+///
+/// Panics when `cfg`/`mshrs` are rejected by
+/// [`NonBlockingMachine::new`] — callers validate first.
+#[must_use]
+pub fn check_liveness_sequence_nonblocking(cfg: &MachineConfig, mshrs: usize, ops: &[Op]) -> bool {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let lines = universe_lines(&cfg);
+    let mut m = NonBlockingMachine::new(cfg, mshrs).expect("caller validates the configuration");
+    for &op in ops {
+        if m.run_op_bounded(op, OP_CYCLE_BUDGET, &mut NullObserver)
+            .is_none()
+        {
+            let mut probe = ProgressProbe::default();
+            for _ in 0..STALL_PROBE_WINDOW {
+                if !m.step(&mut std::iter::empty(), &mut probe) {
+                    break;
+                }
+            }
+            return !probe.progress && m.wb_occupancy() > 0;
+        }
+    }
+    let mut seen: Vec<MachineSnapshot> = Vec::new();
+    loop {
+        let s = m.snapshot(&lines);
+        if seen.contains(&s) {
+            return true;
+        }
+        seen.push(s);
+        if !m.drain_step(&mut NullObserver) {
+            return false;
+        }
+        if seen.len() > DRAIN_WALK_BOUND {
+            return true;
+        }
+    }
+}
+
+/// Greedy 1-minimization against
+/// [`check_liveness_sequence_nonblocking`].
+fn minimize_liveness_nonblocking(cfg: &MachineConfig, mshrs: usize, ops: &[Op]) -> Vec<Op> {
+    let mut ops = ops.to_vec();
+    'outer: loop {
+        for i in 0..ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if check_liveness_sequence_nonblocking(cfg, mshrs, &candidate) {
+                ops = candidate;
+                continue 'outer;
+            }
+        }
+        return ops;
+    }
+}
+
+/// [`liveness_trace`] for the non-blocking machine.
+fn liveness_trace_nonblocking(cfg: &MachineConfig, mshrs: usize, ops: &[Op]) -> Vec<String> {
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let lines = universe_lines(&cfg);
+    let mut trace = TraceObserver::default();
+    let mut m = NonBlockingMachine::new(cfg, mshrs).expect("caller validates the configuration");
+    for &op in ops {
+        if m.run_op_bounded(op, OP_CYCLE_BUDGET, &mut trace).is_none() {
+            for _ in 0..STALL_PROBE_WINDOW {
+                if !m.step(&mut std::iter::empty(), &mut trace) {
+                    break;
+                }
+            }
+            return trace.lines;
+        }
+    }
+    let mut seen: Vec<MachineSnapshot> = Vec::new();
+    loop {
+        let s = m.snapshot(&lines);
+        if seen.contains(&s) || seen.len() > DRAIN_WALK_BOUND {
+            return trace.lines;
+        }
+        seen.push(s);
+        if !m.drain_step(&mut trace) {
+            return trace.lines;
+        }
+    }
+}
+
 fn rch_diagnostic(code: &'static str, field_path: &str, msg: String) -> Diagnostic {
     Diagnostic::new(code, Severity::Error, field_path.to_string()).with_message(msg)
 }
@@ -468,6 +682,41 @@ fn safety_violation(cfg: &MachineConfig, ops: Vec<Op>, msg: String) -> Box<Reach
             .run_bounded(ops.iter().copied(), 10_000, &mut trace);
         Box::new(Counterexample {
             config: cfg.clone(),
+            mshrs: None,
+            ops,
+            violation: msg.clone(),
+            trace: trace.lines,
+        })
+    };
+    Box::new(ReachViolation {
+        diagnostic: rch_diagnostic(
+            "RCH001",
+            "machine",
+            format!("safety invariant violated at a reachable state: {msg}"),
+        ),
+        counterexample: Some(ce),
+    })
+}
+
+/// [`safety_violation`] for the non-blocking machine.
+fn safety_violation_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+    ops: Vec<Op>,
+    msg: String,
+) -> Box<ReachViolation> {
+    let ce = if check_sequence_nonblocking(cfg, mshrs, &ops).is_err() {
+        counterexample_nonblocking(cfg, mshrs, &ops)
+    } else {
+        let mut run_cfg = cfg.clone();
+        run_cfg.check_data = false;
+        let mut trace = TraceObserver::default();
+        let _ = NonBlockingMachine::new(run_cfg, mshrs)
+            .expect("caller validates the configuration")
+            .run_bounded(ops.iter().copied(), 10_000, &mut trace);
+        Box::new(Counterexample {
+            config: cfg.clone(),
+            mshrs: Some(mshrs),
             ops,
             violation: msg.clone(),
             trace: trace.lines,
@@ -497,6 +746,34 @@ fn liveness_violation(cfg: &MachineConfig, ops: Vec<Op>, detail: &str) -> Box<Re
         ),
         counterexample: Some(Box::new(Counterexample {
             config: cfg.clone(),
+            mshrs: None,
+            ops,
+            violation,
+            trace,
+        })),
+    })
+}
+
+/// [`liveness_violation`] for the non-blocking machine.
+fn liveness_violation_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+    ops: Vec<Op>,
+    detail: &str,
+) -> Box<ReachViolation> {
+    debug_assert!(check_liveness_sequence_nonblocking(cfg, mshrs, &ops));
+    let ops = minimize_liveness_nonblocking(cfg, mshrs, &ops);
+    let violation = format!("livelock: {detail}");
+    let trace = liveness_trace_nonblocking(cfg, mshrs, &ops);
+    Box::new(ReachViolation {
+        diagnostic: rch_diagnostic(
+            "RCH002",
+            "write_buffer",
+            format!("{violation} ({} ops reach it)", ops.len()),
+        ),
+        counterexample: Some(Box::new(Counterexample {
+            config: cfg.clone(),
+            mshrs: Some(mshrs),
             ops,
             violation,
             trace,
@@ -510,13 +787,17 @@ fn explore_config(
     cfg: &MachineConfig,
     abort: &dyn Fn() -> bool,
 ) -> Result<Option<ReachConfigStats>, Box<ReachViolation>> {
-    if let Err((field, why)) = gate(cfg) {
+    if let Err(reject) = gate(cfg) {
         return Err(Box::new(ReachViolation {
             diagnostic: rch_diagnostic(
                 "RCH003",
-                &field,
-                format!("configuration is outside the abstractable class: {why}"),
-            ),
+                &reject.field,
+                format!(
+                    "configuration is outside the abstractable class: {}",
+                    reject.why
+                ),
+            )
+            .with_suggestion(reject.suggestion),
             counterexample: None,
         }));
     }
@@ -560,9 +841,11 @@ fn explore_config(
             let mut obs = TransObserver {
                 g,
                 depth,
+                overlap: false,
                 shadow: &mut shadow,
                 last_retire_id: &mut last_retire_id,
                 last_stall_now: None,
+                stall_kinds: Vec::new(),
                 progress: false,
                 violation: None,
             };
@@ -638,6 +921,158 @@ fn explore_config(
     }))
 }
 
+/// [`explore_config`] for the non-blocking machine with `mshrs` registers:
+/// the abstract state carries the MSHR component, the stall taxonomy uses
+/// the overlapped rule, and every boundary additionally asserts the
+/// structural MSHR invariants.
+fn explore_config_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+    abort: &dyn Fn() -> bool,
+) -> Result<Option<ReachConfigStats>, Box<ReachViolation>> {
+    if let Err(reject) = gate(cfg) {
+        return Err(Box::new(ReachViolation {
+            diagnostic: rch_diagnostic(
+                "RCH003",
+                &reject.field,
+                format!(
+                    "configuration is outside the abstractable class: {}",
+                    reject.why
+                ),
+            )
+            .with_suggestion(reject.suggestion),
+            counterexample: None,
+        }));
+    }
+    let mut cfg = cfg.clone();
+    cfg.check_data = false;
+    let g = cfg.geometry;
+    let lines = universe_lines(&cfg);
+    let universe = op_universe(&cfg);
+    let depth = cfg.write_buffer.depth as u64;
+
+    let m0 = NonBlockingMachine::new(cfg.clone(), mshrs).expect("non-blocking configs are valid");
+    let shadow0 = ShadowTracker::default();
+    let mut drain_memo: HashMap<AbsState, bool> = HashMap::new();
+    if drain_livelocked_nonblocking(&m0, &g, &lines, &shadow0, &mut drain_memo) {
+        return Err(liveness_violation_nonblocking(
+            &cfg,
+            mshrs,
+            Vec::new(),
+            "the initial state cycles under the fair drain schedule",
+        ));
+    }
+    let s0 = canonical_state(&g, &m0.snapshot(&lines), &shadow0);
+    let mut nodes = vec![Node {
+        machine: Some(m0),
+        shadow: shadow0,
+        last_retire_id: None,
+        parent: None,
+    }];
+    let mut visited: HashMap<AbsState, usize> = HashMap::from([(s0, 0)]);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut edges: u64 = 0;
+
+    while let Some(idx) = queue.pop_front() {
+        if abort() {
+            return Ok(None);
+        }
+        let machine = nodes[idx].machine.take().expect("nodes expand once");
+        for &op in &universe {
+            let mut m = machine.clone();
+            let mut shadow = nodes[idx].shadow.clone();
+            let mut last_retire_id = nodes[idx].last_retire_id;
+            let mut obs = TransObserver {
+                g,
+                depth,
+                overlap: true,
+                shadow: &mut shadow,
+                last_retire_id: &mut last_retire_id,
+                last_stall_now: None,
+                stall_kinds: Vec::new(),
+                progress: false,
+                violation: None,
+            };
+            let completed = m.run_op_bounded(op, OP_CYCLE_BUDGET, &mut obs);
+            let violation = obs.violation.take();
+            if let Some(msg) = violation {
+                return Err(safety_violation_nonblocking(
+                    &cfg,
+                    mshrs,
+                    path_ops(&nodes, idx, Some(op)),
+                    msg,
+                ));
+            }
+            if completed.is_none() {
+                let mut probe = ProgressProbe::default();
+                for _ in 0..STALL_PROBE_WINDOW {
+                    if !m.step(&mut std::iter::empty(), &mut probe) {
+                        break;
+                    }
+                }
+                let ops = path_ops(&nodes, idx, Some(op));
+                if !probe.progress && m.wb_occupancy() > 0 {
+                    return Err(liveness_violation_nonblocking(
+                        &cfg,
+                        mshrs,
+                        ops,
+                        "an op exceeds its cycle budget while the buffer makes no \
+                         retirement progress",
+                    ));
+                }
+                return Err(Box::new(ReachViolation {
+                    diagnostic: rch_diagnostic(
+                        "RCH001",
+                        "machine",
+                        format!(
+                            "op {op:?} after {} ops exceeded the {OP_CYCLE_BUDGET}-cycle \
+                             budget while retirement still progresses; the budget is \
+                             undersized for this configuration",
+                            ops.len() - 1
+                        ),
+                    ),
+                    counterexample: None,
+                }));
+            }
+            edges += 1;
+            if let Err(msg) = boundary_checks_nonblocking(&cfg, &m, &shadow, &universe) {
+                return Err(safety_violation_nonblocking(
+                    &cfg,
+                    mshrs,
+                    path_ops(&nodes, idx, Some(op)),
+                    msg,
+                ));
+            }
+            let state = canonical_state(&g, &m.snapshot(&lines), &shadow);
+            if visited.contains_key(&state) {
+                continue;
+            }
+            if drain_livelocked_nonblocking(&m, &g, &lines, &shadow, &mut drain_memo) {
+                return Err(liveness_violation_nonblocking(
+                    &cfg,
+                    mshrs,
+                    path_ops(&nodes, idx, Some(op)),
+                    "a reachable state cycles under the fair drain schedule without \
+                     retiring anything",
+                ));
+            }
+            visited.insert(state, nodes.len());
+            queue.push_back(nodes.len());
+            nodes.push(Node {
+                machine: Some(m),
+                shadow,
+                last_retire_id,
+                parent: Some((idx, op)),
+            });
+        }
+    }
+    Ok(Some(ReachConfigStats {
+        states: nodes.len() as u64,
+        edges,
+        sccs: drain_memo.len() as u64,
+    }))
+}
+
 /// Explores a single configuration's abstract state graph to closure,
 /// checking every safety invariant at every reachable state and the
 /// liveness property on the drain graph.
@@ -704,10 +1139,85 @@ pub fn check_reach_jobs(
     }
 }
 
+/// [`check_reach_config`] for the non-blocking machine with `mshrs` miss
+/// registers: explores the abstract quotient of the MSHR machine (the
+/// abstract state carries per-line miss countdowns, canonicalized
+/// alongside line renaming) and proves the blocking invariants plus the
+/// MSHR-specific ones — register-count bound, no duplicate outstanding
+/// miss per line, merge-on-fill correctness, and the overlapped stall
+/// taxonomy — for op sequences of any length.
+///
+/// # Errors
+///
+/// [`ReachViolation`] with `RCH001` (safety), `RCH002` (livelock), or
+/// `RCH003` (the configuration is outside the abstractable class).
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`MachineConfig::validate`] or rejects the
+/// non-blocking machine (its hazard policy must be `read-from-wb`).
+pub fn check_reach_config_nonblocking(
+    cfg: &MachineConfig,
+    mshrs: usize,
+) -> Result<ReachConfigStats, Box<ReachViolation>> {
+    Ok(explore_config_nonblocking(cfg, mshrs, &|| false)?.expect("no abort requested"))
+}
+
+/// Runs the non-blocking reachability check over the whole non-blocking
+/// grid ([`crate::nonblocking_configs`]) with [`default_jobs`] worker
+/// threads. See [`check_reach_nonblocking_jobs`].
+///
+/// # Errors
+///
+/// The first violating configuration's [`ReachViolation`], in
+/// configuration order.
+pub fn check_reach_nonblocking(
+    fault: Option<FaultInjection>,
+    mshrs: Option<usize>,
+) -> Result<CheckReport, Box<ReachViolation>> {
+    check_reach_nonblocking_jobs(fault, mshrs, default_jobs())
+}
+
+/// [`check_reach_nonblocking`] with an explicit worker-thread count; the
+/// result is identical for every `jobs` value (only `wall_ms` varies).
+///
+/// # Errors
+///
+/// The first violating configuration's [`ReachViolation`], in
+/// configuration order.
+pub fn check_reach_nonblocking_jobs(
+    fault: Option<FaultInjection>,
+    mshrs: Option<usize>,
+    jobs: usize,
+) -> Result<CheckReport, Box<ReachViolation>> {
+    let start = Instant::now();
+    let configs = nonblocking_configs(fault, mshrs);
+    match run_indexed_earliest(configs.len(), jobs, |i, abort| {
+        let (cfg, m) = &configs[i];
+        explore_config_nonblocking(cfg, *m, abort)
+    }) {
+        Err((_, violation)) => Err(violation),
+        Ok(results) => {
+            let mut report = CheckReport {
+                configs: configs.len() as u64,
+                wall_ms: 0,
+                ..CheckReport::default()
+            };
+            for stats in results.into_iter().flatten() {
+                report.states_explored += stats.states;
+                report.edges += stats.edges;
+                report.sccs += stats.sccs;
+            }
+            report.wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+            Ok(report)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bounded::first_violating_sequence;
+    use crate::bounded::{first_violating_sequence, first_violating_sequence_nonblocking};
     use wbsim_sim::EventParseError;
     use wbsim_types::policy::LoadHazardPolicy;
     use wbsim_types::testutil::a;
@@ -878,6 +1388,209 @@ mod tests {
         // The whole bounded grid is abstractable by construction.
         for cfg in bounded_configs(None) {
             assert!(gate(&cfg).is_ok());
+        }
+    }
+
+    /// One case per gated field: the `RCH003` diagnostic names the field
+    /// and suggests the nearest admissible value.
+    #[test]
+    fn rch003_suggests_the_nearest_abstractable_configuration_per_field() {
+        let cases: Vec<(MachineConfig, &str, &str)> = vec![
+            (
+                {
+                    let mut cfg = MachineConfig::baseline();
+                    cfg.write_buffer.order = RetirementOrder::Lru;
+                    cfg
+                },
+                "write_buffer.order",
+                "fifo",
+            ),
+            (
+                {
+                    let mut cfg = MachineConfig::baseline();
+                    cfg.write_buffer.max_age = Some(64);
+                    cfg
+                },
+                "write_buffer.max_age",
+                "remove write_buffer.max_age",
+            ),
+            (
+                {
+                    let mut cfg = MachineConfig::baseline();
+                    cfg.write_buffer.retirement = RetirementPolicy::FixedRate(4);
+                    cfg
+                },
+                "write_buffer.retirement",
+                "retire-at(N)",
+            ),
+            (
+                {
+                    let mut cfg = MachineConfig::baseline();
+                    cfg.l2 = L2Config::real_with_size(128 * 1024);
+                    cfg
+                },
+                "l2",
+                "perfect",
+            ),
+            (
+                {
+                    let mut cfg = MachineConfig::baseline();
+                    cfg.icache = IcacheConfig::MissEvery { interval: 100 };
+                    cfg
+                },
+                "icache",
+                "perfect",
+            ),
+            (
+                {
+                    let mut cfg = MachineConfig::baseline();
+                    cfg.l1.write_policy = L1WritePolicy::WriteBack;
+                    cfg
+                },
+                "l1.write_policy",
+                "write-through",
+            ),
+        ];
+        for (cfg, field, needle) in cases {
+            cfg.validate().expect("each case is a valid configuration");
+            let v = check_reach_config(&cfg).expect_err(field);
+            assert_eq!(v.diagnostic.code, "RCH003", "{field}");
+            assert_eq!(v.diagnostic.field_path, field);
+            let suggestion = v
+                .diagnostic
+                .suggestion
+                .as_deref()
+                .unwrap_or_else(|| panic!("{field}: RCH003 must carry a suggestion"));
+            assert!(
+                suggestion.contains(needle),
+                "{field}: suggestion {suggestion:?} does not name the nearest \
+                 admissible value {needle:?}"
+            );
+        }
+    }
+
+    /// Sub-line entry widths are inside the abstractable class: the word
+    /// bitmap is value-blind, so block-tagged entries fit the shadow map.
+    /// Verified end-to-end on both machines.
+    #[test]
+    fn sub_line_widths_are_abstractable_end_to_end() {
+        for width in [1usize, 2] {
+            let mut cfg = MachineConfig::baseline();
+            cfg.write_buffer.width_words = width;
+            cfg.write_buffer.hazard = LoadHazardPolicy::ReadFromWb;
+            cfg.check_data = false;
+            cfg.validate().expect("sub-line widths are valid");
+            let stats = check_reach_config(&cfg)
+                .unwrap_or_else(|v| panic!("width {width} blocking: {:?}", v.diagnostic));
+            assert!(stats.states > 1, "width {width}: exploration is degenerate");
+            let nb = check_reach_config_nonblocking(&cfg, 2)
+                .unwrap_or_else(|v| panic!("width {width} non-blocking: {:?}", v.diagnostic));
+            assert!(nb.states > 1, "width {width}: NB exploration is degenerate");
+            // Narrower blocks split lines into more distinct entries, so
+            // the quotient grows as the width shrinks.
+            assert!(
+                nb.states >= stats.states.min(nb.states),
+                "sanity: both explorations are populated"
+            );
+        }
+    }
+
+    #[test]
+    fn nonblocking_grid_reach_is_clean() {
+        let report =
+            check_reach_nonblocking(None, None).expect("the non-blocking design space is clean");
+        // 10 depth/high-water shapes (hazard pinned to read-from-WB) x
+        // MSHR counts 1-4.
+        assert_eq!(report.configs, 40);
+        assert_eq!(report.sequences, 0, "reach does not enumerate sequences");
+        assert!(
+            report.states_explored >= 400,
+            "suspiciously small exploration: {} states",
+            report.states_explored
+        );
+        assert!(report.edges >= report.states_explored);
+        assert!(report.sccs > 0, "drain graphs were explored");
+    }
+
+    #[test]
+    fn nonblocking_parallel_and_serial_reach_runs_agree() {
+        let mut one = check_reach_nonblocking_jobs(None, Some(2), 1).expect("clean grid");
+        let mut four = check_reach_nonblocking_jobs(None, Some(2), 4).expect("clean grid");
+        one.wall_ms = 0;
+        four.wall_ms = 0;
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn nonblocking_reach_agrees_with_bounded_on_every_configuration() {
+        // Cross-validation, as for the blocking pair: on every shared
+        // (configuration, MSHR count), the bounded NB checker (N=3) and the
+        // NB reachability checker must agree on whether the design is dirty.
+        for fault in [None, Some(FaultInjection::SkipWbForwarding)] {
+            for (cfg, m) in nonblocking_configs(fault, None) {
+                let bounded_dirty =
+                    first_violating_sequence_nonblocking(&cfg, m, 3, &|| false).is_some();
+                let reach = check_reach_config_nonblocking(&cfg, m);
+                assert_eq!(
+                    bounded_dirty,
+                    reach.is_err(),
+                    "NB bounded and reach disagree on depth {} hw {:?} mshrs {m} fault {:?}",
+                    cfg.write_buffer.depth,
+                    cfg.write_buffer.retirement,
+                    fault
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_skip_wb_fault_yields_minimized_replayable_counterexample() {
+        let v = check_reach_nonblocking(Some(FaultInjection::SkipWbForwarding), None)
+            .expect_err("skipping WB forwarding must violate freshness on the NB machine");
+        assert_eq!(v.diagnostic.code, "RCH001");
+        let ce = v.counterexample.expect("safety violations carry one");
+        let mshrs = ce.mshrs.expect("NB counterexamples record the MSHR count");
+        assert!(!ce.ops.is_empty());
+        // 1-minimal under the bounded NB sequence checker.
+        for i in 0..ce.ops.len() {
+            let mut fewer = ce.ops.clone();
+            fewer.remove(i);
+            assert!(
+                check_sequence_nonblocking(&ce.config, mshrs, &fewer).is_ok(),
+                "counterexample is not minimal: op {i} is removable"
+            );
+        }
+        assert!(!ce.trace.is_empty());
+        for line in &ce.trace {
+            let ev: Result<Event, EventParseError> = Event::from_json(line);
+            ev.expect("counterexample trace must be valid JSONL");
+        }
+    }
+
+    #[test]
+    fn nonblocking_starved_retirement_yields_livelock_counterexample() {
+        let v = check_reach_nonblocking(Some(FaultInjection::StarveRetirement), None)
+            .expect_err("starved retirement is a livelock on the NB machine too");
+        assert_eq!(v.diagnostic.code, "RCH002");
+        let ce = v.counterexample.expect("livelocks carry a counterexample");
+        let mshrs = ce.mshrs.expect("NB counterexamples record the MSHR count");
+        assert_eq!(ce.ops.len(), 1, "one store suffices: {:?}", ce.ops);
+        assert!(matches!(ce.ops[0], Op::Store(_)));
+        assert!(check_liveness_sequence_nonblocking(
+            &ce.config, mshrs, &ce.ops
+        ));
+        for i in 0..ce.ops.len() {
+            let mut fewer = ce.ops.clone();
+            fewer.remove(i);
+            assert!(
+                !check_liveness_sequence_nonblocking(&ce.config, mshrs, &fewer),
+                "livelock counterexample is not minimal: op {i} is removable"
+            );
+        }
+        assert!(!ce.trace.is_empty());
+        for line in &ce.trace {
+            let ev: Result<Event, EventParseError> = Event::from_json(line);
+            ev.expect("livelock trace must be valid JSONL");
         }
     }
 }

@@ -5,8 +5,9 @@ use std::fs::File;
 use std::io::{self, BufRead as _, BufReader, BufWriter};
 
 use wbsim_check::{
-    check_exhaustive_jobs, check_reach_jobs, default_jobs, lint_config, parse_error_diagnostic,
-    Counterexample,
+    check_exhaustive_jobs, check_exhaustive_nonblocking_jobs, check_reach_jobs,
+    check_reach_nonblocking_jobs, default_jobs, lint_config, lint_nonblocking,
+    parse_error_diagnostic, Counterexample,
 };
 use wbsim_experiments::harness::Harness;
 use wbsim_experiments::{ablations, figures, render, tables};
@@ -76,13 +77,18 @@ USAGE:
   wbsim trace validate <FILE.jsonl | -> (`-` reads JSONL from stdin)
   wbsim check [--config FILE.wbcfg] [--depth N] [--retire-at N] [--hazard P] [--json]
         (lint the configuration; exits non-zero on any error-severity finding)
-  wbsim check --exhaustive [--max-ops N] [--fault F] [--out FILE.jsonl] [--jobs N] [--json]
+  wbsim check --exhaustive [--machine blocking|nonblocking] [--mshrs N] [--max-ops N]
+        [--fault F] [--out FILE.jsonl] [--jobs N] [--json]
         (bounded exhaustive model check; a violation writes a replayable
          counterexample trace for `wbsim trace validate`; `--out -` streams
          the trace to stdout with the human report on stderr)
-  wbsim check --reach [--fault F] [--out FILE.jsonl] [--jobs N] [--json]
+  wbsim check --reach [--machine blocking|nonblocking] [--mshrs N] [--fault F]
+        [--out FILE.jsonl] [--jobs N] [--json]
         (unbounded reachability check over the abstract state graph, with
-         livelock analysis; same counterexample plumbing as --exhaustive)
+         livelock analysis; same counterexample plumbing as --exhaustive;
+         --machine nonblocking verifies the MSHR machine, over miss-register
+         counts 1-4 unless --mshrs pins one)
+        (--json always emits one document with linter/exhaustive/reach sections)
   wbsim list
 
 FAULTS (--fault): skip-wb-forwarding | starve-retirement
@@ -835,36 +841,185 @@ fn config_for_lint(p: &Parsed) -> Result<(Option<MachineConfig>, Vec<Diagnostic>
     Ok((Some(cfg), Vec::new()))
 }
 
+/// Which machine the model checkers drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckMachine {
+    Blocking,
+    NonBlocking,
+}
+
+fn check_machine_from(p: &Parsed) -> Result<CheckMachine, ArgError> {
+    match p.options.get("machine").map(String::as_str) {
+        None | Some("blocking") => Ok(CheckMachine::Blocking),
+        Some("nonblocking" | "non-blocking") => Ok(CheckMachine::NonBlocking),
+        Some(other) => Err(ArgError(format!(
+            "unknown machine {other:?} (try blocking or nonblocking)"
+        ))),
+    }
+}
+
+fn check_mshrs_from(p: &Parsed) -> Result<Option<usize>, ArgError> {
+    match p.options.get("mshrs") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(ArgError(format!("bad --mshrs {v:?} (need a count >= 1)"))),
+        },
+    }
+}
+
 fn cmd_check(p: &Parsed) -> CmdResult {
+    if p.has_flag("json") {
+        return cmd_check_json(p);
+    }
     if p.has_flag("exhaustive") {
         return cmd_check_exhaustive(p);
     }
     if p.has_flag("reach") {
         return cmd_check_reach(p);
     }
-    let (cfg, mut diags) = config_for_lint(p)?;
-    if let Some(cfg) = cfg {
-        diags.extend(lint_config(&cfg));
-    }
+    let diags = lint_diagnostics(p)?;
     for d in &diags {
-        if p.has_flag("json") {
-            println!("{}", d.to_json());
-        } else {
-            println!("{}", d.render());
-        }
+        println!("{}", d.render());
     }
     if any_errors(&diags) {
         return Err(ArgError("configuration has error-severity diagnostics".into()).into());
     }
-    if !p.has_flag("json") {
-        println!(
-            "ok: {} diagnostics, no errors",
-            if diags.is_empty() {
-                "no".to_string()
-            } else {
-                diags.len().to_string()
+    println!(
+        "ok: {} diagnostics, no errors",
+        if diags.is_empty() {
+            "no".to_string()
+        } else {
+            diags.len().to_string()
+        }
+    );
+    Ok(())
+}
+
+/// The linter section shared by the human and JSON front ends: hard
+/// validation plus the advisory rules, with the MSHR-sizing rule layered
+/// on when the non-blocking machine is selected.
+fn lint_diagnostics(p: &Parsed) -> Result<Vec<Diagnostic>, Box<dyn Error>> {
+    let machine = check_machine_from(p)?;
+    let mshrs = check_mshrs_from(p)?;
+    let (cfg, mut diags) = config_for_lint(p)?;
+    if let Some(cfg) = cfg {
+        diags.extend(match machine {
+            CheckMachine::Blocking => lint_config(&cfg),
+            CheckMachine::NonBlocking => lint_nonblocking(&cfg, mshrs.unwrap_or(1)),
+        });
+    }
+    Ok(diags)
+}
+
+/// Renders a JSON string literal, escaping like the rest of the repo's
+/// hand-rolled emitters.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Assembles the single `wbsim check --json` document. The section
+/// arguments are already-rendered JSON values; a pass that was not
+/// requested renders as `null`.
+fn merged_check_json(
+    linter: &[Diagnostic],
+    exhaustive: Option<&str>,
+    reach: Option<&str>,
+) -> String {
+    let diags: Vec<String> = linter.iter().map(Diagnostic::to_json).collect();
+    format!(
+        "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":{}}},\"exhaustive\":{},\"reach\":{}}}",
+        diags.join(","),
+        any_errors(linter),
+        exhaustive.unwrap_or("null"),
+        reach.unwrap_or("null")
+    )
+}
+
+/// `wbsim check --json`: every requested pass runs, and stdout carries
+/// exactly one top-level JSON document with `linter`, `exhaustive`, and
+/// `reach` sections. Counterexample traces still go to `--out` (stdout
+/// with `--out -` would corrupt the document, so the trace defaults to a
+/// file) and the human report goes to stderr.
+fn cmd_check_json(p: &Parsed) -> CmdResult {
+    if p.options.get("out").is_some_and(|o| o == "-") {
+        return Err(ArgError(
+            "--out - conflicts with --json: stdout carries the JSON document".into(),
+        )
+        .into());
+    }
+    let machine = check_machine_from(p)?;
+    let mshrs = check_mshrs_from(p)?;
+    let fault = fault_from(p)?;
+    let jobs = p.get_or("jobs", default_jobs())?;
+    let diags = lint_diagnostics(p)?;
+    let mut failed = any_errors(&diags);
+
+    let exhaustive = if p.has_flag("exhaustive") {
+        let max_ops = p.get_or("max-ops", 5u32)?;
+        let result = match machine {
+            CheckMachine::Blocking => check_exhaustive_jobs(max_ops, fault, jobs),
+            CheckMachine::NonBlocking => {
+                check_exhaustive_nonblocking_jobs(max_ops, fault, mshrs, jobs)
             }
-        );
+        };
+        Some(match result {
+            Ok(report) => format!("{{\"status\":\"clean\",\"report\":{}}}", report.to_json()),
+            Err(ce) => {
+                failed = true;
+                report_counterexample(p, &ce, &ce.violation)?;
+                format!(
+                    "{{\"status\":\"violation\",\"violation\":{}}}",
+                    json_string(&ce.violation)
+                )
+            }
+        })
+    } else {
+        None
+    };
+
+    let reach = if p.has_flag("reach") {
+        let result = match machine {
+            CheckMachine::Blocking => check_reach_jobs(fault, jobs),
+            CheckMachine::NonBlocking => check_reach_nonblocking_jobs(fault, mshrs, jobs),
+        };
+        Some(match result {
+            Ok(report) => format!("{{\"status\":\"clean\",\"report\":{}}}", report.to_json()),
+            Err(v) => {
+                failed = true;
+                if let Some(ce) = &v.counterexample {
+                    report_counterexample(p, ce, &ce.violation)?;
+                }
+                format!(
+                    "{{\"status\":\"violation\",\"diagnostic\":{}}}",
+                    v.diagnostic.to_json()
+                )
+            }
+        })
+    } else {
+        None
+    };
+
+    println!(
+        "{}",
+        merged_check_json(&diags, exhaustive.as_deref(), reach.as_deref())
+    );
+    if failed {
+        return Err(ArgError("check found problems (see the JSON document)".into()).into());
     }
     Ok(())
 }
@@ -907,13 +1062,18 @@ fn report_counterexample(p: &Parsed, ce: &Counterexample, violation: &str) -> Cm
         w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
         format!("`wbsim trace validate {out}`")
     };
-    let mut human: Box<dyn io::Write> = if out == "-" {
+    // Stderr whenever stdout is spoken for — by the trace (`--out -`) or
+    // by the merged `--json` document.
+    let mut human: Box<dyn io::Write> = if out == "-" || p.has_flag("json") {
         Box::new(io::stderr().lock())
     } else {
         Box::new(io::stdout().lock())
     };
     writeln!(human, "invariant violated: {violation}")?;
     writeln!(human, "configuration:\n{}", to_config_string(&ce.config))?;
+    if let Some(m) = ce.mshrs {
+        writeln!(human, "machine: non-blocking, {m} MSHRs")?;
+    }
     writeln!(
         human,
         "minimized sequence ({} ops): {:?}",
@@ -928,21 +1088,38 @@ fn report_counterexample(p: &Parsed, ce: &Counterexample, violation: &str) -> Cm
     Ok(())
 }
 
+/// What a clean human-mode report labels the machine under check.
+fn machine_label(machine: CheckMachine, mshrs: Option<usize>) -> String {
+    match machine {
+        CheckMachine::Blocking => "blocking machine".to_string(),
+        CheckMachine::NonBlocking => match mshrs {
+            Some(m) => format!("non-blocking machine, {m} MSHRs"),
+            None => "non-blocking machine, 1-4 MSHRs".to_string(),
+        },
+    }
+}
+
 fn cmd_check_exhaustive(p: &Parsed) -> CmdResult {
     let max_ops = p.get_or("max-ops", 5u32)?;
     let fault = fault_from(p)?;
     let jobs = p.get_or("jobs", default_jobs())?;
-    match check_exhaustive_jobs(max_ops, fault, jobs) {
+    let machine = check_machine_from(p)?;
+    let mshrs = check_mshrs_from(p)?;
+    let result = match machine {
+        CheckMachine::Blocking => check_exhaustive_jobs(max_ops, fault, jobs),
+        CheckMachine::NonBlocking => check_exhaustive_nonblocking_jobs(max_ops, fault, mshrs, jobs),
+    };
+    match result {
         Ok(report) => {
-            if p.has_flag("json") {
-                println!("{}", report.to_json());
-            } else {
-                println!(
-                    "bounded exhaustive check clean: {} runs ({} configurations x {} op \
-                     sequences of length 1..={max_ops}) in {} ms, no invariant violations",
-                    report.runs, report.configs, report.sequences, report.wall_ms
-                );
-            }
+            println!(
+                "bounded exhaustive check clean ({}): {} runs ({} configurations x {} op \
+                 sequences of length 1..={max_ops}) in {} ms, no invariant violations",
+                machine_label(machine, mshrs),
+                report.runs,
+                report.configs,
+                report.sequences,
+                report.wall_ms
+            );
             Ok(())
         }
         Err(ce) => {
@@ -955,35 +1132,33 @@ fn cmd_check_exhaustive(p: &Parsed) -> CmdResult {
 fn cmd_check_reach(p: &Parsed) -> CmdResult {
     let fault = fault_from(p)?;
     let jobs = p.get_or("jobs", default_jobs())?;
-    match check_reach_jobs(fault, jobs) {
+    let machine = check_machine_from(p)?;
+    let mshrs = check_mshrs_from(p)?;
+    let result = match machine {
+        CheckMachine::Blocking => check_reach_jobs(fault, jobs),
+        CheckMachine::NonBlocking => check_reach_nonblocking_jobs(fault, mshrs, jobs),
+    };
+    match result {
         Ok(report) => {
-            if p.has_flag("json") {
-                println!("{}", report.to_json());
-            } else {
-                println!(
-                    "reachability check clean: {} configurations, {} abstract states, \
-                     {} transitions, {} drain-graph SCCs (all progressing) in {} ms; \
-                     every safety invariant holds at every reachable state and no \
-                     livelock exists",
-                    report.configs,
-                    report.states_explored,
-                    report.edges,
-                    report.sccs,
-                    report.wall_ms
-                );
-            }
+            println!(
+                "reachability check clean ({}): {} configurations, {} abstract states, \
+                 {} transitions, {} drain-graph SCCs (all progressing) in {} ms; \
+                 every safety invariant holds at every reachable state and no \
+                 livelock exists",
+                machine_label(machine, mshrs),
+                report.configs,
+                report.states_explored,
+                report.edges,
+                report.sccs,
+                report.wall_ms
+            );
             Ok(())
         }
         Err(v) => {
-            // The diagnostic goes to stderr whenever stdout may carry the
-            // trace (`--out -`) or JSON; the counterexample plumbing below
-            // handles its own stream choice.
-            let rendered = if p.has_flag("json") {
-                v.diagnostic.to_json()
-            } else {
-                v.diagnostic.render()
-            };
-            eprintln!("{rendered}");
+            // The diagnostic goes to stderr so `--out -` keeps stdout as a
+            // clean trace pipe; the counterexample plumbing below handles
+            // its own stream choice.
+            eprintln!("{}", v.diagnostic.render());
             if let Some(ce) = &v.counterexample {
                 report_counterexample(p, ce, &ce.violation)?;
             }
@@ -1268,6 +1443,109 @@ wb.retirement = retire-at-8
         // Error-severity finding → non-zero exit.
         assert!(dispatch(&v(&["check", "--depth", "2", "--retire-at", "9"])).is_err());
         assert!(dispatch(&v(&["check", "--depth", "4", "--retire-at", "4", "--json"])).is_ok());
+    }
+
+    /// Satellite pin: `wbsim check --json` emits exactly one top-level
+    /// document with `linter`, `exhaustive`, and `reach` sections.
+    #[test]
+    fn merged_check_json_schema_is_pinned() {
+        // No sections run: the skeleton with nulls.
+        assert_eq!(
+            merged_check_json(&[], None, None),
+            "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
+             \"exhaustive\":null,\"reach\":null}"
+        );
+        // One diagnostic plus both section payloads, spliced verbatim.
+        let d = Diagnostic::new("LNT001", wbsim_types::diagnostics::Severity::Warning, "wb")
+            .with_message("m");
+        assert_eq!(
+            merged_check_json(
+                std::slice::from_ref(&d),
+                Some("{\"status\":\"clean\",\"report\":{}}"),
+                Some("{\"status\":\"violation\",\"diagnostic\":{}}"),
+            ),
+            format!(
+                "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":false}},\
+                 \"exhaustive\":{{\"status\":\"clean\",\"report\":{{}}}},\
+                 \"reach\":{{\"status\":\"violation\",\"diagnostic\":{{}}}}}}",
+                d.to_json()
+            )
+        );
+        // Error-severity findings flip the `errors` flag.
+        let e = Diagnostic::new("CFG002", wbsim_types::diagnostics::Severity::Error, "wb")
+            .with_message("m");
+        assert!(merged_check_json(&[e], None, None).contains("\"errors\":true"));
+        // The escaper keeps violation messages valid JSON.
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn check_json_runs_requested_sections_in_one_document() {
+        assert!(dispatch(&v(&[
+            "check",
+            "--json",
+            "--exhaustive",
+            "--max-ops",
+            "2",
+            "--jobs",
+            "2"
+        ]))
+        .is_ok());
+        // --out - would corrupt the single JSON document.
+        assert!(dispatch(&v(&["check", "--json", "--exhaustive", "--out", "-"])).is_err());
+    }
+
+    #[test]
+    fn check_nonblocking_machine_via_cli() {
+        // A short clean NB exhaustive pass over a pinned MSHR count.
+        assert!(dispatch(&v(&[
+            "check",
+            "--exhaustive",
+            "--machine",
+            "nonblocking",
+            "--mshrs",
+            "2",
+            "--max-ops",
+            "2",
+            "--jobs",
+            "2"
+        ]))
+        .is_ok());
+        // Bad machine and MSHR arguments are rejected up front.
+        assert!(dispatch(&v(&["check", "--exhaustive", "--machine", "warp-drive"])).is_err());
+        assert!(dispatch(&v(&[
+            "check",
+            "--exhaustive",
+            "--machine",
+            "nonblocking",
+            "--mshrs",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn check_nonblocking_reach_fault_writes_replayable_counterexample() {
+        let dir = std::env::temp_dir().join("wbsim-nb-reach-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cex.jsonl");
+        let path_s = path.to_str().unwrap();
+        assert!(dispatch(&v(&[
+            "check",
+            "--reach",
+            "--machine",
+            "nonblocking",
+            "--mshrs",
+            "1",
+            "--fault",
+            "starve-retirement",
+            "--out",
+            path_s,
+            "--jobs",
+            "2"
+        ]))
+        .is_err());
+        assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
     }
 
     #[test]

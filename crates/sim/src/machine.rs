@@ -148,6 +148,19 @@ pub struct LineSnapshot {
     pub mem: Vec<u64>,
 }
 
+/// One miss-status-holding register in a [`MachineSnapshot`], expressed
+/// relative to `now` like every other snapshot component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrSnapshot {
+    /// The outstanding line address.
+    pub line: u64,
+    /// Cycles until the fill completes (`None` while still queued for the
+    /// L2 port).
+    pub countdown: Option<u64>,
+    /// Whether the issued read missed L2 (meaningless while queued).
+    pub miss: bool,
+}
+
 /// A value-level structural snapshot of the machine at (or between) op
 /// boundaries: write-buffer entries, in-flight retirement/port countdowns,
 /// and the state of a chosen set of cache lines. Everything is expressed
@@ -163,10 +176,68 @@ pub struct MachineSnapshot {
     pub retire_countdown: Option<u64>,
     /// Cycles until the L2 port frees (0 = free now).
     pub port_countdown: u64,
+    /// Outstanding miss-status registers in issue (seq) order — always
+    /// empty for the blocking [`Machine`].
+    pub mshrs: Vec<MshrSnapshot>,
     /// State of the requested lines, in request order.
     pub lines: Vec<LineSnapshot>,
     /// Whether the CPU sits at an op boundary (no instruction mid-flight).
     pub at_op_boundary: bool,
+}
+
+/// Builds the hierarchy-owned part of a [`MachineSnapshot`] (write buffer,
+/// countdowns, lines); the caller fills in machine-specific components
+/// (`mshrs` for the non-blocking machine).
+pub(crate) fn hier_snapshot(
+    hier: &Hierarchy,
+    lines: &[LineAddr],
+    at_op_boundary: bool,
+) -> MachineSnapshot {
+    let g = &hier.g;
+    let wpl = g.words_per_line();
+    let mut entries: Vec<_> = hier.wb.iter().collect();
+    entries.sort_by_key(|e| e.id);
+    let wb = entries
+        .into_iter()
+        .map(|e| WbEntrySnapshot {
+            block: e.block,
+            retiring: e.retiring,
+            words: (0..e.data.len())
+                .map(|w| e.mask.get(w).then(|| e.data[w]))
+                .collect(),
+        })
+        .collect();
+    let lines = lines
+        .iter()
+        .map(|&line| {
+            let l1 = hier.l1.contains(line).then(|| {
+                (0..wpl)
+                    .map(|w| hier.l1.peek_word(line, w).unwrap_or(0))
+                    .collect()
+            });
+            let mem = (0..wpl)
+                .map(|w| {
+                    hier.l2
+                        .peek_word(line, w)
+                        .unwrap_or_else(|| hier.mem.read_word(g.word_addr_in_line(line, w)))
+                })
+                .collect();
+            LineSnapshot {
+                line: line.as_u64(),
+                l1,
+                mem,
+            }
+        })
+        .collect();
+    let now = hier.now;
+    MachineSnapshot {
+        wb,
+        retire_countdown: hier.wb_retire.map(|p| p.done_at.saturating_sub(now)),
+        port_countdown: hier.port.free_at().saturating_sub(now),
+        mshrs: Vec::new(),
+        lines,
+        at_op_boundary,
+    }
 }
 
 impl Machine {
@@ -423,50 +494,7 @@ impl Machine {
     /// [`MachineSnapshot`].
     #[must_use]
     pub fn snapshot(&self, lines: &[LineAddr]) -> MachineSnapshot {
-        let g = &self.hier.g;
-        let wpl = g.words_per_line();
-        let mut entries: Vec<_> = self.hier.wb.iter().collect();
-        entries.sort_by_key(|e| e.id);
-        let wb = entries
-            .into_iter()
-            .map(|e| WbEntrySnapshot {
-                block: e.block,
-                retiring: e.retiring,
-                words: (0..e.data.len())
-                    .map(|w| e.mask.get(w).then(|| e.data[w]))
-                    .collect(),
-            })
-            .collect();
-        let lines = lines
-            .iter()
-            .map(|&line| {
-                let l1 = self.hier.l1.contains(line).then(|| {
-                    (0..wpl)
-                        .map(|w| self.hier.l1.peek_word(line, w).unwrap_or(0))
-                        .collect()
-                });
-                let mem = (0..wpl)
-                    .map(|w| {
-                        self.hier.l2.peek_word(line, w).unwrap_or_else(|| {
-                            self.hier.mem.read_word(g.word_addr_in_line(line, w))
-                        })
-                    })
-                    .collect();
-                LineSnapshot {
-                    line: line.as_u64(),
-                    l1,
-                    mem,
-                }
-            })
-            .collect();
-        let now = self.hier.now;
-        MachineSnapshot {
-            wb,
-            retire_countdown: self.hier.wb_retire.map(|p| p.done_at.saturating_sub(now)),
-            port_countdown: self.hier.port.free_at().saturating_sub(now),
-            lines,
-            at_op_boundary: self.at_op_boundary(),
-        }
+        hier_snapshot(&self.hier, lines, self.at_op_boundary())
     }
 
     /// Simulates the paper's implicit lower bound: "a perfect buffer that

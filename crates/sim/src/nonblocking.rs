@@ -79,7 +79,7 @@ enum CpuState {
 }
 
 /// The non-blocking machine; see the module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NonBlockingMachine {
     hier: Hierarchy,
     mshrs: Vec<Mshr>,
@@ -142,17 +142,114 @@ impl NonBlockingMachine {
         O: Observer,
     {
         let mut iter = ops.into_iter();
+        while self.step(&mut iter, obs) {}
+        self.hier.stats.cycles = self.hier.now;
+        self.hier.stats
+    }
+
+    /// Advances the machine by exactly one cycle: fill completion,
+    /// retirement completion, one CPU step, read issue, autonomous
+    /// retirement, the overlapped L2-read-access charge, and the closing
+    /// [`Event::CycleEnd`]. Returns `false` once the reference stream is
+    /// exhausted and all outstanding misses and retirements have drained
+    /// — that final call consumes no cycle. Statistics accumulate as in
+    /// [`NonBlockingMachine::run_observed`], except `cycles`, which only
+    /// the `run_*` wrappers finalize.
+    pub fn step<I, O>(&mut self, iter: &mut I, obs: &mut O) -> bool
+    where
+        I: Iterator<Item = Op>,
+        O: Observer,
+    {
+        self.complete_mshrs(obs);
+        self.hier.complete_retirement(obs);
+        let advanced = self.cpu_step(iter, obs);
+        self.issue_reads(obs);
+        self.wb_try_retire(obs);
+        if !advanced && self.mshrs.is_empty() && self.hier.wb_retire.is_none() {
+            return false;
+        }
+        // A cycle in which some queued read sits behind an underway
+        // write is L2-read-access contention, overlapped or not.
+        if self.hier.port.busy_with_write(self.hier.now)
+            && self.mshrs.iter().any(|m| m.done_at.is_none())
+        {
+            self.hier.stall(StallKind::L2ReadAccess, obs);
+        }
+        let occupancy = self.hier.wb.occupancy();
+        self.hier.stats.wb_detail.record_occupancy(occupancy);
+        obs.event(&Event::CycleEnd {
+            now: self.hier.now,
+            occupancy: occupancy as u64,
+        });
+        self.hier.now += 1;
+        true
+    }
+
+    /// Like [`NonBlockingMachine::run_observed`], but gives up and returns
+    /// `None` if the run has not finished after `max_cycles` cycles — the
+    /// model checker's liveness budget. Call only on a freshly constructed
+    /// machine.
+    pub fn run_bounded<I, O>(&mut self, ops: I, max_cycles: u64, obs: &mut O) -> Option<SimStats>
+    where
+        I: IntoIterator<Item = Op>,
+        O: Observer,
+    {
+        let mut iter = ops.into_iter();
+        while self.step(&mut iter, obs) {
+            if self.hier.now >= max_cycles {
+                return None;
+            }
+        }
+        self.hier.stats.cycles = self.hier.now;
+        Some(self.hier.stats)
+    }
+
+    /// Whether the CPU sits at an op boundary: the previous op (if any)
+    /// has fully issued and no instruction occupies the front end.
+    /// Outstanding misses and retirements may still be in flight — that is
+    /// the whole point of this machine.
+    #[must_use]
+    pub fn at_op_boundary(&self) -> bool {
+        matches!(self.cpu, CpuState::NeedOp | CpuState::Finished)
+    }
+
+    /// Runs exactly one op from an op boundary until the front end is
+    /// ready for the next op, giving up after `max_cycles` additional
+    /// cycles (`None`, machine left mid-op — the reachability checker's
+    /// livelock probe). Outstanding misses and retirements deliberately
+    /// stay in flight across the boundary, so feeding ops one at a time is
+    /// equivalent to a continuous [`NonBlockingMachine::run_observed`]
+    /// over the concatenated stream: the boundary-detecting iteration
+    /// consumes no cycle and performs only the idempotent fill- and
+    /// retirement-completion work the next op's first cycle repeats at the
+    /// same timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the machine is at an op boundary.
+    pub fn run_op_bounded<O: Observer>(
+        &mut self,
+        op: Op,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Option<u64> {
+        debug_assert!(self.at_op_boundary(), "run_op_bounded mid-op");
+        if matches!(self.cpu, CpuState::Finished) {
+            self.cpu = CpuState::NeedOp;
+        }
+        let deadline = self.hier.now + max_cycles;
+        let mut iter = std::iter::once(op);
         loop {
             self.complete_mshrs(obs);
             self.hier.complete_retirement(obs);
-            let advanced = self.cpu_step(&mut iter, obs);
+            if !self.cpu_step(&mut iter, obs) {
+                // Front end idle again: stop *before* this timestamp's
+                // issue/retire phase, which belongs to the next op's first
+                // cycle (or the end-of-stream drain).
+                return Some(self.hier.now);
+            }
             self.issue_reads(obs);
             self.wb_try_retire(obs);
-            if !advanced && self.mshrs.is_empty() && self.hier.wb_retire.is_none() {
-                break;
-            }
-            // A cycle in which some queued read sits behind an underway
-            // write is L2-read-access contention, overlapped or not.
             if self.hier.port.busy_with_write(self.hier.now)
                 && self.mshrs.iter().any(|m| m.done_at.is_none())
             {
@@ -165,9 +262,36 @@ impl NonBlockingMachine {
                 occupancy: occupancy as u64,
             });
             self.hier.now += 1;
+            if self.hier.now >= deadline {
+                return None;
+            }
         }
-        self.hier.stats.cycles = self.hier.now;
-        self.hier.stats
+    }
+
+    /// Advances one cycle of a forced drain: retirement runs at the
+    /// maximum rate and outstanding misses complete, but no new ops issue
+    /// (barrier semantics). Returns `false` — consuming no cycle — once
+    /// the buffer is empty, no retirement is in flight, and every MSHR has
+    /// filled. The reachability checker's liveness analysis walks this
+    /// deterministic drain schedule from every reachable state.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no instruction is mid-flight (op boundary or an
+    /// earlier `drain_step`).
+    pub fn drain_step<O: Observer>(&mut self, obs: &mut O) -> bool {
+        debug_assert!(
+            matches!(
+                self.cpu,
+                CpuState::NeedOp | CpuState::Finished | CpuState::BarrierDrain
+            ),
+            "drain_step mid-op"
+        );
+        if self.hier.wb.occupancy() == 0 && self.hier.wb_retire.is_none() && self.mshrs.is_empty() {
+            return false;
+        }
+        self.cpu = CpuState::BarrierDrain;
+        self.step(&mut std::iter::empty(), obs)
     }
 
     fn complete_mshrs<O: Observer>(&mut self, obs: &mut O) {
@@ -359,6 +483,56 @@ impl NonBlockingMachine {
         &self.hier.stats
     }
 
+    /// The current simulation timestamp: how many cycles have elapsed
+    /// since the machine was constructed.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.hier.now
+    }
+
+    /// Dirty L1 victims that allocated a write-buffer entry; always zero
+    /// under a write-through L1 (the only L1 this machine's required
+    /// read-from-WB policy is verified with).
+    #[must_use]
+    pub fn wb_victim_allocs(&self) -> u64 {
+        self.hier.victim_inserts
+    }
+
+    /// The lines with an outstanding miss, in MSHR allocation order.
+    #[must_use]
+    pub fn mshr_lines(&self) -> Vec<LineAddr> {
+        let mut ms: Vec<_> = self.mshrs.iter().collect();
+        ms.sort_by_key(|m| m.seq);
+        ms.into_iter().map(|m| m.line).collect()
+    }
+
+    /// The configured MSHR count.
+    #[must_use]
+    pub fn max_mshrs(&self) -> usize {
+        self.max_mshrs
+    }
+
+    /// Captures a value-level structural snapshot — the blocking
+    /// [`crate::Machine::snapshot`] components plus one
+    /// [`MshrSnapshot`](crate::machine::MshrSnapshot) per outstanding miss
+    /// in allocation order. Countdowns are relative to `now`, so
+    /// time-shifted machines snapshot identically.
+    #[must_use]
+    pub fn snapshot(&self, lines: &[LineAddr]) -> crate::machine::MachineSnapshot {
+        let mut snap = crate::machine::hier_snapshot(&self.hier, lines, self.at_op_boundary());
+        let mut ms: Vec<_> = self.mshrs.iter().collect();
+        ms.sort_by_key(|m| m.seq);
+        snap.mshrs = ms
+            .into_iter()
+            .map(|m| crate::machine::MshrSnapshot {
+                line: m.line.as_u64(),
+                countdown: m.done_at.map(|d| d.saturating_sub(self.hier.now)),
+                miss: m.miss,
+            })
+            .collect();
+        snap
+    }
+
     /// Current write-buffer occupancy in entries (zero after a completed
     /// run: the end-of-trace drain empties the buffer).
     #[must_use]
@@ -497,6 +671,63 @@ mod tests {
         // The final load's fill and the triggered retirement both complete.
         assert!(nb.cycles >= 7);
         assert!(nb.wb_retirements >= 1);
+    }
+
+    #[test]
+    fn op_by_op_stepping_matches_a_continuous_run() {
+        use crate::observer::Observer;
+        #[derive(Default)]
+        struct Tape(Vec<String>);
+        impl Observer for Tape {
+            fn event(&mut self, ev: &Event) {
+                self.0.push(format!("{ev:?}"));
+            }
+        }
+        let mut ops = Vec::new();
+        for i in 0..40u64 {
+            ops.push(Op::Store(a(i % 4, i % 2)));
+            ops.push(Op::Load(a((i + 3) % 8, i % 2)));
+            if i % 5 == 0 {
+                ops.push(Op::Compute(2));
+            }
+        }
+        let mut cont = Tape::default();
+        let mut m1 = NonBlockingMachine::new(nb_cfg(), 2).unwrap();
+        let s1 = m1.run_observed(ops.clone(), &mut cont);
+
+        let mut stepped = Tape::default();
+        let mut m2 = NonBlockingMachine::new(nb_cfg(), 2).unwrap();
+        for &op in &ops {
+            assert!(m2.run_op_bounded(op, 100_000, &mut stepped).is_some());
+            assert!(m2.at_op_boundary());
+        }
+        // The continuous run's end-of-stream tail: plain steps, no forced
+        // barrier semantics.
+        while m2.step(&mut std::iter::empty(), &mut stepped) {}
+        let mut s2 = *m2.stats();
+        s2.cycles = m2.now();
+
+        assert_eq!(s1, s2);
+        assert_eq!(cont.0, stepped.0);
+    }
+
+    #[test]
+    fn snapshot_reports_outstanding_mshrs() {
+        let mut m = NonBlockingMachine::new(nb_cfg(), 4).unwrap();
+        let mut obs = crate::observer::NullObserver;
+        assert!(m
+            .run_op_bounded(Op::Load(a(1, 0)), 1_000, &mut obs)
+            .is_some());
+        let s = m.snapshot(&[wbsim_types::addr::LineAddr::new(1)]);
+        assert_eq!(s.mshrs.len(), 1);
+        assert_eq!(s.mshrs[0].line, 1);
+        assert_eq!(m.mshr_lines(), vec![wbsim_types::addr::LineAddr::new(1)]);
+        // Draining completes the fill; the snapshot empties.
+        while m.drain_step(&mut obs) {}
+        assert!(m
+            .snapshot(&[wbsim_types::addr::LineAddr::new(1)])
+            .mshrs
+            .is_empty());
     }
 
     #[test]

@@ -9,6 +9,12 @@
 
 use wbsim_experiments::harness::Harness;
 
+pub mod snapshot;
+
+pub use snapshot::{
+    compare, git_rev, measure, BenchSnapshot, Comparison, MeasureScale, TargetStats, SCHEMA,
+};
+
 /// Instructions per benchmark per configuration inside a bench iteration.
 pub const BENCH_INSTRUCTIONS: u64 = 8_000;
 

@@ -409,7 +409,18 @@ pub fn default_jobs() -> usize {
 /// work on index `i` only when some index `j < i` has already failed — so
 /// the first-failing index (and its payload, for deterministic `work`) is
 /// schedule-independent, and indices below it are never abandoned.
-pub(crate) fn run_indexed_earliest<T, E>(
+///
+/// This is the workspace's one shared cell scheduler: the bounded and
+/// reachability checkers dispatch configuration indices through it, and
+/// the experiments harness flattens its (benchmark × config × seed) sweep
+/// grids onto it (with an uninhabited error type when cells never abort
+/// each other).
+///
+/// # Errors
+///
+/// Returns the lowest-index failure as `(index, error)` — the same pair a
+/// serial in-order scan would produce.
+pub fn run_indexed_earliest<T, E>(
     n: usize,
     jobs: usize,
     work: impl Fn(usize, &dyn Fn() -> bool) -> Result<T, E> + Sync,

@@ -58,7 +58,7 @@ pub use abstract_state::{
 pub use bounded::{
     check_exhaustive, check_exhaustive_jobs, check_exhaustive_nonblocking,
     check_exhaustive_nonblocking_jobs, check_sequence, check_sequence_nonblocking, default_jobs,
-    nonblocking_configs, CheckReport, Counterexample,
+    nonblocking_configs, run_indexed_earliest, CheckReport, Counterexample,
 };
 pub use lint::{
     config_error_diagnostic, lint_config, lint_grid, lint_nonblocking, parse_error_diagnostic,

@@ -44,6 +44,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("report") => cmd_report(&p),
         Some("trace") => cmd_trace(&p),
         Some("check") => cmd_check(&p),
+        Some("bench") => cmd_bench(&p),
         Some("list") => cmd_list(),
         Some(other) => Err(ArgError(format!("unknown command {other:?}")).into()),
     }
@@ -89,6 +90,12 @@ USAGE:
          --machine nonblocking verifies the MSHR machine, over miss-register
          counts 1-4 unless --mshrs pins one)
         (--json always emits one document with linter/exhaustive/reach sections)
+  wbsim bench [--samples N] [--instructions N] [--warmup N] [--seed S] [--json]
+        [--out FILE.json] [--check BASELINE.json] [--tolerance PCT]
+        (measure cells/sec of both engines over the table-7 grid; --json/--out
+         emit the BENCH_*.json snapshot; --check gates against a committed
+         snapshot, exiting non-zero when mean or p99 regresses past the
+         tolerance, default 20%)
   wbsim list
 
 FAULTS (--fault): skip-wb-forwarding | starve-retirement
@@ -1167,6 +1174,77 @@ fn cmd_check_reach(p: &Parsed) -> CmdResult {
     }
 }
 
+/// `wbsim bench`: measure both engines over the table-7 cell grid, emit
+/// the `BENCH_*.json` snapshot, and optionally gate against a committed
+/// baseline.
+fn cmd_bench(p: &Parsed) -> CmdResult {
+    let defaults = wbsim_bench::MeasureScale::table7();
+    let instructions = p.get_or("instructions", defaults.instructions)?;
+    let scale = wbsim_bench::MeasureScale {
+        instructions,
+        warmup: p.get_or("warmup", instructions * 3 / 10)?,
+        seed: p.get_or("seed", defaults.seed)?,
+        samples: p.get_or("samples", defaults.samples)?,
+    };
+    eprintln!(
+        "measuring {} cells × {} samples × 2 engines at {} instructions (+{} warmup)…",
+        51, scale.samples, scale.instructions, scale.warmup
+    );
+    let snap = wbsim_bench::measure(&scale);
+    let json_only = p.has_flag("json") && !p.options.contains_key("out");
+    if json_only {
+        // Clean JSON pipe: the snapshot on stdout, nothing else.
+        print!("{}", snap.to_json());
+    } else {
+        for t in &snap.targets {
+            println!(
+                "{:24} mean {:8.2} cells/s  stddev {:6.2}  p99 {:8.2}  ({} samples)",
+                t.name,
+                t.mean_cells_per_sec,
+                t.stddev_cells_per_sec,
+                t.p99_cells_per_sec,
+                t.samples
+            );
+        }
+        if let [fast, reference] = snap.targets.as_slice() {
+            println!(
+                "event-driven / reference mean ratio: {:.2}×",
+                fast.mean_cells_per_sec / reference.mean_cells_per_sec
+            );
+        }
+    }
+    if let Some(out) = p.options.get("out") {
+        std::fs::write(out, snap.to_json())?;
+        println!("wrote snapshot to {out}");
+    }
+    if let Some(baseline_path) = p.options.get("check") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| ArgError(format!("bench: cannot read {baseline_path}: {e}")))?;
+        let baseline = wbsim_bench::BenchSnapshot::from_json(&text)
+            .map_err(|e| ArgError(format!("bench: {baseline_path}: {e}")))?;
+        let tolerance = p.get_or("tolerance", 20.0f64)?;
+        let cmp = wbsim_bench::compare(&baseline, &snap, tolerance);
+        for line in &cmp.lines {
+            println!("{line}");
+        }
+        for f in &cmp.failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        if !cmp.failures.is_empty() {
+            return Err(ArgError(format!(
+                "bench: {} regression(s) vs {baseline_path} (tolerance {tolerance}%)",
+                cmp.failures.len()
+            ))
+            .into());
+        }
+        println!(
+            "bench gate passed vs {baseline_path} (rev {}, tolerance {tolerance}%)",
+            baseline.git_rev
+        );
+    }
+    Ok(())
+}
+
 fn cmd_list() -> CmdResult {
     println!("benchmark models (paper Table 4):");
     for m in BenchmarkModel::ALL {
@@ -1190,6 +1268,62 @@ mod tests {
 
     fn v(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// `wbsim bench` at toy scale: snapshot emission, a passing self-check
+    /// against its own output, and a hard failure against an incompatible
+    /// baseline.
+    #[test]
+    fn bench_snapshot_and_gate() {
+        let dir = std::env::temp_dir().join("wbsim-bench-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let out = path.to_str().unwrap();
+        let scale = [
+            "--instructions",
+            "1000",
+            "--warmup",
+            "200",
+            "--samples",
+            "1",
+        ];
+        let mut write = v(&["bench", "--out", out]);
+        write.extend(scale.iter().map(|s| s.to_string()));
+        dispatch(&write).unwrap();
+        let snap = wbsim_bench::BenchSnapshot::from_json(&std::fs::read_to_string(&path).unwrap())
+            .unwrap();
+        assert_eq!(snap.cells, 51);
+        assert_eq!(snap.targets.len(), 2);
+
+        // Re-measuring the same workload passes its own gate at a generous
+        // tolerance (the only variance is wall-clock noise).
+        let mut check = v(&["bench", "--check", out, "--tolerance", "95"]);
+        check.extend(scale.iter().map(|s| s.to_string()));
+        dispatch(&check).unwrap();
+
+        // A baseline from a different workload shape is rejected.
+        let mut other = v(&["bench", "--check", out, "--instructions", "2000"]);
+        other.extend(
+            ["--warmup", "200", "--samples", "1"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let err = dispatch(&other).unwrap_err().to_string();
+        assert!(err.contains("regression"), "{err}");
+
+        // And an unreadable baseline is a clean error.
+        assert!(dispatch(&v(&[
+            "bench",
+            "--check",
+            "/nonexistent.json",
+            "--instructions",
+            "500",
+            "--warmup",
+            "0",
+            "--samples",
+            "1"
+        ]))
+        .is_err());
     }
 
     #[test]

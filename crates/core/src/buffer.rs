@@ -7,6 +7,16 @@
 //! write-cache ablation) and flush *planning* for each load-hazard policy
 //! are computed here; the simulator supplies the clock and the L2 port.
 //!
+//! # Representation
+//!
+//! The buffer is a fixed slab of `depth` slots (≤ 64, enforced by
+//! configuration validation) whose valid and mid-retirement bookkeeping is
+//! packed into single `u64` bitset words (`occupied`, `retiring`). Tag
+//! probes walk set bits with `trailing_zeros`, so the hot operations —
+//! store merge/allocate, hazard probe, forwarding read — touch no heap and
+//! scan only occupied slots. FIFO (allocation) order is kept separately in
+//! `order_fifo`, since slot indices are reused.
+//!
 //! # Invariant
 //!
 //! At most one **non-retiring** entry exists per block. A duplicate can
@@ -14,8 +24,6 @@
 //! allocate afresh; because underway transactions are never preempted, the
 //! older duplicate always reaches L2 before the newer one can, so L2 never
 //! sees stale data. [`WriteBuffer`] asserts this invariant in debug builds.
-
-use std::collections::VecDeque;
 
 use wbsim_types::addr::{Addr, Geometry, LineAddr, WordMask};
 use wbsim_types::config::{ConfigError, WriteBufferConfig};
@@ -38,8 +46,16 @@ pub enum StoreOutcome {
 /// The coalescing write buffer. See the module docs.
 #[derive(Debug, Clone)]
 pub struct WriteBuffer {
-    /// Entries in FIFO (allocation) order; front = oldest.
-    entries: VecDeque<Entry>,
+    /// Fixed slab of `depth` slots; `occupied` says which hold an entry.
+    /// Slot data (including each entry's word `Vec`) is allocated once and
+    /// reused across tenants, so stores never hit the allocator.
+    slots: Vec<Entry>,
+    /// Bit `i` set ⇔ `slots[i]` holds a live entry.
+    occupied: u64,
+    /// Bit `i` set ⇔ `slots[i]` is mid-retirement (subset of `occupied`).
+    retiring: u64,
+    /// Occupied slot indices in FIFO (allocation) order; front = oldest.
+    order_fifo: Vec<u8>,
     next_id: EntryId,
     depth: usize,
     width_words: usize,
@@ -56,8 +72,22 @@ impl WriteBuffer {
     /// Returns a [`ConfigError`] if `cfg` is invalid for `geometry`.
     pub fn new(cfg: &WriteBufferConfig, geometry: &Geometry) -> Result<Self, ConfigError> {
         cfg.validate(geometry)?;
+        let slots = (0..cfg.depth)
+            .map(|_| Entry {
+                id: EntryId::MAX,
+                block: u64::MAX,
+                mask: WordMask::empty(),
+                data: vec![0; cfg.width_words],
+                alloc_cycle: 0,
+                last_touch: 0,
+                retiring: false,
+            })
+            .collect();
         Ok(Self {
-            entries: VecDeque::with_capacity(cfg.depth),
+            slots,
+            occupied: 0,
+            retiring: 0,
+            order_fifo: Vec::with_capacity(cfg.depth),
             next_id: 0,
             depth: cfg.depth,
             width_words: cfg.width_words,
@@ -68,21 +98,23 @@ impl WriteBuffer {
     }
 
     /// Number of occupied entries (including one mid-retirement).
+    #[inline]
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.occupied.count_ones() as usize
     }
 
     /// Whether every entry is occupied.
+    #[inline]
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.depth
+        self.occupancy() >= self.depth
     }
 
     /// Number of free entries.
     #[must_use]
     pub fn free_entries(&self) -> usize {
-        self.depth - self.entries.len()
+        self.depth - self.occupancy()
     }
 
     /// Entry width in words.
@@ -93,7 +125,7 @@ impl WriteBuffer {
 
     /// Iterates over occupied entries in FIFO (oldest-first) order.
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.iter()
+        self.order_fifo.iter().map(|&s| &self.slots[s as usize])
     }
 
     /// The block tag covering byte address `a`.
@@ -108,6 +140,21 @@ impl WriteBuffer {
         (self.geometry.word_addr(a) % self.width_words as u64) as usize
     }
 
+    /// Slot index of the non-retiring entry for `block`, if one exists
+    /// (the invariant guarantees at most one).
+    #[inline]
+    fn nonretiring_slot(&self, block: u64) -> Option<usize> {
+        let mut m = self.occupied & !self.retiring;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.slots[i].block == block {
+                return Some(i);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
     /// Presents a store to the buffer (paper §2.2): merge on a tag match
     /// with a non-retiring entry, allocate on a miss, report
     /// [`StoreOutcome::Full`] when neither is possible.
@@ -117,35 +164,60 @@ impl WriteBuffer {
         // Parallel tag compare; only non-retiring entries can accept the
         // merge ("Stores cannot normally merge into an entry that is being
         // retired", §2.2).
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.block == block && !e.retiring)
-        {
+        if let Some(i) = self.nonretiring_slot(block) {
+            let e = &mut self.slots[i];
             e.mask.set(word);
             e.data[word] = value;
             e.last_touch = now;
             return StoreOutcome::Merged;
         }
-        if self.entries.len() >= self.depth {
+        if self.is_full() {
             return StoreOutcome::Full;
         }
-        let mut mask = WordMask::empty();
-        mask.set(word);
-        let mut data = vec![0; self.width_words];
-        data[word] = value;
-        self.entries.push_back(Entry {
-            id: self.next_id,
-            block,
-            mask,
-            data,
-            alloc_cycle: now,
-            last_touch: now,
-            retiring: false,
-        });
-        self.next_id += 1;
+        let i = self.alloc_slot(block, now);
+        let e = &mut self.slots[i];
+        e.mask.set(word);
+        e.data[word] = value;
         debug_assert!(self.check_invariant());
         StoreOutcome::Allocated
+    }
+
+    /// Whether a store to `a` would be accepted right now (merge or
+    /// allocate) — the buffer-full stall predicate, inverted. Equivalent
+    /// to `store(a, ..) != Full` without mutating anything.
+    #[inline]
+    #[must_use]
+    pub fn can_accept(&self, a: Addr) -> bool {
+        !self.is_full() || self.nonretiring_slot(self.block_of(a)).is_some()
+    }
+
+    /// Whether a non-retiring entry exists for `block` — the merge-target
+    /// probe victim insertion and the conservation counters use.
+    #[inline]
+    #[must_use]
+    pub fn has_nonretiring_block(&self, block: u64) -> bool {
+        self.nonretiring_slot(block).is_some()
+    }
+
+    /// Claims a free slot, resets it for a fresh entry covering `block`,
+    /// appends it to the FIFO order, and returns its index.
+    fn alloc_slot(&mut self, block: u64, now: Cycle) -> usize {
+        debug_assert!(!self.is_full());
+        let i = (!self.occupied).trailing_zeros() as usize;
+        debug_assert!(i < self.depth);
+        self.occupied |= 1 << i;
+        self.order_fifo.push(i as u8);
+        let id = self.next_id;
+        self.next_id += 1;
+        let e = &mut self.slots[i];
+        e.id = id;
+        e.block = block;
+        e.mask = WordMask::empty();
+        e.data.fill(0);
+        e.alloc_cycle = now;
+        e.last_touch = now;
+        e.retiring = false;
+        i
     }
 
     /// Inserts a whole dirty line (a write-back L1's victim). Merges into
@@ -165,29 +237,20 @@ impl WriteBuffer {
         );
         assert!(data.len() >= self.width_words);
         let block = line.as_u64();
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.block == block && !e.retiring)
-        {
+        if let Some(i) = self.nonretiring_slot(block) {
+            let e = &mut self.slots[i];
             e.mask = WordMask::full(self.width_words);
             e.data.copy_from_slice(&data[..self.width_words]);
             e.last_touch = now;
             return true;
         }
-        if self.entries.len() >= self.depth {
+        if self.is_full() {
             return false;
         }
-        self.entries.push_back(Entry {
-            id: self.next_id,
-            block,
-            mask: WordMask::full(self.width_words),
-            data: data[..self.width_words].to_vec(),
-            alloc_cycle: now,
-            last_touch: now,
-            retiring: false,
-        });
-        self.next_id += 1;
+        let i = self.alloc_slot(block, now);
+        let e = &mut self.slots[i];
+        e.mask = WordMask::full(self.width_words);
+        e.data.copy_from_slice(&data[..self.width_words]);
         debug_assert!(self.check_invariant());
         true
     }
@@ -195,13 +258,36 @@ impl WriteBuffer {
     fn check_invariant(&self) -> bool {
         // At most one non-retiring entry per block.
         let mut blocks: Vec<u64> = self
-            .entries
             .iter()
             .filter(|e| !e.retiring)
             .map(|e| e.block)
             .collect();
         blocks.sort_unstable();
         blocks.windows(2).all(|w| w[0] != w[1])
+    }
+
+    #[inline]
+    fn block_range_of_line(&self, line: LineAddr) -> (u64, u64) {
+        let first = line.as_u64() * self.blocks_per_line as u64;
+        (first, first + self.blocks_per_line as u64)
+    }
+
+    /// Whether any occupied entry's block overlaps cache line `line` — the
+    /// allocation-free form of the load-hazard probe.
+    #[inline]
+    #[must_use]
+    pub fn has_line(&self, line: LineAddr) -> bool {
+        let (first, last) = self.block_range_of_line(line);
+        let mut m = self.occupied;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            let b = self.slots[i].block;
+            if b >= first && b < last {
+                return true;
+            }
+            m &= m - 1;
+        }
+        false
     }
 
     /// Ids of entries (FIFO order) whose block overlaps cache line `line` —
@@ -211,10 +297,8 @@ impl WriteBuffer {
     /// line is active".
     #[must_use]
     pub fn probe_line(&self, line: LineAddr) -> Vec<EntryId> {
-        let first = line.as_u64() * self.blocks_per_line as u64;
-        let last = first + self.blocks_per_line as u64;
-        self.entries
-            .iter()
+        let (first, last) = self.block_range_of_line(line);
+        self.iter()
             .filter(|e| e.block >= first && e.block < last)
             .map(|e| e.id)
             .collect()
@@ -227,14 +311,22 @@ impl WriteBuffer {
     pub fn read_word(&self, a: Addr) -> Option<u64> {
         let block = self.block_of(a);
         let word = self.word_in_block(a);
-        // Newest-first scan: later entries are newer; non-retiring beats
-        // retiring for the same block.
-        self.entries
-            .iter()
-            .rev()
-            .filter(|e| e.block == block && e.mask.get(word))
-            .max_by_key(|e| !e.retiring)
-            .map(|e| e.data[word])
+        // Oldest-first scan taking the first non-retiring hit (under the
+        // invariant there is at most one), falling back to the first
+        // retiring hit — exactly the newest-first
+        // `max_by_key(|e| !e.retiring)` of the unpacked representation.
+        let mut fallback = None;
+        for e in self.iter() {
+            if e.block == block && e.mask.get(word) {
+                if !e.retiring {
+                    return Some(e.data[word]);
+                }
+                if fallback.is_none() {
+                    fallback = Some(e.data[word]);
+                }
+            }
+        }
+        fallback
     }
 
     /// Overlays every buffered valid word of `line` onto `data` (oldest
@@ -242,16 +334,14 @@ impl WriteBuffer {
     /// performs when "the correct block resides in the write buffer but the
     /// needed word does not" (§2.2).
     pub fn merge_into_line(&self, line: LineAddr, data: &mut [u64]) {
-        let first = line.as_u64() * self.blocks_per_line as u64;
-        let last = first + self.blocks_per_line as u64;
-        for e in self
-            .entries
-            .iter()
-            .filter(|e| e.block >= first && e.block < last)
-        {
-            let base = ((e.block - first) as usize) * self.width_words;
-            for w in e.mask.iter() {
-                data[base + w] = e.data[w];
+        let (first, last) = self.block_range_of_line(line);
+        for &s in &self.order_fifo {
+            let e = &self.slots[s as usize];
+            if e.block >= first && e.block < last {
+                let base = ((e.block - first) as usize) * self.width_words;
+                for w in e.mask.iter() {
+                    data[base + w] = e.data[w];
+                }
             }
         }
     }
@@ -262,13 +352,26 @@ impl WriteBuffer {
     #[must_use]
     pub fn next_retirement(&self) -> Option<EntryId> {
         match self.order {
-            RetirementOrder::Fifo => self.entries.iter().find(|e| !e.retiring).map(|e| e.id),
-            RetirementOrder::Lru => self
-                .entries
+            RetirementOrder::Fifo => self
+                .order_fifo
                 .iter()
-                .filter(|e| !e.retiring)
-                .min_by_key(|e| (e.last_touch, e.alloc_cycle))
+                .map(|&s| &self.slots[s as usize])
+                .find(|e| !e.retiring)
                 .map(|e| e.id),
+            RetirementOrder::Lru => {
+                let mut best: Option<&Entry> = None;
+                let mut m = self.occupied & !self.retiring;
+                while m != 0 {
+                    let e = &self.slots[m.trailing_zeros() as usize];
+                    if best.is_none_or(|b| {
+                        (e.last_touch, e.alloc_cycle) < (b.last_touch, b.alloc_cycle)
+                    }) {
+                        best = Some(e);
+                    }
+                    m &= m - 1;
+                }
+                best.map(|e| e.id)
+            }
         }
     }
 
@@ -276,25 +379,58 @@ impl WriteBuffer {
     /// retirement).
     #[must_use]
     pub fn oldest_age(&self, now: Cycle) -> Option<Cycle> {
-        self.entries
-            .iter()
-            .filter(|e| !e.retiring)
-            .map(|e| e.age(now))
-            .max()
+        self.oldest_alloc_cycle().map(|c| now.saturating_sub(c))
+    }
+
+    /// Allocation cycle of the oldest non-retiring entry — the earliest
+    /// cycle `oldest_age` is anchored to. The event-driven engine uses it
+    /// to compute when a max-age retirement will fire without stepping
+    /// cycle by cycle.
+    #[must_use]
+    pub fn oldest_alloc_cycle(&self) -> Option<Cycle> {
+        let mut best = None;
+        let mut m = self.occupied & !self.retiring;
+        while m != 0 {
+            let c = self.slots[m.trailing_zeros() as usize].alloc_cycle;
+            if best.is_none_or(|b| c < b) {
+                best = Some(c);
+            }
+            m &= m - 1;
+        }
+        best
     }
 
     /// Id of the entry currently being retired or flushed, if any.
     #[must_use]
     pub fn retiring_id(&self) -> Option<EntryId> {
-        self.entries.iter().find(|e| e.retiring).map(|e| e.id)
+        self.order_fifo
+            .iter()
+            .map(|&s| &self.slots[s as usize])
+            .find(|e| e.retiring)
+            .map(|e| e.id)
+    }
+
+    /// Slot index of the live entry with id `id`, if present.
+    #[inline]
+    fn slot_of_id(&self, id: EntryId) -> Option<usize> {
+        let mut m = self.occupied;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.slots[i].id == id {
+                return Some(i);
+            }
+            m &= m - 1;
+        }
+        None
     }
 
     /// Marks `id` as mid-retirement. Returns `false` if the entry does not
     /// exist or is already retiring.
     pub fn begin_retire(&mut self, id: EntryId) -> bool {
-        match self.entries.iter_mut().find(|e| e.id == id) {
-            Some(e) if !e.retiring => {
-                e.retiring = true;
+        match self.slot_of_id(id) {
+            Some(i) if !self.slots[i].retiring => {
+                self.slots[i].retiring = true;
+                self.retiring |= 1 << i;
                 true
             }
             _ => false,
@@ -304,8 +440,16 @@ impl WriteBuffer {
     /// Removes entry `id` (its transaction to L2 having completed) and
     /// returns its contents in line coordinates.
     pub fn take_retired(&mut self, id: EntryId) -> Option<RetiredBlock> {
-        let pos = self.entries.iter().position(|e| e.id == id)?;
-        let e = self.entries.remove(pos).expect("position was just found");
+        let i = self.slot_of_id(id)?;
+        self.occupied &= !(1 << i);
+        self.retiring &= !(1 << i);
+        let pos = self
+            .order_fifo
+            .iter()
+            .position(|&s| s as usize == i)
+            .expect("occupied slot missing from FIFO order");
+        self.order_fifo.remove(pos);
+        let e = &self.slots[i];
         let words_per_line = self.geometry.words_per_line();
         let first_word = e.block * self.width_words as u64;
         let line = LineAddr::new(first_word / words_per_line as u64);
@@ -330,8 +474,9 @@ impl WriteBuffer {
     /// read-from-WB and for policies whose plan is already satisfied.
     #[must_use]
     pub fn flush_plan(&self, policy: LoadHazardPolicy, line: LineAddr) -> Vec<EntryId> {
-        let matches = self.probe_line(line);
-        if matches.is_empty() {
+        let (first, last) = self.block_range_of_line(line);
+        let in_line = |e: &Entry| e.block >= first && e.block < last;
+        if !self.has_line(line) {
             return Vec::new();
         }
         match policy {
@@ -339,17 +484,21 @@ impl WriteBuffer {
             LoadHazardPolicy::FlushItemOnly => {
                 // All entries of the hazard line (usually one), FIFO order,
                 // so a duplicate pair drains oldest-first.
-                self.entries
-                    .iter()
-                    .filter(|e| matches.contains(&e.id) && !e.retiring)
+                self.iter()
+                    .filter(|e| in_line(e) && !e.retiring)
                     .map(|e| e.id)
                     .collect()
             }
             LoadHazardPolicy::FlushPartial => {
                 // Front of the FIFO through the newest matching entry.
-                let last_match = *matches.last().expect("non-empty");
+                let last_match = self
+                    .iter()
+                    .filter(|e| in_line(e))
+                    .last()
+                    .expect("has_line")
+                    .id;
                 let mut plan = Vec::new();
-                for e in &self.entries {
+                for e in self.iter() {
                     if !e.retiring {
                         plan.push(e.id);
                     }
@@ -359,16 +508,12 @@ impl WriteBuffer {
                 }
                 plan
             }
-            LoadHazardPolicy::FlushFull => self
-                .entries
-                .iter()
-                .filter(|e| !e.retiring)
-                .map(|e| e.id)
-                .collect(),
+            LoadHazardPolicy::FlushFull => {
+                self.iter().filter(|e| !e.retiring).map(|e| e.id).collect()
+            }
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,71 @@
+//! Quick profiling split: trace generation vs simulation time for one
+//! table-7-scale cell. Not part of the test suite.
+
+use std::time::Instant;
+use wbsim_sim::{Engine, Machine, NullObserver};
+use wbsim_trace::bench_models::BenchmarkModel;
+use wbsim_types::config::{L2Config, MachineConfig};
+
+fn bench(name: &str, ops: &[wbsim_types::op::Op], cfg: &MachineConfig) {
+    for engine in [Engine::Reference, Engine::EventDriven] {
+        let t1 = Instant::now();
+        let mut mach = Machine::new(cfg.clone()).unwrap();
+        mach.set_engine(engine);
+        let stats = mach.run_observed_with_warmup(ops.iter().copied(), 300_000, &mut NullObserver);
+        let sim = t1.elapsed();
+        println!(
+            "{name:14} {engine:?}: sim={sim:?} cycles={} ops={} ns/cycle={:.1} ns/op={:.1}",
+            stats.cycles,
+            ops.len(),
+            sim.as_nanos() as f64 / stats.cycles as f64,
+            sim.as_nanos() as f64 / ops.len() as f64
+        );
+    }
+}
+
+fn main() {
+    use wbsim_types::addr::Addr;
+    use wbsim_types::op::Op;
+    let n = 1_300_000u64;
+    let m = BenchmarkModel::Compress;
+    let cfg = MachineConfig {
+        l2: L2Config::real_with_size(1024 * 1024),
+        ..MachineConfig::baseline()
+    };
+
+    let t0 = Instant::now();
+    let ops = m.stream(42, n);
+    let gen = t0.elapsed();
+    println!("gen={gen:?}");
+    if std::env::var("FULL").is_ok() {
+        bench("compress", &ops, &cfg);
+    }
+
+    // Pure compute: 1-cycle computes.
+    let computes: Vec<Op> = (0..n).map(|_| Op::Compute(1)).collect();
+    bench("compute1", &computes, &cfg);
+
+    // L1-hitting loads: loop over a small footprint.
+    let loads: Vec<Op> = (0..n).map(|i| Op::Load(Addr::new((i % 512) * 8))).collect();
+    bench("load-hit", &loads, &cfg);
+
+    // Stores to one hot line (always merge).
+    let stores: Vec<Op> = (0..n).map(|i| Op::Store(Addr::new((i % 4) * 8))).collect();
+    if std::env::var("FULL").is_ok() {
+        bench("store-merge", &stores, &cfg);
+    }
+
+    // Store+compute mix, paced so the buffer keeps up.
+    let mix: Vec<Op> = (0..n)
+        .map(|i| {
+            if i % 4 == 0 {
+                Op::Store(Addr::new((i % 4096) * 8))
+            } else {
+                Op::Compute(3)
+            }
+        })
+        .collect();
+    if std::env::var("FULL").is_ok() {
+        bench("store-mix", &mix, &cfg);
+    }
+}

@@ -3,12 +3,71 @@
 //! whole suite in parallel.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
 
 use wbsim_sim::{HistogramObserver, Machine};
 use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_types::config::MachineConfig;
+use wbsim_types::op::Op;
 use wbsim_types::stall::StallKind;
 use wbsim_types::stats::SimStats;
+
+/// Runs `n` independent sweep cells on a shared worker pool sized to the
+/// machine ([`wbsim_check::default_jobs`]), reusing the checker's
+/// earliest-failure scheduler ([`wbsim_check::run_indexed_earliest`]).
+///
+/// Sweep cells never abort each other — a failed cell is data, not a
+/// reason to stop the figure — so the scheduler's error type is
+/// uninhabited and it degenerates to a deterministic work-stealing map:
+/// cell `i`'s result always lands in slot `i`, regardless of which worker
+/// ran it.
+pub fn pool_cells<T: Send>(n: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    match wbsim_check::run_indexed_earliest::<T, std::convert::Infallible>(
+        n,
+        wbsim_check::default_jobs(),
+        |i, _abort| Ok(work(i)),
+    ) {
+        Ok(results) => results,
+        Err((_, e)) => match e {},
+    }
+}
+
+/// Lazily generated, shared op streams for a sweep: one slot per
+/// (benchmark, seed) pair, filled by whichever pooled cell needs it first
+/// and reused by every later cell of the same pair. Generation panics are
+/// cached too, so every dependent cell reports the same message.
+struct StreamCache<'a> {
+    benches: &'a [BenchmarkModel],
+    base_seed: u64,
+    length: u64,
+    slots: Vec<OnceLock<Result<Vec<Op>, String>>>,
+}
+
+impl<'a> StreamCache<'a> {
+    fn new(benches: &'a [BenchmarkModel], base_seed: u64, length: u64, n_seeds: usize) -> Self {
+        Self {
+            benches,
+            base_seed,
+            length,
+            slots: (0..benches.len() * n_seeds)
+                .map(|_| OnceLock::new())
+                .collect(),
+        }
+    }
+
+    /// The stream for benchmark index `b` under seed offset `s`.
+    fn get(&self, b: usize, s: usize) -> Result<&[Op], String> {
+        let n_seeds = self.slots.len() / self.benches.len();
+        let seed = self.base_seed + s as u64;
+        self.slots[b * n_seeds + s]
+            .get_or_init(|| {
+                catch_unwind(|| self.benches[b].stream(seed, self.length))
+                    .map_err(|p| format!("stream generation: {}", panic_message(p)))
+            })
+            .as_deref()
+            .map_err(Clone::clone)
+    }
+}
 
 /// One failed cell of a sweep: which benchmark, which configuration, and
 /// the panic or validation message. A sweep never aborts on a bad cell —
@@ -141,9 +200,12 @@ impl Harness {
             .run_ideal_with_warmup(ops, self.warmup)
     }
 
-    /// Sweeps `configs` over `benches`, one OS thread per benchmark, and
-    /// assembles a [`FigureResult`]. Each benchmark's stream is generated
-    /// once and reused across configurations.
+    /// Sweeps `configs` over `benches` on the shared cell pool
+    /// ([`pool_cells`]): the (benchmark × config) grid is flattened into
+    /// independent cells so the pool stays saturated even when one
+    /// benchmark's column is much slower than the rest. Each benchmark's
+    /// stream is generated once — by whichever cell needs it first — and
+    /// reused across configurations.
     ///
     /// A cell that panics (an invalid configuration, a machine assertion)
     /// does not abort the sweep: the cell is zeroed and the failure is
@@ -171,63 +233,39 @@ impl Harness {
                 errors: lint,
             };
         }
-        let rows: Vec<Vec<Result<StallCell, String>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = benches
-                .iter()
-                .map(|bench| {
-                    s.spawn(move || {
-                        let ops = match catch_unwind(|| {
-                            bench.stream(self.seed, self.instructions + self.warmup)
-                        }) {
-                            Ok(ops) => ops,
-                            Err(p) => {
-                                let msg = format!("stream generation: {}", panic_message(p));
-                                return configs.iter().map(|_| Err(msg.clone())).collect();
-                            }
-                        };
-                        configs
-                            .iter()
-                            .map(|(_, cfg)| {
-                                let mut cfg = cfg.clone();
-                                cfg.check_data = self.check_data;
-                                catch_unwind(AssertUnwindSafe(|| {
-                                    let stats = Machine::new(cfg)
-                                        .expect("experiment configuration rejected")
-                                        .run_with_warmup(ops.iter().copied(), self.warmup);
-                                    StallCell::from_stats(&stats)
-                                }))
-                                .map_err(panic_message)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|p| {
-                        let msg = panic_message(p);
-                        configs.iter().map(|_| Err(msg.clone())).collect()
-                    })
-                })
-                .collect()
+        let nc = configs.len();
+        let streams = StreamCache::new(benches, self.seed, self.instructions + self.warmup, 1);
+        let flat: Vec<Result<StallCell, String>> = pool_cells(benches.len() * nc, |i| {
+            let (b, c) = (i / nc, i % nc);
+            let ops = streams.get(b, 0)?;
+            let mut cfg = configs[c].1.clone();
+            cfg.check_data = self.check_data;
+            catch_unwind(AssertUnwindSafe(|| {
+                let stats = Machine::new(cfg)
+                    .expect("experiment configuration rejected")
+                    .run_with_warmup(ops.iter().copied(), self.warmup);
+                StallCell::from_stats(&stats)
+            }))
+            .map_err(panic_message)
         });
         let mut errors = Vec::new();
-        let cells = rows
-            .into_iter()
-            .zip(benches)
-            .map(|(row, bench)| {
-                row.into_iter()
-                    .zip(configs)
-                    .map(|(cell, (label, _))| {
-                        cell.unwrap_or_else(|message| {
-                            errors.push(SweepError {
-                                bench: bench.name(),
-                                config: label.clone(),
-                                message,
-                            });
-                            StallCell::zeroed()
-                        })
+        let mut flat = flat.into_iter();
+        let cells = benches
+            .iter()
+            .map(|bench| {
+                configs
+                    .iter()
+                    .map(|(label, _)| {
+                        flat.next()
+                            .expect("one pooled result per cell")
+                            .unwrap_or_else(|message| {
+                                errors.push(SweepError {
+                                    bench: bench.name(),
+                                    config: label.clone(),
+                                    message,
+                                });
+                                StallCell::zeroed()
+                            })
                     })
                     .collect()
             })
@@ -279,6 +317,24 @@ impl SeedSummary {
     }
 }
 
+/// Folds one cell's seed replicas into a [`SeedSummary`], or the first
+/// failing seed's message (seeds are in base-seed order, so "first" is
+/// deterministic regardless of pool scheduling).
+fn summarize_seeds(n: u64, runs: Vec<Result<StallCell, String>>) -> Result<SeedSummary, String> {
+    let cells = runs.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let pick = |f: fn(&StallCell) -> f64| {
+        let xs: Vec<f64> = cells.iter().map(f).collect();
+        mean_sd(&xs)
+    };
+    Ok(SeedSummary {
+        seeds: n,
+        r: pick(|c| c.r_pct),
+        f: pick(|c| c.f_pct),
+        l: pick(|c| c.l_pct),
+        total: pick(|c| c.total_pct()),
+    })
+}
+
 fn mean_sd(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
         return (0.0, 0.0);
@@ -321,39 +377,17 @@ impl Harness {
         n_seeds: u64,
     ) -> Result<SeedSummary, String> {
         let n = n_seeds.max(1);
-        let runs: Vec<Result<StallCell, String>> = std::thread::scope(|sc| {
-            let handles: Vec<_> = (0..n)
-                .map(|i| {
-                    let cfg = cfg.clone();
-                    sc.spawn(move || {
-                        let h = Harness {
-                            seed: self.seed + i,
-                            ..*self
-                        };
-                        catch_unwind(AssertUnwindSafe(|| {
-                            StallCell::from_stats(&h.run(bench, cfg))
-                        }))
-                        .map_err(|p| format!("seed {}: {}", h.seed, panic_message(p)))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|j| j.join().unwrap_or_else(|p| Err(panic_message(p))))
-                .collect()
+        let runs = pool_cells(n as usize, |i| {
+            let h = Harness {
+                seed: self.seed + i as u64,
+                ..*self
+            };
+            catch_unwind(AssertUnwindSafe(|| {
+                StallCell::from_stats(&h.run(bench, cfg.clone()))
+            }))
+            .map_err(|p| format!("seed {}: {}", h.seed, panic_message(p)))
         });
-        let cells = runs.into_iter().collect::<Result<Vec<_>, _>>()?;
-        let pick = |f: fn(&StallCell) -> f64| {
-            let xs: Vec<f64> = cells.iter().map(f).collect();
-            mean_sd(&xs)
-        };
-        Ok(SeedSummary {
-            seeds: n,
-            r: pick(|c| c.r_pct),
-            f: pick(|c| c.f_pct),
-            l: pick(|c| c.l_pct),
-            total: pick(|c| c.total_pct()),
-        })
+        summarize_seeds(n, runs)
     }
 }
 
@@ -454,43 +488,44 @@ impl Harness {
                 errors: lint,
             };
         }
-        let rows: Vec<Vec<Result<SeedSummary, String>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = benches
-                .iter()
-                .map(|bench| {
-                    s.spawn(move || {
-                        configs
-                            .iter()
-                            .map(|(_, cfg)| self.try_run_seeds(*bench, cfg.clone(), n_seeds))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|j| {
-                    j.join().unwrap_or_else(|p| {
-                        let msg = panic_message(p);
-                        configs.iter().map(|_| Err(msg.clone())).collect()
-                    })
-                })
-                .collect()
+        // Flatten all three axes — (benchmark × config × seed) — into one
+        // cell index space so the pool balances across the whole grid:
+        // i = ((b * nc) + c) * n + s. Streams are shared per (bench, seed).
+        let n = n_seeds.max(1) as usize;
+        let nc = configs.len();
+        let streams = StreamCache::new(benches, self.seed, self.instructions + self.warmup, n);
+        let flat: Vec<Result<StallCell, String>> = pool_cells(benches.len() * nc * n, |i| {
+            let (b, c, s) = (i / (nc * n), (i / n) % nc, i % n);
+            let seed = self.seed + s as u64;
+            let ops = streams
+                .get(b, s)
+                .map_err(|msg| format!("seed {seed}: {msg}"))?;
+            let mut cfg = configs[c].1.clone();
+            cfg.check_data = self.check_data;
+            catch_unwind(AssertUnwindSafe(|| {
+                let stats = Machine::new(cfg)
+                    .expect("experiment configuration rejected")
+                    .run_with_warmup(ops.iter().copied(), self.warmup);
+                StallCell::from_stats(&stats)
+            }))
+            .map_err(|p| format!("seed {seed}: {}", panic_message(p)))
         });
         let mut errors = Vec::new();
-        let summaries = rows
-            .into_iter()
-            .zip(benches)
-            .map(|(row, bench)| {
-                row.into_iter()
-                    .zip(configs)
-                    .map(|(cell, (label, _))| {
-                        cell.unwrap_or_else(|message| {
+        let mut runs = flat.into_iter();
+        let summaries = benches
+            .iter()
+            .map(|bench| {
+                configs
+                    .iter()
+                    .map(|(label, _)| {
+                        let replicas: Vec<_> = runs.by_ref().take(n).collect();
+                        summarize_seeds(n as u64, replicas).unwrap_or_else(|message| {
                             errors.push(SweepError {
                                 bench: bench.name(),
                                 config: label.clone(),
                                 message,
                             });
-                            SeedSummary::zeroed(n_seeds.max(1))
+                            SeedSummary::zeroed(n as u64)
                         })
                     })
                     .collect()
@@ -653,6 +688,64 @@ mod tests {
             .try_run_seeds(BenchmarkModel::Li, bad, 2)
             .expect_err("zero-depth buffer must be rejected");
         assert!(!err.is_empty());
+    }
+
+    /// Per-cell error attribution under the pooled scheduler. The vehicle
+    /// is a configuration that is *statically* fine — fault injection is a
+    /// deliberate oracle feature, so the grid linter passes it — but whose
+    /// every simulation panics: read-from-WB with the
+    /// [`FaultInjection::SkipWbForwarding`] bug and data checking on, so
+    /// the first forwarded load reads stale data and the golden-model
+    /// verifier fires. Each (bench, faulty-config) cell must be attributed
+    /// its own [`SweepError`] while the healthy column's cells survive —
+    /// exactly the property the old one-thread-per-benchmark sweep got for
+    /// free and the flattened pool must not lose.
+    #[test]
+    fn sweep_attributes_errors_per_cell_under_pool() {
+        use wbsim_types::divergence::FaultInjection;
+        use wbsim_types::policy::LoadHazardPolicy;
+        let h = Harness {
+            instructions: 5_000,
+            warmup: 0,
+            seed: 1,
+            check_data: true,
+        };
+        let mut faulty = MachineConfig::baseline();
+        faulty.write_buffer.hazard = LoadHazardPolicy::ReadFromWb;
+        faulty.fault = Some(FaultInjection::SkipWbForwarding);
+        // `sc` and `doduc` both trip the stale-data assert within the
+        // first few hundred instructions (dense store-miss/load traffic).
+        let benches = [BenchmarkModel::Sc, BenchmarkModel::Doduc];
+        let configs = vec![
+            ("ok".to_string(), MachineConfig::baseline()),
+            ("faulty".to_string(), faulty.clone()),
+        ];
+        let fig = h.sweep("Figure T", "test", &benches, &configs);
+        // One error per faulty cell, in bench-major order, each naming its
+        // own benchmark and the faulty column.
+        assert_eq!(fig.errors.len(), 2, "errors: {:?}", fig.errors);
+        assert_eq!(fig.errors[0].bench, "sc");
+        assert_eq!(fig.errors[1].bench, "doduc");
+        for err in &fig.errors {
+            assert_eq!(err.config, "faulty");
+            assert!(err.message.contains("stale data"), "{}", err.message);
+        }
+        // The healthy column still ran; the faulty cells are zeroed.
+        for bench in ["sc", "doduc"] {
+            assert!(fig.cell(bench, "ok").unwrap().stats.cycles > 0);
+            assert_eq!(fig.cell(bench, "faulty").unwrap().stats.cycles, 0);
+        }
+
+        // The seeded sweep attributes through the same flattened pool and
+        // reports the *first failing seed* for each faulty cell.
+        let spread = h.sweep_seeds("Figure T", "test", &benches, &configs, 2);
+        assert_eq!(spread.errors.len(), 2, "errors: {:?}", spread.errors);
+        for err in &spread.errors {
+            assert_eq!(err.config, "faulty");
+            assert!(err.message.starts_with("seed 1:"), "{}", err.message);
+        }
+        assert!(spread.summaries[0][0].total.0 >= 0.0);
+        assert_eq!(spread.summaries[0][1].total.0, 0.0);
     }
 
     #[test]

@@ -34,4 +34,6 @@ pub mod render;
 pub mod svg;
 pub mod tables;
 
-pub use harness::{FigureResult, FigureSpread, Harness, SeedSummary, StallCell, SweepError};
+pub use harness::{
+    pool_cells, FigureResult, FigureSpread, Harness, SeedSummary, StallCell, SweepError,
+};

@@ -288,37 +288,33 @@ pub struct L2HitRow {
 #[must_use]
 pub fn table7_rows(h: &Harness) -> Vec<L2HitRow> {
     let sizes = [128u32, 512, 1024];
-    std::thread::scope(|sc| {
-        let handles: Vec<_> = BenchmarkModel::ALL
-            .iter()
-            .map(|m| {
-                sc.spawn(move || {
-                    let mut l2_hit = [0.0f64; 3];
-                    let mut l1_hit = 0.0;
-                    for (i, kb) in sizes.iter().enumerate() {
-                        let cfg = MachineConfig {
-                            l2: L2Config::real_with_size(kb * 1024),
-                            ..MachineConfig::baseline()
-                        };
-                        let stats = h.run(*m, cfg);
-                        l2_hit[i] = stats.l2_read_hit_rate();
-                        if *kb == 1024 {
-                            l1_hit = stats.l1_load_hit_rate();
-                        }
-                    }
-                    L2HitRow {
-                        bench: *m,
-                        l1_hit,
-                        l2_hit,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|j| j.join().expect("table-7 thread panicked"))
-            .collect()
-    })
+    // One pooled cell per (benchmark × L2 size): 51 independent cells on
+    // the shared scheduler, instead of one long-lived thread per benchmark
+    // serializing its three sizes.
+    let stats = crate::harness::pool_cells(BenchmarkModel::ALL.len() * sizes.len(), |i| {
+        let (b, si) = (i / sizes.len(), i % sizes.len());
+        let cfg = MachineConfig {
+            l2: L2Config::real_with_size(sizes[si] * 1024),
+            ..MachineConfig::baseline()
+        };
+        h.run(BenchmarkModel::ALL[b], cfg)
+    });
+    BenchmarkModel::ALL
+        .iter()
+        .enumerate()
+        .map(|(b, m)| {
+            let cell = |si: usize| &stats[b * sizes.len() + si];
+            L2HitRow {
+                bench: *m,
+                l1_hit: cell(2).l1_load_hit_rate(),
+                l2_hit: [
+                    cell(0).l2_read_hit_rate(),
+                    cell(1).l2_read_hit_rate(),
+                    cell(2).l2_read_hit_rate(),
+                ],
+            }
+        })
+        .collect()
 }
 
 /// Table 7: L1 and L2 hit rates as L2 size varies (strict inclusion).

@@ -21,7 +21,7 @@ use wbsim_mem::{L1Cache, L2Cache, MainMemory};
 use wbsim_types::addr::{Addr, Geometry, LineAddr};
 use wbsim_types::config::{ConfigError, L2Config, MachineConfig};
 use wbsim_types::divergence::{FaultInjection, LoadSource};
-use wbsim_types::policy::{L1WritePolicy, LoadHazardPolicy};
+use wbsim_types::policy::{L1WritePolicy, LoadHazardPolicy, RetirementPolicy};
 use wbsim_types::stall::StallKind;
 use wbsim_types::stats::SimStats;
 use wbsim_types::Cycle;
@@ -223,6 +223,47 @@ impl Hierarchy {
         self.last_retire_start = self.now;
     }
 
+    /// The earliest cycle `>= now` at which [`Hierarchy::wb_try_retire`]
+    /// would start a retirement, assuming nothing else changes first (no
+    /// store, no flush, no retirement completion — the event-driven engine
+    /// only consults this across pure-wait spans, and bounds the span by
+    /// every event that could change the answer). `None` when no
+    /// retirement would ever start from the current state.
+    pub(crate) fn retire_start_candidate(&self, barrier_drain: bool) -> Option<Cycle> {
+        if self.cfg.fault == Some(FaultInjection::StarveRetirement) {
+            return None;
+        }
+        if self.wb_retire.is_some() {
+            return None;
+        }
+        let occupancy = self.wb.occupancy();
+        if occupancy == 0 || self.wb.next_retirement().is_none() {
+            return None;
+        }
+        let t_policy = if barrier_drain {
+            Some(self.now)
+        } else {
+            match self.cfg.write_buffer.retirement {
+                RetirementPolicy::RetireAt(n) => (occupancy >= n).then_some(self.now),
+                RetirementPolicy::FixedRate(interval) => {
+                    Some(self.last_retire_start.saturating_add(interval))
+                }
+            }
+        };
+        let t_age = self.cfg.write_buffer.max_age.and_then(|limit| {
+            self.wb
+                .oldest_alloc_cycle()
+                .map(|alloc| alloc.saturating_add(limit))
+        });
+        let t = match (t_policy, t_age) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return None,
+        };
+        Some(t.max(self.now).max(self.port.free_at()))
+    }
+
     /// A write-through store's attempt to enter the buffer. Returns
     /// `true` on acceptance (allocation or merge, with L1 updated in
     /// place on a hit); records a buffer-full stall and returns `false`
@@ -340,11 +381,7 @@ impl Hierarchy {
                 // A pending insert can reuse an existing entry for the same
                 // line even when full — but only a *non-retiring* one
                 // (`insert_line` cannot touch an entry mid-transaction).
-                let reusable = self
-                    .wb
-                    .iter()
-                    .any(|e| e.block == vline.as_u64() && !e.retiring);
-                self.wb.is_full() && !reusable
+                self.wb.is_full() && !self.wb.has_nonretiring_block(vline.as_u64())
             }
             _ => false,
         }
@@ -369,10 +406,7 @@ impl Hierarchy {
                 // `insert_line` merges into an existing non-retiring entry
                 // for the same block when one exists; only a genuine
                 // allocation advances the conservation counter.
-                let merges = self
-                    .wb
-                    .iter()
-                    .any(|e| e.block == vline.as_u64() && !e.retiring);
+                let merges = self.wb.has_nonretiring_block(vline.as_u64());
                 let ok = self.wb.insert_line(vline, &vdata, self.now);
                 assert!(ok, "victim dropped: victim_blocked() was not consulted");
                 if !merges {

@@ -57,7 +57,7 @@ pub mod port;
 pub mod testutil;
 
 pub use event::{Event, EventParseError, PortUse};
-pub use machine::{LineSnapshot, Machine, MachineSnapshot, MshrSnapshot, WbEntrySnapshot};
+pub use machine::{Engine, LineSnapshot, Machine, MachineSnapshot, MshrSnapshot, WbEntrySnapshot};
 pub use nonblocking::NonBlockingMachine;
 pub use observer::{HistogramObserver, NullObserver, Observer};
 pub use port::{L2Port, PortOwner};

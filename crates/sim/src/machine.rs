@@ -49,6 +49,60 @@ use crate::hierarchy::{Hierarchy, Pending};
 use crate::observer::{NullObserver, Observer};
 use crate::port::PortOwner;
 
+/// Which run-loop the `run_*` entry points use.
+///
+/// Both engines drive the same single-cycle transition ([`Machine::step`])
+/// for every cycle in which something happens; the event-driven engine
+/// additionally recognizes *pure-wait spans* — maximal runs of cycles in
+/// which the CPU repeats one blocked state and nothing else in the machine
+/// can act — and jumps `now` across them in one step, charging the span's
+/// stall cycles in bulk and replaying the per-cycle events so statistics
+/// and the [`Observer`] stream stay bit-identical. The checker entry
+/// points (`step`, `run_bounded`, `run_op_bounded`, `drain_step`) always
+/// single-step and are unaffected by the selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Time-skipping run loop (the default).
+    #[default]
+    EventDriven,
+    /// The original strictly cycle-stepped loop, kept as the oracle the
+    /// equivalence suite compares against.
+    Reference,
+}
+
+/// The per-cycle statistics charge of one skipped wait cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SkipTick {
+    /// No counter advances (in-flight reads, batched compute).
+    Nothing,
+    /// A Table-3 stall cycle, with its [`Event::StallCycle`] emission.
+    Stall(wbsim_types::stall::StallKind),
+    /// `miss_wait_cycles` (the load's own L2/memory read).
+    MissWait,
+    /// `barrier_stall_cycles` (a barrier drain).
+    BarrierStall,
+    /// `ifetch_stall_cycles` (an I-fetch waiting for the port).
+    IFetchStall,
+    /// `mshr_stall_cycles` (the non-blocking machine out of MSHRs).
+    MshrStall,
+}
+
+/// A one-slot pushback wrapper over the op stream: the fast lane pops an
+/// op to inspect it and, when the op needs the reference path, returns it
+/// to the slot for the next [`Machine::step`] to consume.
+struct PushBack<'a, I> {
+    slot: Option<Op>,
+    inner: &'a mut I,
+}
+
+impl<I: Iterator<Item = Op>> Iterator for PushBack<'_, I> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        self.slot.take().or_else(|| self.inner.next())
+    }
+}
+
 /// What the CPU resumes with after an I-fetch fill.
 #[derive(Debug, Clone, Copy)]
 enum PendingExec {
@@ -120,6 +174,7 @@ pub struct Machine {
     hier: Hierarchy,
     icache: Icache,
     cpu: CpuState,
+    engine: Engine,
 }
 
 /// One write-buffer entry in a [`MachineSnapshot`]: the block tag plus the
@@ -263,7 +318,19 @@ impl Machine {
             hier,
             icache,
             cpu: CpuState::NeedOp,
+            engine: Engine::default(),
         })
+    }
+
+    /// Selects the run-loop [`Engine`] for subsequent `run_*` calls.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected run-loop [`Engine`].
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Runs the reference stream to completion and returns the statistics.
@@ -343,9 +410,36 @@ impl Machine {
         I: Iterator<Item = Op>,
         O: Observer,
     {
+        let fast = self.engine == Engine::EventDriven;
+        let lane = fast && self.icache.is_perfect();
+        let mut it = PushBack {
+            slot: None,
+            inner: iter,
+        };
         let mut warm = warmup_instructions == 0;
         let mut cycle_base = 0;
-        while self.step(iter, obs) {
+        loop {
+            if fast {
+                self.try_skip(obs);
+                if lane && matches!(self.cpu, CpuState::NeedOp) {
+                    self.fast_ops(
+                        &mut it,
+                        warmup_instructions,
+                        &mut warm,
+                        &mut cycle_base,
+                        obs,
+                    );
+                    if !matches!(self.cpu, CpuState::NeedOp) {
+                        // The lane parked the CPU in a wait state (e.g. a
+                        // store spinning on a full buffer): let `try_skip`
+                        // jump the span before the next reference step.
+                        continue;
+                    }
+                }
+            }
+            if !self.step(&mut it, obs) {
+                break;
+            }
             if !warm && self.hier.stats.instructions >= warmup_instructions {
                 warm = true;
                 self.hier.stats = SimStats::default();
@@ -353,6 +447,356 @@ impl Machine {
             }
         }
         self.hier.stats.cycles = self.hier.now - cycle_base;
+    }
+
+    /// The cycle-opening retirement work [`Machine::step`] performs before
+    /// the CPU acts: completing a due retirement transaction and, under
+    /// write-priority, starting one ahead of the CPU.
+    fn lane_cycle_start<O: Observer>(&mut self, obs: &mut O) {
+        self.hier.complete_retirement(obs);
+        if self.write_priority_active() {
+            self.hier.wb_try_retire(false, obs);
+        }
+    }
+
+    /// The cycle-closing work [`Machine::step`] performs after the CPU
+    /// acts in a non-hazard state: the autonomous retirement attempt, the
+    /// occupancy tick, [`Event::CycleEnd`], and the clock advance.
+    fn lane_cycle_end<O: Observer>(&mut self, obs: &mut O) {
+        self.hier.wb_try_retire(false, obs);
+        let occupancy = self.hier.wb.occupancy();
+        self.hier.stats.wb_detail.record_occupancy(occupancy);
+        obs.event(&Event::CycleEnd {
+            now: self.hier.now,
+            occupancy: occupancy as u64,
+        });
+        self.hier.now += 1;
+    }
+
+    /// The warmup reset [`Machine::run_loop`] performs after a step: only
+    /// an op-issue cycle can cross the threshold, so the lane checks once
+    /// per issued op rather than once per cycle.
+    fn lane_warm_check(&mut self, warmup_instructions: u64, warm: &mut bool, cycle_base: &mut u64) {
+        if !*warm && self.hier.stats.instructions >= warmup_instructions {
+            *warm = true;
+            self.hier.stats = SimStats::default();
+            *cycle_base = self.hier.now;
+        }
+    }
+
+    /// The event-driven engine's op-grained fast lane. From an op
+    /// boundary, executes the ops whose entire per-cycle behavior it can
+    /// reproduce exactly — hit loads, accepted (or newly stalled) stores,
+    /// and compute runs, with the cycle-opening and cycle-closing
+    /// retirement work of each executed cycle performed by the same
+    /// `Hierarchy` calls [`Machine::step`] makes — and returns as soon as
+    /// an op needs the reference path (pushing it back for `step` to
+    /// consume), the CPU enters a wait state, or the stream ends.
+    ///
+    /// Compute runs additionally batch the cycles *between* retirement
+    /// events: within such a span the buffer occupancy is constant and
+    /// both per-cycle retirement calls are no-ops, so the span's occupancy
+    /// ticks are recorded in bulk (per-cycle [`Event::CycleEnd`]s are
+    /// replayed unless the observer is a no-op). Requires a perfect
+    /// I-cache — a statistical front end draws from its RNG every issue
+    /// cycle — which the caller guarantees.
+    fn fast_ops<I, O>(
+        &mut self,
+        it: &mut PushBack<'_, I>,
+        warmup_instructions: u64,
+        warm: &mut bool,
+        cycle_base: &mut u64,
+        obs: &mut O,
+    ) where
+        I: Iterator<Item = Op>,
+        O: Observer,
+    {
+        let w = u64::from(self.hier.cfg.issue_width);
+        // Under write-priority a retirement can start at a cycle's *open*
+        // whenever occupancy sits at the threshold, which
+        // `retire_start_candidate` does not model; compute runs then fall
+        // back to strict single-cycle execution inside the lane.
+        let batch = self.hier.cfg.write_buffer.priority == L2Priority::ReadBypass;
+        loop {
+            debug_assert!(matches!(self.cpu, CpuState::NeedOp), "fast lane mid-op");
+            let Some(op) = it.next() else {
+                return;
+            };
+            match op {
+                Op::Compute(0) => {
+                    // Zero-width op: consumes no cycle and counts nothing
+                    // (`cpu_step` folds it away inside the issuing cycle).
+                }
+                Op::Compute(n) => {
+                    self.hier.stats.instructions += u64::from(n);
+                    // The issue cycle is the run's first execute cycle; it
+                    // is the only cycle of the op that can cross the
+                    // warmup threshold.
+                    self.lane_cycle_start(obs);
+                    let mut left = u64::from(n).saturating_sub(w);
+                    self.lane_cycle_end(obs);
+                    self.lane_warm_check(warmup_instructions, warm, cycle_base);
+                    while left > 0 {
+                        let event = if let Some(p) = self.hier.wb_retire {
+                            Some(p.done_at)
+                        } else if batch {
+                            self.hier.retire_start_candidate(false)
+                        } else {
+                            Some(self.hier.now)
+                        };
+                        match event {
+                            Some(t) if t <= self.hier.now => {
+                                // A retirement completes or may start this
+                                // cycle: run it exactly.
+                                self.lane_cycle_start(obs);
+                                left = left.saturating_sub(w);
+                                self.lane_cycle_end(obs);
+                            }
+                            event => {
+                                // Nothing can happen before `event`: batch
+                                // the span in one jump.
+                                let cycles_left = left.div_ceil(w);
+                                let k = match event {
+                                    Some(t) => cycles_left.min(t - self.hier.now),
+                                    None => cycles_left,
+                                };
+                                left = left.saturating_sub(k * w);
+                                let occ = self.hier.wb.occupancy();
+                                self.hier.stats.wb_detail.record_occupancy_span(occ, k);
+                                if !O::IS_NOOP {
+                                    for t in self.hier.now..self.hier.now + k {
+                                        obs.event(&Event::CycleEnd {
+                                            now: t,
+                                            occupancy: occ as u64,
+                                        });
+                                    }
+                                }
+                                self.hier.now += k;
+                            }
+                        }
+                    }
+                }
+                Op::Load(addr) => {
+                    self.lane_cycle_start(obs);
+                    if self.hier.probe_load_fast(addr, obs).is_some() {
+                        self.hier.stats.loads += 1;
+                        self.hier.stats.instructions += 1;
+                        self.lane_cycle_end(obs);
+                        self.lane_warm_check(warmup_instructions, warm, cycle_base);
+                    } else {
+                        // Miss or hazard: replay the whole cycle through
+                        // the reference path. The failed probe mutated
+                        // nothing, and the cycle-opening retirement work
+                        // already done is idempotent within the cycle.
+                        it.slot = Some(op);
+                        return;
+                    }
+                }
+                Op::Store(addr) => {
+                    self.lane_cycle_start(obs);
+                    if self.hier.cfg.l1.write_policy == L1WritePolicy::WriteBack {
+                        let line = self.hier.g.line_of(addr);
+                        let word = self.hier.g.word_index(addr);
+                        let value = self.hier.store_seq + 1;
+                        if self.hier.l1.store_word_dirty(line, word, value) {
+                            self.hier.stats.stores += 1;
+                            self.hier.stats.instructions += 1;
+                            self.hier.store_seq = value;
+                            self.hier.stats.l1_store_hits += 1;
+                            if self.hier.cfg.check_data {
+                                self.hier.shadow.insert(self.hier.g.word_addr(addr), value);
+                            }
+                            self.lane_cycle_end(obs);
+                            self.lane_warm_check(warmup_instructions, warm, cycle_base);
+                        } else {
+                            // Write-allocate miss: replay through the
+                            // reference path (the failed dirty-store probe
+                            // mutated nothing).
+                            it.slot = Some(op);
+                            return;
+                        }
+                    } else {
+                        self.hier.stats.stores += 1;
+                        self.hier.stats.instructions += 1;
+                        let accepted = self.hier.try_store(addr, obs);
+                        if !accepted {
+                            // `try_store` charged this cycle's buffer-full
+                            // stall; park the CPU retrying the store and
+                            // let `try_skip` jump the rest of the span.
+                            self.cpu = CpuState::StoreTry { addr };
+                        }
+                        self.lane_cycle_end(obs);
+                        self.lane_warm_check(warmup_instructions, warm, cycle_base);
+                        if !accepted {
+                            return;
+                        }
+                    }
+                }
+                Op::Barrier => {
+                    it.slot = Some(op);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Classifies the CPU's current state as a pure wait, returning the
+    /// per-cycle statistics tick, the cycle at which the wait itself ends
+    /// (`u64::MAX` when only external events can end it), whether the
+    /// cycle-closing retirement attempts run in this state, and whether
+    /// they run with barrier-drain semantics. Returns `None` for any state
+    /// in which the next cycle does real work.
+    ///
+    /// A *pure wait* cycle repeats the CPU state exactly: the reference
+    /// engine's `step` would only record one statistics tick, emit the
+    /// tick's event (if any) plus [`Event::CycleEnd`], and advance `now`.
+    /// The returned deadline, together with the span bounds `try_skip`
+    /// adds (retirement completion, predicted retirement start), is the
+    /// first cycle at which anything else can happen.
+    fn classify_wait(&self) -> Option<(SkipTick, Cycle, bool, bool)> {
+        use wbsim_types::stall::StallKind;
+        const INF: Cycle = u64::MAX;
+        let now = self.hier.now;
+        match &self.cpu {
+            // Batched compute: each cycle consumes `issue_width`
+            // instructions and nothing else varies. Only with a perfect
+            // I-cache — a statistical front end draws from its RNG every
+            // executed cycle.
+            CpuState::Computing { left, .. } if *left > 0 && self.icache.is_perfect() => {
+                let w = u64::from(self.hier.cfg.issue_width);
+                Some((
+                    SkipTick::Nothing,
+                    now + u64::from(*left).div_ceil(w),
+                    true,
+                    false,
+                ))
+            }
+            // A write-through store spinning on a full buffer. (Under a
+            // write-back L1 the StoreTry cycle does real work.)
+            CpuState::StoreTry { addr }
+                if self.hier.cfg.l1.write_policy != L1WritePolicy::WriteBack
+                    && !self.hier.wb.can_accept(*addr) =>
+            {
+                Some((SkipTick::Stall(StallKind::BufferFull), INF, true, false))
+            }
+            // Waiting out a flush transaction we issued ourselves. No
+            // retirement activity of any kind runs during a hazard.
+            CpuState::HazardWait {
+                flushing: Some(p), ..
+            } if now < p.done_at => Some((
+                SkipTick::Stall(StallKind::LoadHazard),
+                p.done_at,
+                false,
+                false,
+            )),
+            // Waiting for the underway autonomous retirement before the
+            // flush plan may start.
+            CpuState::HazardWait { flushing: None, .. } => self.hier.wb_retire.map(|p| {
+                (
+                    SkipTick::Stall(StallKind::LoadHazard),
+                    p.done_at,
+                    false,
+                    false,
+                )
+            }),
+            // A load miss waiting for an underway write to release the
+            // port (the port's free time and the write's completion
+            // coincide).
+            CpuState::LoadPortWait { .. } if !self.hier.port.is_free(now) => Some((
+                SkipTick::Stall(StallKind::L2ReadAccess),
+                self.hier.port.free_at(),
+                true,
+                false,
+            )),
+            // The load's own L2/memory read in flight. The port frees
+            // after the L2-latency portion, so retirements may start
+            // mid-span (§4.2) — the retirement-start bound handles it.
+            CpuState::LoadReading { done_at, .. } if now < *done_at => {
+                Some((SkipTick::MissWait, *done_at, true, false))
+            }
+            // A write-back fill blocked on victim-buffer space; only a
+            // retirement completing (freeing an entry) or starting
+            // (consuming the reusable match) changes the answer.
+            CpuState::VictimWait { addr, .. }
+                if self.hier.victim_blocked(self.hier.g.line_of(*addr)) =>
+            {
+                Some((SkipTick::Stall(StallKind::BufferFull), INF, true, false))
+            }
+            // A barrier draining the buffer at the maximum rate.
+            CpuState::BarrierDrain
+                if self.hier.wb.occupancy() > 0 || self.hier.wb_retire.is_some() =>
+            {
+                Some((SkipTick::BarrierStall, INF, true, true))
+            }
+            // An I-fetch waiting for the port.
+            CpuState::IFetchWait { .. } if !self.hier.port.is_free(now) => {
+                Some((SkipTick::IFetchStall, self.hier.port.free_at(), true, false))
+            }
+            // An I-cache fill in flight.
+            CpuState::IFetchRead { done_at, .. } if now < *done_at => {
+                Some((SkipTick::Nothing, *done_at, true, false))
+            }
+            _ => None,
+        }
+    }
+
+    /// The event-driven jump: if the machine sits in a pure-wait state,
+    /// advances `now` to the next cycle at which anything can happen,
+    /// charging the skipped cycles' statistics in bulk and replaying the
+    /// per-cycle events. A no-op (leaving the next `step` to run normally)
+    /// whenever the current cycle does real work — including when every
+    /// bound is infinite, which is exactly the reference engine's livelock
+    /// and must stay one.
+    fn try_skip<O: Observer>(&mut self, obs: &mut O) {
+        let Some((tick, deadline, retire_allowed, barrier)) = self.classify_wait() else {
+            return;
+        };
+        let now = self.hier.now;
+        let mut bound = deadline;
+        if let Some(p) = self.hier.wb_retire {
+            bound = bound.min(p.done_at);
+        }
+        if retire_allowed {
+            if let Some(t) = self.hier.retire_start_candidate(barrier) {
+                bound = bound.min(t);
+            }
+        }
+        if bound == u64::MAX || bound <= now {
+            return;
+        }
+        let k = bound - now;
+        match tick {
+            SkipTick::Nothing => {}
+            SkipTick::Stall(kind) => self.hier.stats.stalls.record(kind, k),
+            SkipTick::MissWait => self.hier.stats.miss_wait_cycles += k,
+            SkipTick::BarrierStall => self.hier.stats.barrier_stall_cycles += k,
+            SkipTick::IFetchStall => self.hier.stats.ifetch_stall_cycles += k,
+            SkipTick::MshrStall => self.hier.stats.mshr_stall_cycles += k,
+        }
+        let occupancy = self.hier.wb.occupancy();
+        self.hier
+            .stats
+            .wb_detail
+            .record_occupancy_span(occupancy, k);
+        if !O::IS_NOOP {
+            for t in now..bound {
+                if let SkipTick::Stall(kind) = tick {
+                    obs.event(&Event::StallCycle { now: t, kind });
+                }
+                obs.event(&Event::CycleEnd {
+                    now: t,
+                    occupancy: occupancy as u64,
+                });
+            }
+        }
+        self.hier.now = bound;
+        if let CpuState::Computing { left, fetched } = &mut self.cpu {
+            // The batch consumed `issue_width` instructions per cycle;
+            // the final (possibly partial) chunk saturates to zero.
+            let w = u64::from(self.hier.cfg.issue_width);
+            *left = u64::from(*left).saturating_sub(k * w) as u32;
+            *fetched = false;
+        }
     }
 
     /// Advances the machine by exactly one cycle: retirement completion,
@@ -804,7 +1248,7 @@ impl Machine {
                             // be sitting in the victim buffer awaiting
                             // write-back — the fill must merge those words
                             // or it would install stale L2 data.
-                            let merge_wb = !self.hier.wb.probe_line(line).is_empty();
+                            let merge_wb = self.hier.wb.has_line(line);
                             self.cpu = CpuState::LoadPortWait {
                                 addr,
                                 merge_wb,
@@ -1078,8 +1522,7 @@ impl Machine {
         let line = self.hier.g.line_of(addr);
         let hazard = self.hier.cfg.write_buffer.hazard;
         if hazard == LoadHazardPolicy::ReadFromWb {
-            let merge_wb =
-                !self.hier.forwarding_fault() && !self.hier.wb.probe_line(line).is_empty();
+            let merge_wb = !self.hier.forwarding_fault() && self.hier.wb.has_line(line);
             if merge_wb {
                 self.hier.stats.load_hazards += 1;
                 self.hier.stats.hazard_word_misses += 1;
@@ -1099,7 +1542,7 @@ impl Machine {
         }
         // Flush-based policies: a hazard fires whenever any portion of the
         // line is active in the buffer (§2.2).
-        if !self.hier.wb.probe_line(line).is_empty() {
+        if self.hier.wb.has_line(line) {
             self.hier.stats.load_hazards += 1;
             let plan: VecDeque<EntryId> = self.hier.wb.flush_plan(hazard, line).into();
             obs.event(&Event::HazardTriggered {

@@ -42,6 +42,7 @@ use wbsim_types::Cycle;
 
 use crate::event::{Event, PortUse};
 use crate::hierarchy::Hierarchy;
+use crate::machine::{Engine, SkipTick};
 use crate::observer::{NullObserver, Observer};
 use crate::port::PortOwner;
 
@@ -86,6 +87,7 @@ pub struct NonBlockingMachine {
     max_mshrs: usize,
     mshr_seq: u64,
     cpu: CpuState,
+    engine: Engine,
 }
 
 impl NonBlockingMachine {
@@ -116,7 +118,20 @@ impl NonBlockingMachine {
             max_mshrs: mshrs,
             mshr_seq: 0,
             cpu: CpuState::NeedOp,
+            engine: Engine::default(),
         })
+    }
+
+    /// Selects the run-loop [`Engine`] for subsequent `run_*` calls; see
+    /// [`crate::Machine::set_engine`].
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected run-loop [`Engine`].
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Runs the stream to completion (including draining outstanding
@@ -141,10 +156,129 @@ impl NonBlockingMachine {
         I: IntoIterator<Item = Op>,
         O: Observer,
     {
+        let skip = self.engine == Engine::EventDriven;
         let mut iter = ops.into_iter();
-        while self.step(&mut iter, obs) {}
+        loop {
+            if skip {
+                self.try_skip(obs);
+            }
+            if !self.step(&mut iter, obs) {
+                break;
+            }
+        }
         self.hier.stats.cycles = self.hier.now;
         self.hier.stats
+    }
+
+    /// Classifies the CPU's current state as a pure wait; the non-blocking
+    /// analogue of `Machine::classify_wait`. Returns the per-cycle
+    /// statistics tick, the cycle at which the wait itself ends
+    /// (`u64::MAX` when only external events can end it), and whether
+    /// retirement runs with barrier-drain semantics.
+    fn classify_wait(&self) -> Option<(SkipTick, Cycle, bool)> {
+        const INF: Cycle = u64::MAX;
+        let now = self.hier.now;
+        match self.cpu {
+            CpuState::Computing { left } if left > 0 => {
+                let w = u64::from(self.hier.cfg.issue_width);
+                Some((SkipTick::Nothing, now + u64::from(left).div_ceil(w), false))
+            }
+            CpuState::StoreTry { addr } if !self.hier.wb.can_accept(addr) => {
+                Some((SkipTick::Stall(StallKind::BufferFull), INF, false))
+            }
+            CpuState::MshrWait { .. } if self.mshrs.len() >= self.max_mshrs => {
+                Some((SkipTick::MshrStall, INF, false))
+            }
+            CpuState::BarrierDrain
+                if self.hier.wb.occupancy() > 0
+                    || self.hier.wb_retire.is_some()
+                    || !self.mshrs.is_empty() =>
+            {
+                Some((SkipTick::BarrierStall, INF, true))
+            }
+            // End-of-stream drain: outstanding fills or a retirement still
+            // land, but the front end has nothing left to do.
+            CpuState::Finished if !self.mshrs.is_empty() || self.hier.wb_retire.is_some() => {
+                Some((SkipTick::Nothing, INF, false))
+            }
+            _ => None,
+        }
+    }
+
+    /// The event-driven jump; see `Machine::try_skip`. Span bounds beyond
+    /// the wait's own deadline: every issued MSHR's completion, the
+    /// underway retirement's completion, the port freeing while reads are
+    /// queued (a read issues that cycle), and the predicted retirement
+    /// start (suppressed while reads are queued — read-bypassing).
+    fn try_skip<O: Observer>(&mut self, obs: &mut O) {
+        let Some((tick, deadline, barrier)) = self.classify_wait() else {
+            return;
+        };
+        let now = self.hier.now;
+        let mut bound = deadline;
+        for m in &self.mshrs {
+            if let Some(d) = m.done_at {
+                bound = bound.min(d);
+            }
+        }
+        if let Some(p) = self.hier.wb_retire {
+            bound = bound.min(p.done_at);
+        }
+        let any_queued = self.mshrs.iter().any(|m| m.done_at.is_none());
+        if any_queued {
+            if self.hier.port.is_free(now) {
+                // A queued read issues this very cycle: real work.
+                return;
+            }
+            bound = bound.min(self.hier.port.free_at());
+        } else if let Some(t) = self.hier.retire_start_candidate(barrier) {
+            bound = bound.min(t);
+        }
+        if bound == u64::MAX || bound <= now {
+            return;
+        }
+        let k = bound - now;
+        // The overlapped contention charge is constant across the span:
+        // the port's owner cannot change before `free_at`, and the span is
+        // bounded by `free_at` whenever a read is queued.
+        let overlapped = self.hier.port.busy_with_write(now) && any_queued;
+        match tick {
+            SkipTick::Nothing => {}
+            SkipTick::Stall(kind) => self.hier.stats.stalls.record(kind, k),
+            SkipTick::MshrStall => self.hier.stats.mshr_stall_cycles += k,
+            SkipTick::BarrierStall => self.hier.stats.barrier_stall_cycles += k,
+            SkipTick::MissWait | SkipTick::IFetchStall => unreachable!(),
+        }
+        if overlapped {
+            self.hier.stats.stalls.record(StallKind::L2ReadAccess, k);
+        }
+        let occupancy = self.hier.wb.occupancy();
+        self.hier
+            .stats
+            .wb_detail
+            .record_occupancy_span(occupancy, k);
+        if !O::IS_NOOP {
+            for t in now..bound {
+                if let SkipTick::Stall(kind) = tick {
+                    obs.event(&Event::StallCycle { now: t, kind });
+                }
+                if overlapped {
+                    obs.event(&Event::StallCycle {
+                        now: t,
+                        kind: StallKind::L2ReadAccess,
+                    });
+                }
+                obs.event(&Event::CycleEnd {
+                    now: t,
+                    occupancy: occupancy as u64,
+                });
+            }
+        }
+        self.hier.now = bound;
+        if let CpuState::Computing { left } = &mut self.cpu {
+            let w = u64::from(self.hier.cfg.issue_width);
+            *left = u64::from(*left).saturating_sub(k * w) as u32;
+        }
     }
 
     /// Advances the machine by exactly one cycle: fill completion,

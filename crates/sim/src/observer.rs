@@ -19,6 +19,15 @@ use crate::event::Event;
 /// emission order; [`Event::CycleEnd`] arrives exactly once per
 /// simulated cycle, after that cycle's other events.
 pub trait Observer {
+    /// Whether `event` is statically known to ignore everything.
+    ///
+    /// The event-driven engine replays per-cycle events ([`Event::StallCycle`],
+    /// [`Event::CycleEnd`]) across a skipped span so observers see a stream
+    /// identical to the cycle-stepped engine's; when this is `true` the
+    /// replay loop is skipped entirely. Leave the default unless the
+    /// implementation genuinely discards every event.
+    const IS_NOOP: bool = false;
+
     /// Receives one event.
     fn event(&mut self, ev: &Event);
 }
@@ -29,6 +38,8 @@ pub trait Observer {
 pub struct NullObserver;
 
 impl Observer for NullObserver {
+    const IS_NOOP: bool = true;
+
     #[inline(always)]
     fn event(&mut self, _ev: &Event) {}
 }

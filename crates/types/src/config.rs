@@ -160,6 +160,14 @@ impl WriteBufferConfig {
                 constraint: "must be at least 1",
             });
         }
+        if self.depth > 64 {
+            // The buffer packs valid/retiring bookkeeping into single
+            // machine words; the paper's design space tops out at 12.
+            return Err(ConfigError::OutOfRange {
+                what: "write buffer depth",
+                constraint: "must be at most 64",
+            });
+        }
         let wpl = geometry.words_per_line();
         if self.width_words == 0 || self.width_words > wpl || !wpl.is_multiple_of(self.width_words)
         {

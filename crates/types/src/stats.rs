@@ -404,7 +404,14 @@ pub struct WbDetail {
 impl WbDetail {
     /// Records one cycle at the given occupancy.
     pub fn record_occupancy(&mut self, occupancy: usize) {
-        self.occupancy_hist[occupancy.min(16)] += 1;
+        self.record_occupancy_span(occupancy, 1);
+    }
+
+    /// Records `cycles` consecutive cycles at the given occupancy — the
+    /// batched form the event-driven engine uses when it skips an idle
+    /// span in one jump.
+    pub fn record_occupancy_span(&mut self, occupancy: usize, cycles: u64) {
+        self.occupancy_hist[occupancy.min(16)] += cycles;
         self.high_water = self.high_water.max(occupancy as u64);
     }
 

@@ -35,6 +35,7 @@
 //! ```
 
 pub use wbsim_analytic as analytic;
+pub use wbsim_bench as bench;
 pub use wbsim_check as check;
 pub use wbsim_core as core;
 pub use wbsim_experiments as experiments;

@@ -1,0 +1,101 @@
+//! Pinned state-space sizes for the model checkers.
+//!
+//! The fast-engine work (event-driven time skipping, the op fast lane,
+//! the bitset buffer) must not change machine *behavior* — and the most
+//! sensitive aggregate fingerprint of behavior we have is the size of the
+//! reachable abstract state graph: `states` and `edges` change if any
+//! transition is added, lost, or re-timed, and `sccs` changes if drain
+//! progress changes. These exact counts were recorded from the reference
+//! cycle-stepped engine before the event-driven engine landed; the
+//! checkers drive the machine through the same single-step entry points
+//! regardless of the configured engine, so any drift here means the
+//! machine's transition relation itself moved.
+//!
+//! If a *deliberate* semantic change (a new policy, a timing fix) moves
+//! these numbers, re-record them in the same way these were:
+//! `check_reach_config` on each configuration below, and note the change
+//! in the commit message — these pins are a tripwire, not a freeze.
+
+use wbsim::check::{check_exhaustive, check_reach_config, check_reach_config_nonblocking};
+use wbsim::types::config::MachineConfig;
+use wbsim::types::policy::{LoadHazardPolicy, RetirementPolicy};
+
+fn cfg(hazard: LoadHazardPolicy, depth: usize, hw: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::baseline();
+    cfg.write_buffer.depth = depth;
+    cfg.write_buffer.retirement = RetirementPolicy::RetireAt(hw);
+    cfg.write_buffer.hazard = hazard;
+    cfg
+}
+
+/// Per-config (states, edges, sccs) of the unbounded reachability
+/// exploration, pinned at the boundary configurations the bounded grid is
+/// built from: every hazard policy at depth 1, mid-depth with headroom,
+/// and retire-at == depth.
+#[test]
+fn reach_per_config_state_counts_are_pinned() {
+    use LoadHazardPolicy::{FlushFull, FlushItemOnly, FlushPartial, ReadFromWb};
+    // The value-blind, time-shifted abstract quotient collapses the three
+    // flush flavors onto the same graph (they differ in *which entries*
+    // flush, which line renaming then canonicalizes away at these tiny
+    // depths); read-from-WB alone adds forwarding transitions at depth 1.
+    type Pin = (LoadHazardPolicy, usize, usize, (u64, u64, u64));
+    let pins: &[Pin] = &[
+        (FlushFull, 1, 1, (35, 280, 51)),
+        (FlushFull, 4, 2, (627, 5016, 843)),
+        (FlushFull, 4, 4, (51, 408, 339)),
+        (FlushPartial, 1, 1, (35, 280, 51)),
+        (FlushPartial, 4, 2, (627, 5016, 843)),
+        (FlushPartial, 4, 4, (51, 408, 339)),
+        (FlushItemOnly, 1, 1, (35, 280, 51)),
+        (FlushItemOnly, 4, 2, (627, 5016, 843)),
+        (FlushItemOnly, 4, 4, (51, 408, 339)),
+        (ReadFromWb, 1, 1, (43, 344, 51)),
+        (ReadFromWb, 4, 2, (627, 5016, 843)),
+        (ReadFromWb, 4, 4, (51, 408, 339)),
+    ];
+    for &(hazard, depth, hw, expect) in pins {
+        let s = check_reach_config(&cfg(hazard, depth, hw))
+            .unwrap_or_else(|v| panic!("clean config violated: {}", v.diagnostic.render()));
+        assert_eq!(
+            (s.states, s.edges, s.sccs),
+            expect,
+            "reach counts moved for ({hazard:?}, depth {depth}, retire-at {hw})"
+        );
+    }
+}
+
+/// The non-blocking machine's reach counts, pinned across MSHR counts.
+/// MSHR capacity saturates at 2 on this bounded universe (two lines can
+/// miss concurrently at most), so 2 and 4 share a graph — itself a pinned
+/// fact.
+#[test]
+fn reach_nonblocking_state_counts_are_pinned() {
+    let nb = cfg(LoadHazardPolicy::ReadFromWb, 2, 1);
+    for (mshrs, expect) in [
+        (1usize, (897u64, 7176u64, 1101u64)),
+        (2, (1109, 8872, 1366)),
+        (4, (1109, 8872, 1366)),
+    ] {
+        let s = check_reach_config_nonblocking(&nb, mshrs)
+            .unwrap_or_else(|v| panic!("clean nb config violated: {}", v.diagnostic.render()));
+        assert_eq!(
+            (s.states, s.edges, s.sccs),
+            expect,
+            "nb reach counts moved at {mshrs} MSHRs"
+        );
+    }
+}
+
+/// The bounded exhaustive checker's universe: 40 boundary configurations,
+/// and the exact sequence/run counts at `--max-ops 4`. These are
+/// enumeration-shape pins (they move only if the bounded universe or the
+/// grid itself is edited), completing the fingerprint: the grid the reach
+/// pins above sample from is itself unchanged.
+#[test]
+fn bounded_checker_universe_is_pinned() {
+    let report = check_exhaustive(4, None).expect("clean grid has no counterexample");
+    assert_eq!(report.configs, 40);
+    assert_eq!(report.sequences, 4680);
+    assert_eq!(report.runs, 187_200);
+}

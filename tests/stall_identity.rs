@@ -16,12 +16,14 @@
 use proptest::prelude::*;
 
 use wbsim::experiments::harness::Harness;
-use wbsim::sim::Machine;
+use wbsim::sim::{Engine, Machine};
 use wbsim::trace::bench_models::BenchmarkModel;
 use wbsim::trace::strategies::{arb_flush_hazard, arb_op, arb_write_buffer};
-use wbsim::types::config::{MachineConfig, WriteBufferConfig};
+use wbsim::types::config::{L2Config, MachineConfig, WriteBufferConfig};
+use wbsim::types::op::Op;
 use wbsim::types::policy::{LoadHazardPolicy, RetirementPolicy};
 use wbsim::types::stall::StallKind;
+use wbsim::types::testutil::a;
 
 fn h() -> Harness {
     Harness {
@@ -135,6 +137,160 @@ fn ideal_run_is_a_true_lower_bound() {
                 real >= ideal,
                 "{} with {hazard}: real run beat the ideal buffer",
                 bench.name()
+            );
+        }
+    }
+}
+
+/// A hand-computed pinned trace exercising the fast engine's long idle
+/// jump: two stores, then a 100-instruction compute run during which the
+/// first retirement completes mid-run and the buffer then sits quiet.
+///
+/// Baseline machine (depth 4, retire-at-2, FIFO, FlushFull, perfect
+/// 6-cycle L2, perfect I-cache, single-issue). Cycle-by-cycle:
+///
+/// * c0 — `Store A` allocates (occupancy 1; cold L1, write-around).
+/// * c1 — `Store B` allocates (occupancy 2); retire-at-2 fires at cycle
+///   close, A's 6-cycle write holds the port until c7.
+/// * c2–c6 — compute run, occupancy 2 (a retiring entry still occupies
+///   its slot).
+/// * c7 — A's transaction completes at cycle open (occupancy 1);
+///   retire-at-2 no longer fires: B stays put forever.
+/// * c8–c101 — compute run drains, occupancy 1 — a 94-cycle dead span
+///   the event-driven engine crosses in one jump.
+/// * c102 — the stream is exhausted; the final boundary consumes no
+///   cycle, and the machine does not drain B.
+#[test]
+fn pinned_trace_long_idle_jump() {
+    let ops = vec![Op::Store(a(10, 0)), Op::Store(a(20, 0)), Op::Compute(100)];
+    for engine in [Engine::Reference, Engine::EventDriven] {
+        let mut m = Machine::new(MachineConfig::baseline()).unwrap();
+        m.set_engine(engine);
+        let stats = m.run(ops.clone());
+        let tag = format!("{engine:?}");
+        assert_eq!(stats.cycles, 102, "{tag}: cycles");
+        assert_eq!(stats.instructions, 102, "{tag}: instructions");
+        assert_eq!(stats.stores, 2, "{tag}: stores");
+        assert_eq!(stats.wb_allocations, 2, "{tag}: allocations");
+        assert_eq!(stats.wb_store_merges, 0, "{tag}: merges");
+        assert_eq!(stats.wb_retirements, 1, "{tag}: only A retires");
+        assert_eq!(stats.stalls.total(), 0, "{tag}: no stalls");
+        assert_eq!(stats.wb_detail.occupancy_hist[1], 96, "{tag}: occ-1 cycles");
+        assert_eq!(stats.wb_detail.occupancy_hist[2], 6, "{tag}: occ-2 cycles");
+        assert_eq!(stats.wb_detail.high_water, 2, "{tag}: high water");
+    }
+}
+
+/// Retirement latency ≫ issue rate: a 400-cycle L2 write under
+/// back-to-back stores. The buffer fills in 4 cycles and the fifth store
+/// then spins on buffer-full for 397 cycles — one maximal skip span whose
+/// stall charge, occupancy ticks, and completion schedule are pinned by
+/// hand:
+///
+/// * c0–c3 — stores A–D allocate (occupancy 1,2,3,4); A's retirement
+///   starts at c1's close and holds the port until c401.
+/// * c4–c400 — store E spins: 397 buffer-full stalls at occupancy 4.
+/// * c401 — A completes at cycle open (occupancy 3), E is accepted
+///   (occupancy 4 again), and B's retirement starts at cycle close.
+/// * c402 — stream exhausted; B's write never completes.
+#[test]
+fn pinned_trace_slow_retirement_starves_stores() {
+    let cfg = MachineConfig {
+        l2: L2Config::Perfect { latency: 400 },
+        ..MachineConfig::baseline()
+    };
+    let ops: Vec<Op> = (0..5).map(|i| Op::Store(a(10 + i, 0))).collect();
+    for engine in [Engine::Reference, Engine::EventDriven] {
+        let mut m = Machine::new(cfg.clone()).unwrap();
+        m.set_engine(engine);
+        let stats = m.run(ops.clone());
+        let tag = format!("{engine:?}");
+        assert_eq!(stats.cycles, 402, "{tag}: cycles");
+        assert_eq!(stats.stores, 5, "{tag}: stores");
+        assert_eq!(
+            stats.stalls.get(StallKind::BufferFull),
+            397,
+            "{tag}: buffer-full span"
+        );
+        assert_eq!(stats.stalls.total(), 397, "{tag}: only buffer-full stalls");
+        assert_eq!(stats.wb_retirements, 1, "{tag}: A alone completes");
+        assert_eq!(
+            stats.wb_detail.occupancy_hist[4], 399,
+            "{tag}: occ-4 cycles"
+        );
+        assert_eq!(stats.wb_detail.occupancy_hist[1], 1, "{tag}: occ-1 cycles");
+        assert_eq!(stats.wb_detail.occupancy_hist[2], 1, "{tag}: occ-2 cycles");
+        assert_eq!(stats.wb_detail.occupancy_hist[3], 1, "{tag}: occ-3 cycles");
+        assert_eq!(stats.wb_detail.high_water, 4, "{tag}: high water");
+    }
+}
+
+/// A starved port: a load miss arrives while a slow write transaction
+/// holds the L2 port, charging a long L2-read-access span, then waits out
+/// its own read as miss-wait. Both engines must agree bit-for-bit on the
+/// taxonomy split, and each category must be busy.
+#[test]
+fn starved_port_span_is_attributed_identically() {
+    let cfg = MachineConfig {
+        l2: L2Config::Perfect { latency: 60 },
+        ..MachineConfig::baseline()
+    };
+    // Two stores trigger retire-at-2; the load misses L1 and its line is
+    // not buffered (no hazard), so it queues on the port held by A.
+    let ops = vec![
+        Op::Store(a(10, 0)),
+        Op::Store(a(20, 0)),
+        Op::Load(a(30, 0)),
+        Op::Compute(5),
+    ];
+    let mut runs = Vec::new();
+    for engine in [Engine::Reference, Engine::EventDriven] {
+        let mut m = Machine::new(cfg.clone()).unwrap();
+        m.set_engine(engine);
+        runs.push(m.run(ops.clone()));
+    }
+    assert_eq!(runs[0], runs[1], "engines diverged on the starved port");
+    let stats = runs[1];
+    assert!(
+        stats.stalls.get(StallKind::L2ReadAccess) > 50,
+        "the load should wait out most of the 60-cycle write: {:?}",
+        stats.stalls
+    );
+    assert!(
+        stats.miss_wait_cycles >= 60,
+        "the load's own read is charged to the miss: {}",
+        stats.miss_wait_cycles
+    );
+    assert_eq!(stats.stalls.get(StallKind::BufferFull), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy conservation: every simulated cycle ticks exactly one
+    /// occupancy-histogram bucket, so the histogram total equals the cycle
+    /// count — under both engines, for arbitrary streams, shapes, and
+    /// warmup cutoffs. A span skip that over- or under-credits its bulk
+    /// occupancy charge breaks this immediately.
+    #[test]
+    fn occupancy_histogram_conserves_cycles(
+        ops in proptest::collection::vec(arb_op(), 1..400),
+        wb in arb_write_buffer(),
+        warmup in 0u64..100,
+    ) {
+        let cfg = MachineConfig {
+            write_buffer: wb,
+            check_data: true,
+            ..MachineConfig::baseline()
+        };
+        for engine in [Engine::Reference, Engine::EventDriven] {
+            let mut m = Machine::new(cfg.clone()).unwrap();
+            m.set_engine(engine);
+            let stats = m.run_with_warmup(ops.iter().copied(), warmup);
+            let hist_total: u64 = stats.wb_detail.occupancy_hist.iter().sum();
+            prop_assert_eq!(
+                hist_total, stats.cycles,
+                "{:?}: histogram/cycle conservation", engine
             );
         }
     }

@@ -26,5 +26,6 @@ pub fn bench_harness() -> Harness {
         warmup: 2_000,
         seed: 42,
         check_data: false,
+        ..Harness::standard()
     }
 }

@@ -11,8 +11,9 @@
 //! target carries the sample spread (stddev) and the slow-tail p99 so a
 //! later PR that keeps the mean but grows the tail still trips the gate.
 //!
-//! The JSON is hand-rolled in both directions (the workspace is offline
-//! and carries no serde); [`BenchSnapshot::to_json`] and
+//! The JSON writer is hand-rolled for a pinned byte layout and the reader
+//! walks the workspace's shared [`wbsim_types::json`] parser (the
+//! workspace is offline and carries no serde); [`BenchSnapshot::to_json`] and
 //! [`BenchSnapshot::from_json`] are pinned against each other by a
 //! round-trip test, and `f64` fields survive exactly because Rust's
 //! shortest-round-trip float formatting is re-parsed bit-identically.
@@ -23,6 +24,7 @@ use std::time::{Duration, Instant};
 use wbsim_sim::{Engine, Machine, NullObserver};
 use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_types::config::{L2Config, MachineConfig};
+use wbsim_types::json::{self, Json};
 
 /// Schema tag of the snapshot format. Bump on any field change so a stale
 /// committed snapshot fails loudly instead of comparing garbage.
@@ -119,15 +121,8 @@ impl BenchSnapshot {
     ///
     /// A message naming the first offending token or missing field.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let snap = p.snapshot()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
-        }
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let snap = snapshot_from(&doc)?;
         if snap.schema != SCHEMA {
             return Err(format!(
                 "schema mismatch: file says {:?}, this binary understands {:?}",
@@ -139,222 +134,93 @@ impl BenchSnapshot {
 }
 
 fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    json::escape(s)
 }
 
-/// A minimal recursive-descent parser for exactly the snapshot schema:
-/// objects with known keys, one array of flat objects, string and number
-/// leaves. Unknown keys are rejected — a snapshot is a pinned format, not
-/// a config file.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+fn str_field(value: &Json, key: &str) -> Result<String, String> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("key {key:?}: expected a string"))
 }
 
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
+fn u64_field(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .as_u64()
+        .ok_or_else(|| format!("key {key:?}: expected an integer"))
+}
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.bytes.get(self.pos).map(|&c| c as char)
-            ))
-        }
-    }
+fn f64_field(value: &Json, key: &str) -> Result<f64, String> {
+    value
+        .as_f64()
+        .ok_or_else(|| format!("key {key:?}: expected a number"))
+}
 
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'n') => out.push('\n'),
-                        other => {
-                            return Err(format!(
-                                "unsupported escape {:?} at byte {}",
-                                other.map(|&c| c as char),
-                                self.pos
-                            ))
-                        }
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    let start = self.pos;
-                    while self
-                        .bytes
-                        .get(self.pos)
-                        .is_some_and(|&b| b != b'"' && b != b'\\')
-                    {
-                        self.pos += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|_| "invalid UTF-8 in string".to_string())?,
-                    );
-                }
+/// Walks one target object. Unknown keys are rejected — a snapshot is a
+/// pinned format, not a config file — and all 6 keys are required.
+fn target_from(value: &Json) -> Result<TargetStats, String> {
+    let fields = value.entries().ok_or("target: expected an object")?;
+    let mut t = TargetStats {
+        name: String::new(),
+        engine: String::new(),
+        samples: 0,
+        mean_cells_per_sec: 0.0,
+        stddev_cells_per_sec: 0.0,
+        p99_cells_per_sec: 0.0,
+    };
+    let mut seen = 0u32;
+    for (key, v) in fields {
+        match key.as_str() {
+            "name" => t.name = str_field(v, key)?,
+            "engine" => t.engine = str_field(v, key)?,
+            "samples" => t.samples = u64_field(v, key)?,
+            "mean_cells_per_sec" => t.mean_cells_per_sec = f64_field(v, key)?,
+            "stddev_cells_per_sec" => t.stddev_cells_per_sec = f64_field(v, key)?,
+            "p99_cells_per_sec" => t.p99_cells_per_sec = f64_field(v, key)?,
+            other => return Err(format!("unknown target key {other:?}")),
+        }
+        seen += 1;
+    }
+    if seen != 6 {
+        return Err(format!("target has {seen} keys, expected all 6"));
+    }
+    Ok(t)
+}
+
+fn snapshot_from(doc: &Json) -> Result<BenchSnapshot, String> {
+    let fields = doc.entries().ok_or("snapshot: expected an object")?;
+    let mut snap = BenchSnapshot {
+        schema: String::new(),
+        engine_version: String::new(),
+        git_rev: String::new(),
+        instructions: 0,
+        warmup: 0,
+        seed: 0,
+        cells: 0,
+        targets: Vec::new(),
+    };
+    let mut seen = 0u32;
+    for (key, v) in fields {
+        match key.as_str() {
+            "schema" => snap.schema = str_field(v, key)?,
+            "engine_version" => snap.engine_version = str_field(v, key)?,
+            "git_rev" => snap.git_rev = str_field(v, key)?,
+            "instructions" => snap.instructions = u64_field(v, key)?,
+            "warmup" => snap.warmup = u64_field(v, key)?,
+            "seed" => snap.seed = u64_field(v, key)?,
+            "cells" => snap.cells = u64_field(v, key)?,
+            "targets" => {
+                let items = v.as_array().ok_or("key \"targets\": expected an array")?;
+                snap.targets = items.iter().map(target_from).collect::<Result<_, _>>()?;
             }
+            other => return Err(format!("unknown snapshot key {other:?}")),
         }
+        seen += 1;
     }
-
-    fn number_token(&mut self) -> Result<&str, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        if start == self.pos {
-            return Err(format!("expected a number at byte {start}"));
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number".into())
+    if seen != 8 {
+        return Err(format!("snapshot has {seen} keys, expected all 8"));
     }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        let tok = self.number_token()?;
-        tok.parse().map_err(|_| format!("bad integer {tok:?}"))
-    }
-
-    fn f64(&mut self) -> Result<f64, String> {
-        let tok = self.number_token()?;
-        tok.parse().map_err(|_| format!("bad float {tok:?}"))
-    }
-
-    /// `"key":` with any of the known keys; returns the key.
-    fn key(&mut self) -> Result<String, String> {
-        let k = self.string()?;
-        self.expect(b':')?;
-        Ok(k)
-    }
-
-    fn target(&mut self) -> Result<TargetStats, String> {
-        self.expect(b'{')?;
-        let mut t = TargetStats {
-            name: String::new(),
-            engine: String::new(),
-            samples: 0,
-            mean_cells_per_sec: 0.0,
-            stddev_cells_per_sec: 0.0,
-            p99_cells_per_sec: 0.0,
-        };
-        let mut seen = 0u32;
-        loop {
-            match self.key()?.as_str() {
-                "name" => t.name = self.string()?,
-                "engine" => t.engine = self.string()?,
-                "samples" => t.samples = self.u64()?,
-                "mean_cells_per_sec" => t.mean_cells_per_sec = self.f64()?,
-                "stddev_cells_per_sec" => t.stddev_cells_per_sec = self.f64()?,
-                "p99_cells_per_sec" => t.p99_cells_per_sec = self.f64()?,
-                other => return Err(format!("unknown target key {other:?}")),
-            }
-            seen += 1;
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                _ => break,
-            }
-        }
-        self.expect(b'}')?;
-        if seen != 6 {
-            return Err(format!("target has {seen} keys, expected all 6"));
-        }
-        Ok(t)
-    }
-
-    fn snapshot(&mut self) -> Result<BenchSnapshot, String> {
-        self.expect(b'{')?;
-        let mut snap = BenchSnapshot {
-            schema: String::new(),
-            engine_version: String::new(),
-            git_rev: String::new(),
-            instructions: 0,
-            warmup: 0,
-            seed: 0,
-            cells: 0,
-            targets: Vec::new(),
-        };
-        let mut seen = 0u32;
-        loop {
-            match self.key()?.as_str() {
-                "schema" => snap.schema = self.string()?,
-                "engine_version" => snap.engine_version = self.string()?,
-                "git_rev" => snap.git_rev = self.string()?,
-                "instructions" => snap.instructions = self.u64()?,
-                "warmup" => snap.warmup = self.u64()?,
-                "seed" => snap.seed = self.u64()?,
-                "cells" => snap.cells = self.u64()?,
-                "targets" => {
-                    self.expect(b'[')?;
-                    loop {
-                        self.skip_ws();
-                        if self.bytes.get(self.pos) == Some(&b']') {
-                            break;
-                        }
-                        snap.targets.push(self.target()?);
-                        self.skip_ws();
-                        if self.bytes.get(self.pos) == Some(&b',') {
-                            self.pos += 1;
-                        }
-                    }
-                    self.expect(b']')?;
-                }
-                other => return Err(format!("unknown snapshot key {other:?}")),
-            }
-            seen += 1;
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                _ => break,
-            }
-        }
-        self.expect(b'}')?;
-        if seen != 8 {
-            return Err(format!("snapshot has {seen} keys, expected all 8"));
-        }
-        Ok(snap)
-    }
+    Ok(snap)
 }
 
 /// Scale knobs for [`measure`].

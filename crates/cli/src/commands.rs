@@ -9,8 +9,12 @@ use wbsim_check::{
     check_reach_nonblocking_jobs, default_jobs, lint_config, lint_nonblocking,
     parse_error_diagnostic, Counterexample,
 };
-use wbsim_experiments::harness::Harness;
+use wbsim_experiments::harness::{pool_cells_jobs, Harness};
 use wbsim_experiments::{ablations, figures, render, tables};
+use wbsim_jobs::{
+    CheckConfig, CheckSpec, Executor, FigureFormat, JobKind, MachineSel, Manifest,
+    Options as JobOptions, Store,
+};
 use wbsim_sim::{Event, Machine, Observer};
 use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_trace::file as trace_file;
@@ -45,6 +49,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         Some("trace") => cmd_trace(&p),
         Some("check") => cmd_check(&p),
         Some("bench") => cmd_bench(&p),
+        Some("serve") => cmd_serve(&p),
         Some("list") => cmd_list(),
         Some(other) => Err(ArgError(format!("unknown command {other:?}")).into()),
     }
@@ -55,16 +60,16 @@ fn usage() -> String {
 wbsim — reproduction of 'Design Issues and Tradeoffs for Write Buffers' (HPCA 1997)
 
 USAGE:
-  wbsim figure <3..13|all> [--instructions N] [--seed S] [--csv] [--svg DIR]
-  wbsim table <1..7|wb|all> [--instructions N] [--seed S]
-  wbsim ablation <a1..a10|all> [--instructions N] [--seed S]
+  wbsim figure <3..13|all> [--instructions N] [--seed S] [--jobs N] [--csv] [--svg DIR]
+  wbsim table <1..7|wb|all> [--instructions N] [--seed S] [--jobs N]
+  wbsim ablation <a1..a10|all> [--instructions N] [--seed S] [--jobs N]
   wbsim run --bench NAME [--seeds N] [--config FILE.wbcfg] [--depth N] [--retire-at N] [--hazard P]
             [--l1-kb N] [--l2-latency N] [--l2-kb N] [--mm N] [--issue W]
             [--mshrs N (non-blocking loads)] [--barrier-every N]
             [--instructions N] [--warmup N] [--seed S] [--check-data] [--ideal]
   wbsim predict --bench NAME [config flags as for run]
-  wbsim sweep --bench NAME --param KEY=V1,V2,... [config flags as for run]
-  wbsim grid  --bench NAME --x KEY=V1,V2,... --y KEY=V1,V2,... [config flags]
+  wbsim sweep --bench NAME --param KEY=V1,V2,... [--jobs N] [config flags as for run]
+  wbsim grid  --bench NAME --x KEY=V1,V2,... --y KEY=V1,V2,... [--jobs N] [config flags]
         (KEYs: depth, retire-at, hazard, l1-kb, l2-latency, l2-kb, mm, issue)
   wbsim report [--out FILE.md] [--instructions N] [--seed S]
   wbsim trace gen --bench NAME --out FILE [--instructions N] [--seed S] [--binary]
@@ -96,7 +101,16 @@ USAGE:
          emit the BENCH_*.json snapshot; --check gates against a committed
          snapshot, exiting non-zero when mean or p99 regresses past the
          tolerance, default 20%)
+  wbsim serve [--addr HOST:PORT] [--workers N]
+        (job daemon: POST wbsim-job/1 manifests to /v1/jobs, poll
+         /v1/jobs/<id>, fetch /v1/jobs/<id>/artifacts/<name>; identical
+         resubmissions are answered from the content-addressed result
+         store without re-running a cell — see docs/serving.md)
   wbsim list
+
+  Grid-running subcommands (figure, table, ablation, sweep, grid, report,
+  check --exhaustive/--reach, bench) accept --jobs N to bound the worker
+  pool; the default 0 auto-sizes to the machine.
 
 FAULTS (--fault): skip-wb-forwarding | starve-retirement
 
@@ -115,7 +129,31 @@ fn harness(p: &Parsed) -> Result<Harness, ArgError> {
         warmup: p.get_or("warmup", instructions / 3)?,
         seed: p.get_or("seed", 42u64)?,
         check_data: p.has_flag("check-data"),
+        jobs: p.get_or("jobs", 0usize)?,
+        ..Harness::standard()
     })
+}
+
+/// The job-layer [`JobOptions`] for this invocation — same flags, same
+/// defaults as [`harness`].
+fn job_options(p: &Parsed) -> Result<JobOptions, ArgError> {
+    let h = harness(p)?;
+    Ok(JobOptions {
+        instructions: h.instructions,
+        warmup: h.warmup,
+        seed: h.seed,
+        check_data: h.check_data,
+        jobs: h.jobs,
+        engine: h.engine,
+    })
+}
+
+/// Submits one manifest to a fresh per-invocation store. A deterministic
+/// job failure (unknown table, check violation) becomes the command's
+/// error *after* the caller has printed the artifacts it wants.
+fn run_job(manifest: &Manifest) -> std::sync::Arc<wbsim_jobs::JobOutcome> {
+    let store = Store::new();
+    Executor::new(&store).run(manifest).outcome
 }
 
 fn cmd_figure(p: &Parsed) -> CmdResult {
@@ -123,40 +161,36 @@ fn cmd_figure(p: &Parsed) -> CmdResult {
         .positionals
         .get(1)
         .ok_or_else(|| ArgError("figure: which one? (3..13 or all)".into()))?;
-    let h = harness(p)?;
-    let figs = match which.as_str() {
-        "all" => figures::all(&h),
-        n => {
-            let f = match n {
-                "3" => figures::fig3(&h),
-                "4" => figures::fig4(&h),
-                "5" => figures::fig5(&h),
-                "6" => figures::fig6(&h),
-                "7" => figures::fig7(&h),
-                "8" => figures::fig8(&h),
-                "9" => figures::fig9(&h),
-                "10" => figures::fig10(&h),
-                "11" => figures::fig11(&h),
-                "12" => figures::fig12(&h),
-                "13" => figures::fig13(&h),
-                _ => return Err(ArgError(format!("no figure {n} (the paper has 3..13)")).into()),
-            };
-            vec![f]
-        }
-    };
     let svg_dir = p.options.get("svg").cloned();
-    for f in figs {
-        if let Some(dir) = &svg_dir {
-            std::fs::create_dir_all(dir)?;
-            let name = f.id.to_ascii_lowercase().replace(' ', "_");
-            let path = std::path::Path::new(dir).join(format!("{name}.svg"));
-            std::fs::write(&path, render::svg_figure(&f))?;
-            println!("wrote {}", path.display());
-        } else if p.has_flag("csv") {
-            print!("{}", render::figure_csv(&f));
-        } else {
-            println!("{}", render::render_figure(&f));
+    let format = if svg_dir.is_some() {
+        FigureFormat::Svg
+    } else if p.has_flag("csv") {
+        FigureFormat::Csv
+    } else {
+        FigureFormat::Text
+    };
+    let outcome = run_job(&Manifest {
+        kind: JobKind::Figure {
+            which: which.clone(),
+            format,
+        },
+        options: job_options(p)?,
+    });
+    if let Some(msg) = &outcome.failed {
+        return Err(ArgError(msg.clone()).into());
+    }
+    match format {
+        FigureFormat::Svg => {
+            let dir = svg_dir.expect("svg format implies --svg");
+            std::fs::create_dir_all(&dir)?;
+            for a in &outcome.artifacts {
+                let path = std::path::Path::new(&dir).join(&a.name);
+                std::fs::write(&path, &a.bytes)?;
+                println!("wrote {}", path.display());
+            }
         }
+        FigureFormat::Csv => print!("{}", outcome.artifact_text("figures.csv").unwrap_or("")),
+        FigureFormat::Text => print!("{}", outcome.artifact_text("figures.txt").unwrap_or("")),
     }
     Ok(())
 }
@@ -166,36 +200,16 @@ fn cmd_table(p: &Parsed) -> CmdResult {
         .positionals
         .get(1)
         .ok_or_else(|| ArgError("table: which one? (1..7, wb, or all)".into()))?;
-    let h = harness(p)?;
-    let cfg = MachineConfig::baseline();
-    let one = |n: &str| -> Result<tables::TableResult, ArgError> {
-        Ok(match n {
-            "1" => tables::table1(&cfg),
-            "2" => tables::table2(&cfg),
-            "3" => tables::table3(),
-            "4" => tables::table4(&h),
-            "5" => tables::table5(&h),
-            "6" => tables::table6(&h),
-            "7" => tables::table7(&h),
-            "wb" => tables::table_wb(&h),
-            _ => {
-                return Err(ArgError(format!(
-                "no table {n} (the paper has 1..7; `wb` is the event-derived utilization table)"
-            )))
-            }
-        })
-    };
-    let list = if which == "all" {
-        ["1", "2", "3", "4", "5", "6", "7", "wb"]
-            .iter()
-            .map(|n| one(n))
-            .collect::<Result<Vec<_>, _>>()?
-    } else {
-        vec![one(which)?]
-    };
-    for t in list {
-        println!("{}", render::render_table(&t));
+    let outcome = run_job(&Manifest {
+        kind: JobKind::Table {
+            which: which.clone(),
+        },
+        options: job_options(p)?,
+    });
+    if let Some(msg) = &outcome.failed {
+        return Err(ArgError(msg.clone()).into());
     }
+    print!("{}", outcome.artifact_text("tables.txt").unwrap_or(""));
     Ok(())
 }
 
@@ -434,17 +448,35 @@ fn cmd_sweep(p: &Parsed) -> CmdResult {
         key, "R %", "F %", "L %", "total %", "CPI", "occupancy"
     );
     println!("{}", "-".repeat(74));
-    for v in values.split(',') {
-        let v = v.trim();
-        // Rebuild the config with this value substituted for the key.
+    // Build every cell's config serially (stopping at the first bad value,
+    // as the serial loop did), run the valid prefix on the worker pool,
+    // then print rows in order — stdout is byte-identical to the old
+    // one-at-a-time loop.
+    let values: Vec<&str> = values.split(',').map(str::trim).collect();
+    let mut cfgs = Vec::new();
+    let mut bad_value = None;
+    for v in &values {
         let mut sub = Parsed {
             options: p.options.clone(),
             flags: p.flags.clone(),
             ..Parsed::default()
         };
-        sub.options.insert(key.to_string(), v.to_string());
-        let cfg = machine_from(&sub)?;
-        let stats = Machine::new(cfg)?.run_with_warmup(ops.iter().copied(), h.warmup);
+        sub.options.insert(key.to_string(), (*v).to_string());
+        match machine_from(&sub) {
+            Ok(cfg) => cfgs.push(cfg),
+            Err(e) => {
+                bad_value = Some(e);
+                break;
+            }
+        }
+    }
+    let results = pool_cells_jobs(cfgs.len(), h.jobs, |i| {
+        let mut m = Machine::new(cfgs[i].clone()).map_err(|e| e.to_string())?;
+        m.set_engine(h.engine);
+        Ok::<_, String>(m.run_with_warmup(ops.iter().copied(), h.warmup))
+    });
+    for (v, result) in values.iter().zip(&results) {
+        let stats = result.as_ref().map_err(|e| ArgError(e.clone()))?;
         println!(
             "{:<18} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3}",
             v,
@@ -455,6 +487,9 @@ fn cmd_sweep(p: &Parsed) -> CmdResult {
             stats.cpi(),
             stats.wb_detail.mean_occupancy()
         );
+    }
+    if let Some(e) = bad_value {
+        return Err(e);
     }
     Ok(())
 }
@@ -518,27 +553,46 @@ fn cmd_grid(p: &Parsed) -> CmdResult {
     }
     println!();
     println!("{}", "-".repeat(14 + 9 * xs.len()));
+    // Precompute every cell's config row-major (invalid cells — e.g.
+    // hw > depth — stay `None` and print as "-"), run the valid cells on
+    // the worker pool, then print in the same row-major order.
+    let cfg_cells: Vec<Option<MachineConfig>> = ys
+        .iter()
+        .flat_map(|yv| {
+            let (xk, yk) = (&xk, &yk);
+            xs.iter().map(move |xv| {
+                let mut sub = Parsed {
+                    options: p.options.clone(),
+                    flags: p.flags.clone(),
+                    ..Parsed::default()
+                };
+                sub.options.insert(xk.clone(), xv.clone());
+                sub.options.insert(yk.clone(), yv.clone());
+                machine_from(&sub).ok()
+            })
+        })
+        .collect();
+    let cells = pool_cells_jobs(cfg_cells.len(), h.jobs, |i| {
+        cfg_cells[i].as_ref().map(|cfg| {
+            let mut m = Machine::new(cfg.clone()).map_err(|e| e.to_string())?;
+            m.set_engine(h.engine);
+            Ok::<_, String>(m.run_with_warmup(ops.iter().copied(), h.warmup))
+        })
+    });
     let mut best: Option<(f64, String, String)> = None;
-    for yv in &ys {
+    for (yi, yv) in ys.iter().enumerate() {
         print!("{yv:<14}");
-        for xv in &xs {
-            let mut sub = Parsed {
-                options: p.options.clone(),
-                flags: p.flags.clone(),
-                ..Parsed::default()
-            };
-            sub.options.insert(xk.clone(), xv.clone());
-            sub.options.insert(yk.clone(), yv.clone());
-            match machine_from(&sub) {
-                Ok(cfg) => {
-                    let stats = Machine::new(cfg)?.run_with_warmup(ops.iter().copied(), h.warmup);
+        for (xi, xv) in xs.iter().enumerate() {
+            match &cells[yi * xs.len() + xi] {
+                Some(Ok(stats)) => {
                     let t = stats.total_stall_pct();
                     print!("{t:>9.3}");
                     if best.as_ref().is_none_or(|(b, _, _)| t < *b) {
                         best = Some((t, xv.clone(), yv.clone()));
                     }
                 }
-                Err(_) => print!("{:>9}", "-"), // invalid cell (e.g. hw > depth)
+                Some(Err(e)) => return Err(ArgError(e.clone()).into()),
+                None => print!("{:>9}", "-"), // invalid cell (e.g. hw > depth)
             }
         }
         println!();
@@ -919,49 +973,97 @@ fn lint_diagnostics(p: &Parsed) -> Result<Vec<Diagnostic>, Box<dyn Error>> {
     Ok(diags)
 }
 
-/// Renders a JSON string literal, escaping like the rest of the repo's
-/// hand-rolled emitters.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+/// The [`CheckConfig`] this invocation's flags describe. A `--config`
+/// file submits its *text* (the manifest never carries server-side
+/// paths); without one, flags override the baseline unvalidated —
+/// rejecting a bad configuration is the linter's job. When a file is
+/// given, override flags are ignored, exactly as [`config_for_lint`]
+/// always did.
+fn check_config_from(p: &Parsed) -> Result<CheckConfig, Box<dyn Error>> {
+    if let Some(path) = p.options.get("config") {
+        return Ok(CheckConfig {
+            file: Some(std::fs::read_to_string(path)?),
+            ..CheckConfig::default()
+        });
     }
-    out.push('"');
-    out
+    let mut c = CheckConfig::default();
+    if let Some(v) = p.options.get("depth") {
+        c.depth = Some(
+            v.parse()
+                .map_err(|_| ArgError(format!("bad --depth {v:?}")))?,
+        );
+    }
+    if let Some(v) = p.options.get("retire-at") {
+        c.retire_at = Some(
+            v.parse()
+                .map_err(|_| ArgError(format!("bad --retire-at {v:?}")))?,
+        );
+    }
+    if let Some(v) = p.options.get("hazard") {
+        c.hazard = Some(hazard_from(v)?);
+    }
+    Ok(c)
 }
 
-/// Assembles the single `wbsim check --json` document. The section
-/// arguments are already-rendered JSON values; a pass that was not
-/// requested renders as `null`.
-fn merged_check_json(
-    linter: &[Diagnostic],
-    exhaustive: Option<&str>,
-    reach: Option<&str>,
-) -> String {
-    let diags: Vec<String> = linter.iter().map(Diagnostic::to_json).collect();
-    format!(
-        "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":{}}},\"exhaustive\":{},\"reach\":{}}}",
-        diags.join(","),
-        any_errors(linter),
-        exhaustive.unwrap_or("null"),
-        reach.unwrap_or("null")
-    )
+/// Re-emits a cached-or-fresh counterexample exactly as the direct check
+/// path does: the JSONL trace to `--out` (default
+/// `wbsim-counterexample.jsonl`, fsynced so `trace validate` can follow
+/// immediately) and the human report to stderr — stdout carries the
+/// merged JSON document. The meta artifact holds everything the report
+/// needs, so a cache hit reproduces the same bytes without re-checking.
+fn emit_counterexample_artifacts(
+    p: &Parsed,
+    trace: &wbsim_jobs::Artifact,
+    meta: &str,
+) -> CmdResult {
+    use std::io::Write as _;
+    use wbsim_types::json as wjson;
+    let doc =
+        wjson::parse(meta).map_err(|e| ArgError(format!("internal: counterexample meta: {e}")))?;
+    let field = |k: &str| {
+        doc.get(k)
+            .and_then(wjson::Json::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    let out = p
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "wbsim-counterexample.jsonl".into());
+    let mut w = BufWriter::new(File::create(&out)?);
+    w.write_all(&trace.bytes)?;
+    w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    let replay = format!("`wbsim trace validate {out}`");
+    let mut human = io::stderr().lock();
+    writeln!(human, "invariant violated: {}", field("violation"))?;
+    writeln!(human, "configuration:\n{}", field("config"))?;
+    if let Some(m) = doc.get("mshrs").and_then(wjson::Json::as_u64) {
+        writeln!(human, "machine: non-blocking, {m} MSHRs")?;
+    }
+    writeln!(
+        human,
+        "minimized sequence ({} ops): {}",
+        doc.get("ops_len")
+            .and_then(wjson::Json::as_u64)
+            .unwrap_or(0),
+        field("ops")
+    )?;
+    writeln!(
+        human,
+        "event trace: {out} ({} events) — replay with {replay}",
+        doc.get("trace_len")
+            .and_then(wjson::Json::as_u64)
+            .unwrap_or(0)
+    )?;
+    Ok(())
 }
 
-/// `wbsim check --json`: every requested pass runs, and stdout carries
-/// exactly one top-level JSON document with `linter`, `exhaustive`, and
-/// `reach` sections. Counterexample traces still go to `--out` (stdout
-/// with `--out -` would corrupt the document, so the trace defaults to a
-/// file) and the human report goes to stderr.
+/// `wbsim check --json`, routed through the job layer: every requested
+/// pass runs, and stdout carries exactly one top-level JSON document with
+/// `linter`, `exhaustive`, and `reach` sections. Counterexample traces
+/// still go to `--out` (stdout with `--out -` would corrupt the document,
+/// so the trace defaults to a file) and the human report goes to stderr.
 fn cmd_check_json(p: &Parsed) -> CmdResult {
     if p.options.get("out").is_some_and(|o| o == "-") {
         return Err(ArgError(
@@ -970,63 +1072,33 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
         .into());
     }
     let machine = check_machine_from(p)?;
-    let mshrs = check_mshrs_from(p)?;
-    let fault = fault_from(p)?;
-    let jobs = p.get_or("jobs", default_jobs())?;
-    let diags = lint_diagnostics(p)?;
-    let mut failed = any_errors(&diags);
-
-    let exhaustive = if p.has_flag("exhaustive") {
-        let max_ops = p.get_or("max-ops", 5u32)?;
-        let result = match machine {
-            CheckMachine::Blocking => check_exhaustive_jobs(max_ops, fault, jobs),
-            CheckMachine::NonBlocking => {
-                check_exhaustive_nonblocking_jobs(max_ops, fault, mshrs, jobs)
-            }
-        };
-        Some(match result {
-            Ok(report) => format!("{{\"status\":\"clean\",\"report\":{}}}", report.to_json()),
-            Err(ce) => {
-                failed = true;
-                report_counterexample(p, &ce, &ce.violation)?;
-                format!(
-                    "{{\"status\":\"violation\",\"violation\":{}}}",
-                    json_string(&ce.violation)
-                )
-            }
-        })
-    } else {
-        None
+    let spec = CheckSpec {
+        exhaustive: p.has_flag("exhaustive"),
+        reach: p.has_flag("reach"),
+        machine: match machine {
+            CheckMachine::Blocking => MachineSel::Blocking,
+            CheckMachine::NonBlocking => MachineSel::NonBlocking,
+        },
+        mshrs: check_mshrs_from(p)?,
+        max_ops: p.get_or("max-ops", 5u32)?,
+        fault: fault_from(p)?,
+        config: check_config_from(p)?,
     };
-
-    let reach = if p.has_flag("reach") {
-        let result = match machine {
-            CheckMachine::Blocking => check_reach_jobs(fault, jobs),
-            CheckMachine::NonBlocking => check_reach_nonblocking_jobs(fault, mshrs, jobs),
-        };
-        Some(match result {
-            Ok(report) => format!("{{\"status\":\"clean\",\"report\":{}}}", report.to_json()),
-            Err(v) => {
-                failed = true;
-                if let Some(ce) = &v.counterexample {
-                    report_counterexample(p, ce, &ce.violation)?;
-                }
-                format!(
-                    "{{\"status\":\"violation\",\"diagnostic\":{}}}",
-                    v.diagnostic.to_json()
-                )
-            }
-        })
-    } else {
-        None
-    };
-
-    println!(
-        "{}",
-        merged_check_json(&diags, exhaustive.as_deref(), reach.as_deref())
-    );
-    if failed {
-        return Err(ArgError("check found problems (see the JSON document)".into()).into());
+    let outcome = run_job(&Manifest {
+        kind: JobKind::Check(spec),
+        options: job_options(p)?,
+    });
+    // Counterexample side effects come first, as the direct path's did.
+    for section in ["exhaustive", "reach"] {
+        let trace = outcome.artifact(&format!("counterexample-{section}.jsonl"));
+        let meta = outcome.artifact_text(&format!("counterexample-{section}.meta.json"));
+        if let (Some(trace), Some(meta)) = (trace, meta) {
+            emit_counterexample_artifacts(p, trace, meta)?;
+        }
+    }
+    print!("{}", outcome.artifact_text("check.json").unwrap_or(""));
+    if let Some(msg) = &outcome.failed {
+        return Err(ArgError(msg.clone()).into());
     }
     Ok(())
 }
@@ -1174,27 +1246,41 @@ fn cmd_check_reach(p: &Parsed) -> CmdResult {
     }
 }
 
-/// `wbsim bench`: measure both engines over the table-7 cell grid, emit
-/// the `BENCH_*.json` snapshot, and optionally gate against a committed
-/// baseline.
+/// `wbsim bench`, routed through the job layer: measure both engines over
+/// the table-7 cell grid, emit the `BENCH_*.json` snapshot, and
+/// optionally gate against a committed baseline. Measurement cells stay
+/// serial inside the job (parallel samples would contend for cores and
+/// wreck the numbers).
 fn cmd_bench(p: &Parsed) -> CmdResult {
     let defaults = wbsim_bench::MeasureScale::table7();
     let instructions = p.get_or("instructions", defaults.instructions)?;
-    let scale = wbsim_bench::MeasureScale {
+    let samples = p.get_or("samples", defaults.samples)?;
+    let options = JobOptions {
         instructions,
         warmup: p.get_or("warmup", instructions * 3 / 10)?,
         seed: p.get_or("seed", defaults.seed)?,
-        samples: p.get_or("samples", defaults.samples)?,
+        check_data: false,
+        jobs: p.get_or("jobs", 0usize)?,
+        engine: wbsim_sim::Engine::default(),
     };
     eprintln!(
         "measuring {} cells × {} samples × 2 engines at {} instructions (+{} warmup)…",
-        51, scale.samples, scale.instructions, scale.warmup
+        51, samples, options.instructions, options.warmup
     );
-    let snap = wbsim_bench::measure(&scale);
+    let outcome = run_job(&Manifest {
+        kind: JobKind::Bench { samples },
+        options,
+    });
+    if let Some(msg) = &outcome.failed {
+        return Err(ArgError(msg.clone()).into());
+    }
+    let snap_json = outcome.artifact_text("bench.json").unwrap_or("");
+    let snap = wbsim_bench::BenchSnapshot::from_json(snap_json)
+        .map_err(|e| ArgError(format!("bench: internal snapshot: {e}")))?;
     let json_only = p.has_flag("json") && !p.options.contains_key("out");
     if json_only {
         // Clean JSON pipe: the snapshot on stdout, nothing else.
-        print!("{}", snap.to_json());
+        print!("{snap_json}");
     } else {
         for t in &snap.targets {
             println!(
@@ -1214,7 +1300,7 @@ fn cmd_bench(p: &Parsed) -> CmdResult {
         }
     }
     if let Some(out) = p.options.get("out") {
-        std::fs::write(out, snap.to_json())?;
+        std::fs::write(out, snap_json)?;
         println!("wrote snapshot to {out}");
     }
     if let Some(baseline_path) = p.options.get("check") {
@@ -1245,6 +1331,18 @@ fn cmd_bench(p: &Parsed) -> CmdResult {
     Ok(())
 }
 
+/// `wbsim serve`: the job daemon. Runs until `POST /v1/shutdown` (or the
+/// process is killed).
+fn cmd_serve(p: &Parsed) -> CmdResult {
+    let addr = p
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| wbsim_jobs::DEFAULT_ADDR.to_string());
+    let workers = p.get_or("workers", wbsim_jobs::DEFAULT_WORKERS)?;
+    wbsim_jobs::serve(&addr, workers)
+}
+
 fn cmd_list() -> CmdResult {
     println!("benchmark models (paper Table 4):");
     for m in BenchmarkModel::ALL {
@@ -1265,6 +1363,7 @@ fn cmd_list() -> CmdResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wbsim_jobs::merged_check_json;
 
     fn v(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -1609,8 +1708,11 @@ wb.retirement = retire-at-8
         let e = Diagnostic::new("CFG002", wbsim_types::diagnostics::Severity::Error, "wb")
             .with_message("m");
         assert!(merged_check_json(&[e], None, None).contains("\"errors\":true"));
-        // The escaper keeps violation messages valid JSON.
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        // The shared escaper keeps violation messages valid JSON.
+        assert_eq!(
+            wbsim_types::json::escape("a\"b\\c\nd"),
+            "\"a\\\"b\\\\c\\nd\""
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ fn main() {
         warmup: 100_000,
         seed: 42,
         check_data: false,
+        ..Harness::standard()
     };
     let t0 = std::time::Instant::now();
     let rows = tables::table5_rows(&h);

@@ -7,6 +7,7 @@ fn main() {
         warmup: 100_000,
         seed: 42,
         check_data: false,
+        ..Harness::standard()
     };
     let t6 = tables::table6(&h);
     print!("{}", render::render_table(&t6));

@@ -446,6 +446,7 @@ mod tests {
             warmup: 0,
             seed: 9,
             check_data: true,
+            ..Harness::standard()
         }
     }
 
@@ -467,6 +468,7 @@ mod tests {
             warmup: 0,
             seed: 5,
             check_data: true,
+            ..Harness::standard()
         };
         let f = coalescing(&h);
         // Compare write-buffer hit rates on a store-heavy benchmark.

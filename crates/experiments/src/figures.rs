@@ -326,6 +326,7 @@ mod tests {
             warmup: 0,
             seed: 7,
             check_data: true,
+            ..Harness::standard()
         }
     }
 

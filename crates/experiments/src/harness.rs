@@ -5,7 +5,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
-use wbsim_sim::{HistogramObserver, Machine};
+use wbsim_sim::{Engine, HistogramObserver, Machine};
 use wbsim_trace::bench_models::BenchmarkModel;
 use wbsim_types::config::MachineConfig;
 use wbsim_types::op::Op;
@@ -22,11 +22,22 @@ use wbsim_types::stats::SimStats;
 /// cell `i`'s result always lands in slot `i`, regardless of which worker
 /// ran it.
 pub fn pool_cells<T: Send>(n: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    match wbsim_check::run_indexed_earliest::<T, std::convert::Infallible>(
-        n,
-        wbsim_check::default_jobs(),
-        |i, _abort| Ok(work(i)),
-    ) {
+    pool_cells_jobs(n, 0, work)
+}
+
+/// [`pool_cells`] with an explicit pool width: `jobs == 0` means
+/// "auto-size to the machine" ([`wbsim_check::default_jobs`]); any other
+/// value pins the worker count, which the CLI's `--jobs` flag threads
+/// through every grid-running subcommand.
+pub fn pool_cells_jobs<T: Send>(n: usize, jobs: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let jobs = if jobs == 0 {
+        wbsim_check::default_jobs()
+    } else {
+        jobs
+    };
+    match wbsim_check::run_indexed_earliest::<T, std::convert::Infallible>(n, jobs, |i, _abort| {
+        Ok(work(i))
+    }) {
         Ok(results) => results,
         Err((_, e)) => match e {},
     }
@@ -131,6 +142,14 @@ pub struct Harness {
     pub seed: u64,
     /// Verify every load against the golden functional model (slower).
     pub check_data: bool,
+    /// Worker-pool width for sweeps; `0` auto-sizes to the machine
+    /// ([`wbsim_check::default_jobs`]). Pool width never changes results —
+    /// it is excluded from job-layer cache keys.
+    pub jobs: usize,
+    /// Which run-loop engine simulates each cell. The engines are
+    /// bit-identical by construction (pinned by the equivalence suite), so
+    /// this chooses speed, not results.
+    pub engine: Engine,
 }
 
 impl Harness {
@@ -143,6 +162,8 @@ impl Harness {
             warmup: 300_000,
             seed: 42,
             check_data: false,
+            jobs: 0,
+            engine: Engine::default(),
         }
     }
 
@@ -154,6 +175,8 @@ impl Harness {
             warmup: 20_000,
             seed: 42,
             check_data: true,
+            jobs: 0,
+            engine: Engine::default(),
         }
     }
 
@@ -162,9 +185,9 @@ impl Harness {
     pub fn run(&self, bench: BenchmarkModel, mut cfg: MachineConfig) -> SimStats {
         cfg.check_data = self.check_data;
         let ops = bench.stream(self.seed, self.instructions + self.warmup);
-        Machine::new(cfg)
-            .expect("experiment configurations are valid by construction")
-            .run_with_warmup(ops, self.warmup)
+        let mut m = Machine::new(cfg).expect("experiment configurations are valid by construction");
+        m.set_engine(self.engine);
+        m.run_with_warmup(ops, self.warmup)
     }
 
     /// Runs one benchmark through one configuration with a
@@ -184,9 +207,9 @@ impl Harness {
         cfg.check_data = self.check_data;
         let mut obs = HistogramObserver::new(cfg.write_buffer.depth);
         let ops = bench.stream(self.seed, self.instructions + self.warmup);
-        let stats = Machine::new(cfg)
-            .expect("experiment configurations are valid by construction")
-            .run_observed_with_warmup(ops, self.warmup, &mut obs);
+        let mut m = Machine::new(cfg).expect("experiment configurations are valid by construction");
+        m.set_engine(self.engine);
+        let stats = m.run_observed_with_warmup(ops, self.warmup, &mut obs);
         (stats, obs)
     }
 
@@ -195,9 +218,9 @@ impl Harness {
     pub fn run_ideal(&self, bench: BenchmarkModel, mut cfg: MachineConfig) -> SimStats {
         cfg.check_data = self.check_data;
         let ops = bench.stream(self.seed, self.instructions + self.warmup);
-        Machine::new(cfg)
-            .expect("experiment configurations are valid by construction")
-            .run_ideal_with_warmup(ops, self.warmup)
+        let mut m = Machine::new(cfg).expect("experiment configurations are valid by construction");
+        m.set_engine(self.engine);
+        m.run_ideal_with_warmup(ops, self.warmup)
     }
 
     /// Sweeps `configs` over `benches` on the shared cell pool
@@ -235,19 +258,20 @@ impl Harness {
         }
         let nc = configs.len();
         let streams = StreamCache::new(benches, self.seed, self.instructions + self.warmup, 1);
-        let flat: Vec<Result<StallCell, String>> = pool_cells(benches.len() * nc, |i| {
-            let (b, c) = (i / nc, i % nc);
-            let ops = streams.get(b, 0)?;
-            let mut cfg = configs[c].1.clone();
-            cfg.check_data = self.check_data;
-            catch_unwind(AssertUnwindSafe(|| {
-                let stats = Machine::new(cfg)
-                    .expect("experiment configuration rejected")
-                    .run_with_warmup(ops.iter().copied(), self.warmup);
-                StallCell::from_stats(&stats)
-            }))
-            .map_err(panic_message)
-        });
+        let flat: Vec<Result<StallCell, String>> =
+            pool_cells_jobs(benches.len() * nc, self.jobs, |i| {
+                let (b, c) = (i / nc, i % nc);
+                let ops = streams.get(b, 0)?;
+                let mut cfg = configs[c].1.clone();
+                cfg.check_data = self.check_data;
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut m = Machine::new(cfg).expect("experiment configuration rejected");
+                    m.set_engine(self.engine);
+                    let stats = m.run_with_warmup(ops.iter().copied(), self.warmup);
+                    StallCell::from_stats(&stats)
+                }))
+                .map_err(panic_message)
+            });
         let mut errors = Vec::new();
         let mut flat = flat.into_iter();
         let cells = benches
@@ -377,7 +401,7 @@ impl Harness {
         n_seeds: u64,
     ) -> Result<SeedSummary, String> {
         let n = n_seeds.max(1);
-        let runs = pool_cells(n as usize, |i| {
+        let runs = pool_cells_jobs(n as usize, self.jobs, |i| {
             let h = Harness {
                 seed: self.seed + i as u64,
                 ..*self
@@ -494,22 +518,23 @@ impl Harness {
         let n = n_seeds.max(1) as usize;
         let nc = configs.len();
         let streams = StreamCache::new(benches, self.seed, self.instructions + self.warmup, n);
-        let flat: Vec<Result<StallCell, String>> = pool_cells(benches.len() * nc * n, |i| {
-            let (b, c, s) = (i / (nc * n), (i / n) % nc, i % n);
-            let seed = self.seed + s as u64;
-            let ops = streams
-                .get(b, s)
-                .map_err(|msg| format!("seed {seed}: {msg}"))?;
-            let mut cfg = configs[c].1.clone();
-            cfg.check_data = self.check_data;
-            catch_unwind(AssertUnwindSafe(|| {
-                let stats = Machine::new(cfg)
-                    .expect("experiment configuration rejected")
-                    .run_with_warmup(ops.iter().copied(), self.warmup);
-                StallCell::from_stats(&stats)
-            }))
-            .map_err(|p| format!("seed {seed}: {}", panic_message(p)))
-        });
+        let flat: Vec<Result<StallCell, String>> =
+            pool_cells_jobs(benches.len() * nc * n, self.jobs, |i| {
+                let (b, c, s) = (i / (nc * n), (i / n) % nc, i % n);
+                let seed = self.seed + s as u64;
+                let ops = streams
+                    .get(b, s)
+                    .map_err(|msg| format!("seed {seed}: {msg}"))?;
+                let mut cfg = configs[c].1.clone();
+                cfg.check_data = self.check_data;
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut m = Machine::new(cfg).expect("experiment configuration rejected");
+                    m.set_engine(self.engine);
+                    let stats = m.run_with_warmup(ops.iter().copied(), self.warmup);
+                    StallCell::from_stats(&stats)
+                }))
+                .map_err(|p| format!("seed {seed}: {}", panic_message(p)))
+            });
         let mut errors = Vec::new();
         let mut runs = flat.into_iter();
         let summaries = benches
@@ -609,6 +634,7 @@ mod tests {
             warmup: 1_000,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let (stats, obs) = h.run_detailed(BenchmarkModel::Compress, MachineConfig::baseline());
         // The observer watches the whole run; the statistics only the
@@ -626,6 +652,7 @@ mod tests {
             warmup: 0,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let benches = [BenchmarkModel::Espresso, BenchmarkModel::Li];
         let configs = vec![
@@ -654,6 +681,7 @@ mod tests {
             warmup: 0,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let mut bad = MachineConfig::baseline();
         bad.write_buffer.depth = 0;
@@ -709,6 +737,7 @@ mod tests {
             warmup: 0,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let mut faulty = MachineConfig::baseline();
         faulty.write_buffer.hazard = LoadHazardPolicy::ReadFromWb;
@@ -755,6 +784,7 @@ mod tests {
             warmup: 1_000,
             seed: 2,
             check_data: true,
+            ..Harness::standard()
         };
         let benches = [BenchmarkModel::Compress];
         let configs = vec![("base".to_string(), MachineConfig::baseline())];
@@ -773,6 +803,7 @@ mod tests {
             warmup: 3_000,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let s = h.run_seeds(BenchmarkModel::Fft, MachineConfig::baseline(), 4);
         assert_eq!(s.seeds, 4);
@@ -798,6 +829,7 @@ mod tests {
             warmup: 0,
             seed: 3,
             check_data: true,
+            ..Harness::standard()
         };
         let s = h.run(BenchmarkModel::Fft, MachineConfig::baseline());
         let c = StallCell::from_stats(&s);

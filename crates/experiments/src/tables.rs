@@ -177,24 +177,16 @@ pub struct HitRateRow {
 /// baseline model.
 #[must_use]
 pub fn table5_rows(h: &Harness) -> Vec<HitRateRow> {
-    std::thread::scope(|sc| {
-        let handles: Vec<_> = BenchmarkModel::ALL
-            .iter()
-            .map(|m| {
-                sc.spawn(move || {
-                    let stats = h.run(*m, MachineConfig::baseline());
-                    HitRateRow {
-                        bench: *m,
-                        l1_hit: stats.l1_load_hit_rate(),
-                        wb_hit: stats.wb_store_hit_rate(),
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|j| j.join().expect("table-5 thread panicked"))
-            .collect()
+    // One pooled cell per benchmark on the shared scheduler (respecting the
+    // harness's `--jobs` width) instead of one unbounded thread each.
+    crate::harness::pool_cells_jobs(BenchmarkModel::ALL.len(), h.jobs, |b| {
+        let m = BenchmarkModel::ALL[b];
+        let stats = h.run(m, MachineConfig::baseline());
+        HitRateRow {
+            bench: m,
+            l1_hit: stats.l1_load_hit_rate(),
+            wb_hit: stats.wb_store_hit_rate(),
+        }
     })
 }
 
@@ -291,14 +283,15 @@ pub fn table7_rows(h: &Harness) -> Vec<L2HitRow> {
     // One pooled cell per (benchmark × L2 size): 51 independent cells on
     // the shared scheduler, instead of one long-lived thread per benchmark
     // serializing its three sizes.
-    let stats = crate::harness::pool_cells(BenchmarkModel::ALL.len() * sizes.len(), |i| {
-        let (b, si) = (i / sizes.len(), i % sizes.len());
-        let cfg = MachineConfig {
-            l2: L2Config::real_with_size(sizes[si] * 1024),
-            ..MachineConfig::baseline()
-        };
-        h.run(BenchmarkModel::ALL[b], cfg)
-    });
+    let stats =
+        crate::harness::pool_cells_jobs(BenchmarkModel::ALL.len() * sizes.len(), h.jobs, |i| {
+            let (b, si) = (i / sizes.len(), i % sizes.len());
+            let cfg = MachineConfig {
+                l2: L2Config::real_with_size(sizes[si] * 1024),
+                ..MachineConfig::baseline()
+            };
+            h.run(BenchmarkModel::ALL[b], cfg)
+        });
     BenchmarkModel::ALL
         .iter()
         .enumerate()
@@ -375,29 +368,19 @@ pub struct WbRow {
 #[must_use]
 pub fn table_wb_rows(h: &Harness) -> Vec<WbRow> {
     let depth = MachineConfig::baseline().write_buffer.depth;
-    std::thread::scope(|sc| {
-        let handles: Vec<_> = BenchmarkModel::ALL
-            .iter()
-            .map(|m| {
-                sc.spawn(move || {
-                    let (stats, obs) = h.run_detailed(*m, MachineConfig::baseline());
-                    WbRow {
-                        bench: *m,
-                        mean_occ: stats.wb_detail.mean_occupancy(),
-                        high_water: stats.wb_detail.high_water,
-                        headroom: stats.wb_detail.headroom(depth),
-                        mean_life: obs.mean_retirement_latency(),
-                        bursts: obs.burst_count(),
-                        mean_burst: obs.mean_burst_len(),
-                        max_burst: obs.max_burst_len(),
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|j| j.join().expect("table-wb thread panicked"))
-            .collect()
+    crate::harness::pool_cells_jobs(BenchmarkModel::ALL.len(), h.jobs, |b| {
+        let m = BenchmarkModel::ALL[b];
+        let (stats, obs) = h.run_detailed(m, MachineConfig::baseline());
+        WbRow {
+            bench: m,
+            mean_occ: stats.wb_detail.mean_occupancy(),
+            high_water: stats.wb_detail.high_water,
+            headroom: stats.wb_detail.headroom(depth),
+            mean_life: obs.mean_retirement_latency(),
+            bursts: obs.burst_count(),
+            mean_burst: obs.mean_burst_len(),
+            max_burst: obs.max_burst_len(),
+        }
     })
 }
 
@@ -464,6 +447,7 @@ mod tests {
             warmup: 0,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let t = table4(&h);
         assert_eq!(t.rows.len(), 17);
@@ -477,6 +461,7 @@ mod tests {
             warmup: 1_000,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let depth = MachineConfig::baseline().write_buffer.depth as u64;
         let rows = table_wb_rows(&h);
@@ -505,6 +490,7 @@ mod tests {
             warmup: 0,
             seed: 1,
             check_data: true,
+            ..Harness::standard()
         };
         let t = table6(&h);
         assert_eq!(t.rows.len(), 2);

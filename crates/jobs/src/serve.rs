@@ -1,0 +1,515 @@
+//! `wbsim serve`: a long-running job daemon over plain HTTP/1.1.
+//!
+//! Built on `std::net::TcpListener` only — no async runtime, no HTTP
+//! dependency — because the protocol surface is five endpoints and the
+//! heavy lifting (grid execution, caching) lives in [`crate::exec`] and
+//! [`crate::store`]. One thread accepts connections and answers the cheap
+//! endpoints inline; a bounded worker pool drains the job queue, so a
+//! slow sweep never blocks health checks or status polls.
+//!
+//! Endpoints (all bodies JSON unless noted):
+//!
+//! - `POST /v1/jobs` — submit a manifest. Malformed or semantically
+//!   invalid manifests get a `400` whose body carries the structured
+//!   diagnostics. A cache hit completes the job immediately
+//!   (`"status":"done","cached":true`) without executing a single cell.
+//! - `GET /v1/jobs/<id>` — status poll (`queued | running | done |
+//!   failed`), with artifact names once finished.
+//! - `GET /v1/jobs/<id>/artifacts/<name>` — fetch one artifact.
+//!   `.jsonl` artifacts stream line-by-line as chunked transfer.
+//! - `GET /v1/store/stats` — hit/miss/cells-executed counters.
+//! - `GET /v1/health` — liveness probe.
+//! - `POST /v1/shutdown` — clean shutdown (the process exits 0; an
+//!   external SIGTERM works too and simply skips the farewell).
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use wbsim_types::json::escape;
+
+use crate::exec::Executor;
+use crate::manifest::Manifest;
+use crate::store::Store;
+
+/// Largest accepted request body (a manifest, possibly carrying a config
+/// file's text).
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// How long a connection may dawdle before the accept loop moves on.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default worker-pool width. Two is deliberately small: jobs are
+/// internally parallel already (`options.jobs`), so daemon workers govern
+/// *concurrent submissions*, not cores.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7077";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl Status {
+    fn name(self) -> &'static str {
+        match self {
+            Status::Queued => "queued",
+            Status::Running => "running",
+            Status::Done => "done",
+            Status::Failed => "failed",
+        }
+    }
+}
+
+struct Job {
+    manifest: Manifest,
+    status: Status,
+    cached: bool,
+    result: Option<crate::exec::JobResult>,
+}
+
+struct Daemon {
+    store: Store,
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_id: AtomicU64,
+    queue: Mutex<VecDeque<u64>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body). Returns a human-readable problem for anything malformed.
+fn read_request(r: &mut impl BufRead) -> Result<Request, String> {
+    let mut line = String::new();
+    r.read_line(&mut line).map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("request line has no path")?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        r.read_line(&mut h).map_err(|e| e.to_string())?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok(Request { method, path, body })
+}
+
+fn respond(w: &mut impl Write, code: u16, reason: &str, body: &[u8]) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Streams a JSONL artifact as chunked transfer, one chunk per line, so a
+/// client can validate events as they arrive.
+fn respond_chunked_jsonl(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut rest = body;
+    while !rest.is_empty() {
+        let line_end = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(rest.len(), |i| i + 1);
+        let (line, tail) = rest.split_at(line_end);
+        write!(w, "{:x}\r\n", line.len())?;
+        w.write_all(line)?;
+        w.write_all(b"\r\n")?;
+        rest = tail;
+    }
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+fn error_body(message: &str) -> Vec<u8> {
+    format!("{{\"error\":{}}}", escape(message)).into_bytes()
+}
+
+impl Daemon {
+    fn new() -> Self {
+        Daemon {
+            store: Store::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// `POST /v1/jobs`: parse, validate, and either answer from the cache
+    /// on the spot or enqueue for the worker pool.
+    fn submit(&self, body: &[u8]) -> (u16, &'static str, Vec<u8>) {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return (400, "Bad Request", error_body("body is not UTF-8")),
+        };
+        let manifest = match Manifest::from_json(text) {
+            Ok(m) => m,
+            Err(diags) => {
+                let rendered: Vec<String> = diags
+                    .iter()
+                    .map(wbsim_types::diagnostics::Diagnostic::to_json)
+                    .collect();
+                return (
+                    400,
+                    "Bad Request",
+                    format!("{{\"diagnostics\":[{}]}}", rendered.join(",")).into_bytes(),
+                );
+            }
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let key = manifest.cache_key();
+        // A cache hit finishes synchronously: Executor::run only copies an
+        // Arc in that case, so the accept thread stays responsive.
+        let hit = self.store.get(key).is_some();
+        let mut job = Job {
+            manifest,
+            status: Status::Queued,
+            cached: hit,
+            result: None,
+        };
+        if hit {
+            let result = Executor::new(&self.store).run(&job.manifest);
+            job.status = if result.outcome.failed.is_some() {
+                Status::Failed
+            } else {
+                Status::Done
+            };
+            job.result = Some(result);
+        }
+        let status = job.status;
+        self.jobs.lock().expect("jobs poisoned").insert(id, job);
+        if !hit {
+            self.queue.lock().expect("queue poisoned").push_back(id);
+            self.wake.notify_one();
+        }
+        let body = format!(
+            "{{\"id\":{id},\"status\":{},\"cached\":{},\"key\":{}}}",
+            escape(status.name()),
+            hit,
+            escape(&key.to_hex())
+        );
+        (202, "Accepted", body.into_bytes())
+    }
+
+    /// `GET /v1/jobs/<id>`.
+    fn job_status(&self, id: u64) -> (u16, &'static str, Vec<u8>) {
+        let jobs = self.jobs.lock().expect("jobs poisoned");
+        let Some(job) = jobs.get(&id) else {
+            return (404, "Not Found", error_body(&format!("no job {id}")));
+        };
+        let (artifacts, cells, failed) = match &job.result {
+            None => ("null".to_string(), "null".to_string(), "null".to_string()),
+            Some(r) => (
+                format!(
+                    "[{}]",
+                    r.outcome
+                        .artifacts
+                        .iter()
+                        .map(|a| escape(&a.name))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                r.outcome.cells.to_string(),
+                r.outcome
+                    .failed
+                    .as_deref()
+                    .map_or("null".to_string(), escape),
+            ),
+        };
+        let key = job
+            .result
+            .as_ref()
+            .map_or_else(|| job.manifest.cache_key(), |r| r.key);
+        let body = format!(
+            "{{\"id\":{id},\"status\":{},\"cached\":{},\"key\":{},\
+             \"artifacts\":{artifacts},\"cells\":{cells},\"failed\":{failed}}}",
+            escape(job.status.name()),
+            job.cached,
+            escape(&key.to_hex())
+        );
+        (200, "OK", body.into_bytes())
+    }
+
+    /// `GET /v1/jobs/<id>/artifacts/<name>` — the artifact bytes, or an
+    /// error body. The bool says "stream as chunked JSONL".
+    fn artifact(&self, id: u64, name: &str) -> Result<(Vec<u8>, bool), (u16, Vec<u8>)> {
+        let jobs = self.jobs.lock().expect("jobs poisoned");
+        let Some(job) = jobs.get(&id) else {
+            return Err((404, error_body(&format!("no job {id}"))));
+        };
+        let Some(result) = &job.result else {
+            return Err((
+                409,
+                error_body(&format!("job {id} is still {}", job.status.name())),
+            ));
+        };
+        match result.outcome.artifact(name) {
+            Some(a) => Ok((a.bytes.clone(), name.ends_with(".jsonl"))),
+            None => Err((
+                404,
+                error_body(&format!("job {id} has no artifact {name:?}")),
+            )),
+        }
+    }
+
+    fn stats_body(&self) -> Vec<u8> {
+        let s = self.store.stats();
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"cells_executed\":{},\"entries\":{}}}",
+            s.hits, s.misses, s.cells_executed, s.entries
+        )
+        .into_bytes()
+    }
+
+    /// One worker: drain the queue until shutdown.
+    fn work(&self) {
+        loop {
+            let id = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(id) = q.pop_front() {
+                        break id;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    q = self.wake.wait(q).expect("queue poisoned");
+                }
+            };
+            let manifest = {
+                let mut jobs = self.jobs.lock().expect("jobs poisoned");
+                let job = jobs.get_mut(&id).expect("queued job exists");
+                job.status = Status::Running;
+                job.manifest.clone()
+            };
+            let result = Executor::new(&self.store).run(&manifest);
+            let mut jobs = self.jobs.lock().expect("jobs poisoned");
+            let job = jobs.get_mut(&id).expect("running job exists");
+            job.status = if result.outcome.failed.is_some() {
+                Status::Failed
+            } else {
+                Status::Done
+            };
+            job.cached = result.cached;
+            job.result = Some(result);
+        }
+    }
+
+    /// Routes one request. Returns `true` when the daemon should stop.
+    fn handle(&self, stream: &mut TcpStream) -> bool {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = respond(stream, 400, "Bad Request", &error_body(&e));
+                return false;
+            }
+        };
+        let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+        let outcome = match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["v1", "health"]) => respond(stream, 200, "OK", b"{\"ok\":true}"),
+            ("GET", ["v1", "store", "stats"]) => respond(stream, 200, "OK", &self.stats_body()),
+            ("POST", ["v1", "jobs"]) => {
+                let (code, reason, body) = self.submit(&req.body);
+                respond(stream, code, reason, &body)
+            }
+            ("GET", ["v1", "jobs", id]) => match id.parse::<u64>() {
+                Ok(id) => {
+                    let (code, reason, body) = self.job_status(id);
+                    respond(stream, code, reason, &body)
+                }
+                Err(_) => respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    &error_body("job id must be a number"),
+                ),
+            },
+            ("GET", ["v1", "jobs", id, "artifacts", name]) => match id.parse::<u64>() {
+                Ok(id) => match self.artifact(id, name) {
+                    Ok((bytes, jsonl)) if jsonl => respond_chunked_jsonl(stream, &bytes),
+                    Ok((bytes, _)) => respond(stream, 200, "OK", &bytes),
+                    Err((code, body)) => {
+                        let reason = if code == 404 { "Not Found" } else { "Conflict" };
+                        respond(stream, code, reason, &body)
+                    }
+                },
+                Err(_) => respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    &error_body("job id must be a number"),
+                ),
+            },
+            ("POST", ["v1", "shutdown"]) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.wake.notify_all();
+                respond(stream, 200, "OK", b"{\"ok\":true}")
+            }
+            _ => respond(
+                stream,
+                404,
+                "Not Found",
+                &error_body(&format!("no route {} {}", req.method, req.path)),
+            ),
+        };
+        // A client that vanished mid-response is its own problem.
+        let _ = outcome;
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Runs the daemon until `POST /v1/shutdown` (or the process is killed).
+/// Prints one line to stdout announcing the bound address — with
+/// `--addr 127.0.0.1:0` that line is how callers learn the real port.
+pub fn serve(addr: &str, workers: usize) -> Result<(), Box<dyn Error>> {
+    let workers = workers.max(1);
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    println!("wbsim serve listening on http://{local} ({workers} workers)");
+    io::stdout().flush()?;
+    let daemon = Daemon::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| daemon.work());
+        }
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+            if daemon.handle(&mut stream) {
+                break;
+            }
+        }
+        // Unblock any worker parked on the condvar so the scope can join.
+        daemon.shutdown.store(true, Ordering::SeqCst);
+        daemon.wake.notify_all();
+    });
+    // The farewell is best-effort: the launcher may have closed our
+    // stdout long ago, and EPIPE must not turn a clean shutdown into a
+    // panic.
+    let _ = writeln!(io::stdout(), "wbsim serve: shut down cleanly");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_minimal_post() {
+        let raw = b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}";
+        let req = read_request(&mut Cursor::new(&raw[..])).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(&mut Cursor::new(raw.as_bytes())).expect_err("too large");
+        assert!(err.contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn submit_rejects_malformed_manifests_with_diagnostics() {
+        let d = Daemon::new();
+        let (code, _, body) = d.submit(b"{\"schema\":\"wbsim-job/1\",\"kind\":\"frobnicate\"}");
+        assert_eq!(code, 400);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"diagnostics\""), "{text}");
+        assert!(text.contains("JOB004"), "{text}");
+    }
+
+    #[test]
+    fn submit_and_worker_complete_a_static_table_job() {
+        let d = Daemon::new();
+        let manifest =
+            b"{\"schema\":\"wbsim-job/1\",\"kind\":\"table\",\"spec\":{\"which\":\"3\"}}";
+        let (code, _, body) = d.submit(manifest);
+        assert_eq!(code, 202);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"id\":1"), "{text}");
+        assert!(text.contains("\"cached\":false"), "{text}");
+        // Drain the queue inline, exactly as a worker would.
+        let id = d.queue.lock().unwrap().pop_front().unwrap();
+        let manifest = d.jobs.lock().unwrap().get(&id).unwrap().manifest.clone();
+        let result = Executor::new(&d.store).run(&manifest);
+        {
+            let mut jobs = d.jobs.lock().unwrap();
+            let job = jobs.get_mut(&id).unwrap();
+            job.status = Status::Done;
+            job.result = Some(result);
+        }
+        let (code, _, body) = d.job_status(id);
+        assert_eq!(code, 200);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"status\":\"done\""), "{text}");
+        assert!(text.contains("tables.txt"), "{text}");
+        // Resubmission is now a synchronous cache hit.
+        let (code, _, body) = d.submit(manifest.to_json().as_bytes());
+        assert_eq!(code, 202);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"cached\":true"), "{text}");
+        assert!(text.contains("\"status\":\"done\""), "{text}");
+        assert_eq!(d.store.stats().hits, 1);
+    }
+
+    #[test]
+    fn chunked_jsonl_framing_is_decodable() {
+        let mut out = Vec::new();
+        respond_chunked_jsonl(&mut out, b"{\"a\":1}\n{\"b\":2}\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"), "{text}");
+    }
+}

@@ -1,0 +1,155 @@
+//! The content-addressed result store.
+//!
+//! Results are indexed by [`CacheKey`] — the hash of a manifest's semantic
+//! inputs ([`crate::Manifest::cache_key`]) — so resubmitting an identical
+//! manifest is answered from memory without executing a single cell. The
+//! store keeps honest books: hit/miss counters and a monotonic count of
+//! simulation cells actually executed, which the cache tests pin to prove
+//! a hit re-runs nothing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wbsim_types::CacheKey;
+
+/// One named result blob (exact CLI stdout bytes, a counterexample trace,
+/// an SVG, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Artifact name, unique within its job (e.g. `tables.txt`).
+    pub name: String,
+    /// The bytes, exactly as the one-shot CLI would have emitted them.
+    pub bytes: Vec<u8>,
+}
+
+/// Everything one job execution produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobOutcome {
+    /// Result blobs, in a deterministic order.
+    pub artifacts: Vec<Artifact>,
+    /// Simulation cells this execution ran (0 when served from cache).
+    pub cells: u64,
+    /// A deterministic failure (check violation, invalid trace config);
+    /// failures are results too and cache like any other outcome.
+    pub failed: Option<String>,
+}
+
+impl JobOutcome {
+    /// Looks up an artifact by name.
+    #[must_use]
+    pub fn artifact(&self, name: &str) -> Option<&Artifact> {
+        self.artifacts.iter().find(|a| a.name == name)
+    }
+
+    /// The named artifact's bytes as UTF-8 text (every built-in job kind
+    /// produces text artifacts).
+    #[must_use]
+    pub fn artifact_text(&self, name: &str) -> Option<&str> {
+        self.artifact(name)
+            .and_then(|a| std::str::from_utf8(&a.bytes).ok())
+    }
+}
+
+/// Counters snapshot for `/v1/store/stats` and the cache tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Submissions answered from the cache.
+    pub hits: u64,
+    /// Submissions that had to execute.
+    pub misses: u64,
+    /// Total simulation cells executed across all misses.
+    pub cells_executed: u64,
+    /// Distinct cached results.
+    pub entries: u64,
+}
+
+/// The in-memory content-addressed store. `Sync` throughout: the daemon
+/// shares one store across its worker pool, the CLI makes a fresh one per
+/// invocation.
+#[derive(Debug, Default)]
+pub struct Store {
+    entries: Mutex<HashMap<CacheKey, Arc<JobOutcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    cells_executed: AtomicU64,
+}
+
+impl Store {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached outcome for `key`, if any. Pure lookup — the executor
+    /// does the hit/miss accounting so probes stay free.
+    #[must_use]
+    pub fn get(&self, key: CacheKey) -> Option<Arc<JobOutcome>> {
+        self.entries
+            .lock()
+            .expect("store poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Records a cache hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss and stores its outcome, counting the cells it ran.
+    pub fn insert(&self, key: CacheKey, outcome: Arc<JobOutcome>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cells_executed
+            .fetch_add(outcome.cells, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("store poisoned")
+            .insert(key, outcome);
+    }
+
+    /// Counters snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            cells_executed: self.cells_executed.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("store poisoned").len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsim_types::KeyHasher;
+
+    #[test]
+    fn books_stay_honest() {
+        let store = Store::new();
+        let key = KeyHasher::new().field("k", "v").finish();
+        assert!(store.get(key).is_none());
+        store.insert(
+            key,
+            Arc::new(JobOutcome {
+                artifacts: vec![Artifact {
+                    name: "a.txt".into(),
+                    bytes: b"hello".to_vec(),
+                }],
+                cells: 7,
+                failed: None,
+            }),
+        );
+        let got = store.get(key).expect("stored");
+        assert_eq!(got.artifact_text("a.txt"), Some("hello"));
+        assert!(got.artifact("b.txt").is_none());
+        store.record_hit();
+        let s = store.stats();
+        assert_eq!(
+            (s.hits, s.misses, s.cells_executed, s.entries),
+            (1, 1, 7, 1)
+        );
+    }
+}

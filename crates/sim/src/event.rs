@@ -12,14 +12,16 @@
 //! Events serialize to single-line JSON objects ([`Event::to_json`]) and
 //! parse back losslessly ([`Event::from_json`]) — the `wbsim trace events`
 //! subcommand streams them as JSONL, and CI validates the round trip. The
-//! encoding is hand-rolled (no serde in the dependency tree): every field
-//! is an unsigned integer, a boolean, or one of a small closed set of
-//! string tokens.
+//! encoding is hand-rolled (no serde in the dependency tree) on top of the
+//! workspace's shared [`wbsim_types::json`] module: every field is an
+//! unsigned integer, a boolean, or one of a small closed set of string
+//! tokens.
 
 use std::fmt;
 
 use wbsim_types::addr::Addr;
 use wbsim_types::divergence::LoadSource;
+use wbsim_types::json::Json;
 use wbsim_types::policy::LoadHazardPolicy;
 use wbsim_types::stall::StallKind;
 use wbsim_types::Cycle;
@@ -304,72 +306,76 @@ impl Event {
     /// Returns an [`EventParseError`] on malformed JSON, an unknown
     /// `"event"` tag, a missing or mistyped field, or an unknown token.
     pub fn from_json(text: &str) -> Result<Self, EventParseError> {
-        let fields = parse_flat_object(text)?;
-        let tag = get_str(&fields, "event")?;
-        let now = get_u64(&fields, "now")?;
+        let doc =
+            wbsim_types::json::parse(text).map_err(|e| EventParseError::new(e.to_string()))?;
+        let fields = doc
+            .entries()
+            .ok_or_else(|| EventParseError::new("not a JSON object"))?;
+        let tag = get_str(fields, "event")?;
+        let now = get_u64(fields, "now")?;
         let ev = match tag {
             "store-accepted" => Event::StoreAccepted {
                 now,
-                addr: Addr::new(get_u64(&fields, "addr")?),
-                merged: get_bool(&fields, "merged")?,
+                addr: Addr::new(get_u64(fields, "addr")?),
+                merged: get_bool(fields, "merged")?,
             },
             "retire-start" => Event::RetireStart {
                 now,
-                id: get_u64(&fields, "id")?,
-                flush: get_bool(&fields, "flush")?,
+                id: get_u64(fields, "id")?,
+                flush: get_bool(fields, "flush")?,
             },
             "retire-complete" => Event::RetireComplete {
                 now,
-                id: get_u64(&fields, "id")?,
-                line: get_u64(&fields, "line")?,
-                lifetime: get_u64(&fields, "lifetime")?,
-                valid_words: u32::try_from(get_u64(&fields, "valid_words")?)
+                id: get_u64(fields, "id")?,
+                line: get_u64(fields, "line")?,
+                lifetime: get_u64(fields, "lifetime")?,
+                valid_words: u32::try_from(get_u64(fields, "valid_words")?)
                     .map_err(|_| EventParseError::field("valid_words", "exceeds u32"))?,
-                flush: get_bool(&fields, "flush")?,
+                flush: get_bool(fields, "flush")?,
             },
             "hazard-triggered" => Event::HazardTriggered {
                 now,
-                addr: Addr::new(get_u64(&fields, "addr")?),
-                policy: policy_from(get_str(&fields, "policy")?)
+                addr: Addr::new(get_u64(fields, "addr")?),
+                policy: policy_from(get_str(fields, "policy")?)
                     .ok_or_else(|| EventParseError::field("policy", "unknown token"))?,
-                flush_entries: get_u64(&fields, "flush_entries")?,
+                flush_entries: get_u64(fields, "flush_entries")?,
             },
             "stall-cycle" => Event::StallCycle {
                 now,
-                kind: stall_kind_from(get_str(&fields, "kind")?)
+                kind: stall_kind_from(get_str(fields, "kind")?)
                     .ok_or_else(|| EventParseError::field("kind", "unknown token"))?,
             },
             "fill-installed" => Event::FillInstalled {
                 now,
-                line: get_u64(&fields, "line")?,
-                for_store: get_bool(&fields, "for_store")?,
-                merged_wb: get_bool(&fields, "merged_wb")?,
+                line: get_u64(fields, "line")?,
+                for_store: get_bool(fields, "for_store")?,
+                merged_wb: get_bool(fields, "merged_wb")?,
             },
             "victim-writeback" => Event::VictimWriteback {
                 now,
-                line: get_u64(&fields, "line")?,
-                merged: get_bool(&fields, "merged")?,
+                line: get_u64(fields, "line")?,
+                merged: get_bool(fields, "merged")?,
             },
             "port-granted" => Event::PortGranted {
                 now,
-                owner: port_use_from(get_str(&fields, "owner")?)
+                owner: port_use_from(get_str(fields, "owner")?)
                     .ok_or_else(|| EventParseError::field("owner", "unknown token"))?,
-                until: get_u64(&fields, "until")?,
+                until: get_u64(fields, "until")?,
             },
             "load-resolved" => Event::LoadResolved {
                 now,
-                addr: Addr::new(get_u64(&fields, "addr")?),
-                value: get_u64(&fields, "value")?,
-                source: source_from(get_str(&fields, "source")?)
+                addr: Addr::new(get_u64(fields, "addr")?),
+                value: get_u64(fields, "value")?,
+                source: source_from(get_str(fields, "source")?)
                     .ok_or_else(|| EventParseError::field("source", "unknown token"))?,
             },
             "load-miss" => Event::LoadMiss {
                 now,
-                addr: Addr::new(get_u64(&fields, "addr")?),
+                addr: Addr::new(get_u64(fields, "addr")?),
             },
             "cycle-end" => Event::CycleEnd {
                 now,
-                occupancy: get_u64(&fields, "occupancy")?,
+                occupancy: get_u64(fields, "occupancy")?,
             },
             other => {
                 return Err(EventParseError {
@@ -407,80 +413,7 @@ impl fmt::Display for EventParseError {
 
 impl std::error::Error for EventParseError {}
 
-/// One parsed JSON scalar (the only shapes the event encoding produces).
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum JsonValue {
-    Num(u64),
-    Bool(bool),
-    Str(String),
-}
-
-/// Parses a flat `{"key":scalar,...}` object: no nesting, no escapes, no
-/// floats — exactly the grammar [`Event::to_json`] emits.
-fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, EventParseError> {
-    let body = text
-        .trim()
-        .strip_prefix('{')
-        .and_then(|t| t.strip_suffix('}'))
-        .ok_or_else(|| EventParseError::new("not a JSON object"))?;
-    let mut fields = Vec::new();
-    let mut rest = body.trim();
-    while !rest.is_empty() {
-        let after_quote = rest
-            .strip_prefix('"')
-            .ok_or_else(|| EventParseError::new("expected a quoted key"))?;
-        let key_end = after_quote
-            .find('"')
-            .ok_or_else(|| EventParseError::new("unterminated key"))?;
-        let key = &after_quote[..key_end];
-        let after_key = after_quote[key_end + 1..].trim_start();
-        rest = after_key
-            .strip_prefix(':')
-            .ok_or_else(|| EventParseError::new("expected ':' after key"))?
-            .trim_start();
-        let value;
-        if let Some(after) = rest.strip_prefix('"') {
-            let end = after
-                .find('"')
-                .ok_or_else(|| EventParseError::new("unterminated string value"))?;
-            value = JsonValue::Str(after[..end].to_string());
-            rest = after[end + 1..].trim_start();
-        } else if let Some(after) = rest.strip_prefix("true") {
-            value = JsonValue::Bool(true);
-            rest = after.trim_start();
-        } else if let Some(after) = rest.strip_prefix("false") {
-            value = JsonValue::Bool(false);
-            rest = after.trim_start();
-        } else {
-            let end = rest
-                .find(|c: char| !c.is_ascii_digit())
-                .unwrap_or(rest.len());
-            if end == 0 {
-                return Err(EventParseError::new("expected a scalar value"));
-            }
-            let n: u64 = rest[..end]
-                .parse()
-                .map_err(|_| EventParseError::new("number out of range"))?;
-            value = JsonValue::Num(n);
-            rest = rest[end..].trim_start();
-        }
-        fields.push((key.to_string(), value));
-        if let Some(after) = rest.strip_prefix(',') {
-            rest = after.trim_start();
-            if rest.is_empty() {
-                return Err(EventParseError::new("trailing comma"));
-            }
-        } else if !rest.is_empty() {
-            return Err(EventParseError::new("expected ',' between fields"));
-        }
-    }
-    Ok(fields)
-}
-
-fn get<'a>(
-    fields: &'a [(String, JsonValue)],
-    name: &str,
-) -> Result<&'a JsonValue, EventParseError> {
+fn get<'a>(fields: &'a [(String, Json)], name: &str) -> Result<&'a Json, EventParseError> {
     fields
         .iter()
         .find(|(k, _)| k == name)
@@ -488,23 +421,25 @@ fn get<'a>(
         .ok_or_else(|| EventParseError::field(name, "missing"))
 }
 
-fn get_u64(fields: &[(String, JsonValue)], name: &str) -> Result<u64, EventParseError> {
+fn get_u64(fields: &[(String, Json)], name: &str) -> Result<u64, EventParseError> {
     match get(fields, name)? {
-        JsonValue::Num(n) => Ok(*n),
+        n @ Json::Num(_) => n
+            .as_u64()
+            .ok_or_else(|| EventParseError::field(name, "number out of range")),
         _ => Err(EventParseError::field(name, "expected a number")),
     }
 }
 
-fn get_bool(fields: &[(String, JsonValue)], name: &str) -> Result<bool, EventParseError> {
+fn get_bool(fields: &[(String, Json)], name: &str) -> Result<bool, EventParseError> {
     match get(fields, name)? {
-        JsonValue::Bool(b) => Ok(*b),
+        Json::Bool(b) => Ok(*b),
         _ => Err(EventParseError::field(name, "expected a boolean")),
     }
 }
 
-fn get_str<'a>(fields: &'a [(String, JsonValue)], name: &str) -> Result<&'a str, EventParseError> {
+fn get_str<'a>(fields: &'a [(String, Json)], name: &str) -> Result<&'a str, EventParseError> {
     match get(fields, name)? {
-        JsonValue::Str(s) => Ok(s),
+        Json::Str(s) => Ok(s),
         _ => Err(EventParseError::field(name, "expected a string")),
     }
 }

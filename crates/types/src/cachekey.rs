@@ -1,0 +1,166 @@
+//! Content-addressed cache keys for the job layer.
+//!
+//! A job's result is fully determined by its semantic inputs — the
+//! machine configuration, the workload, the seed, the job kind, and the
+//! engine (variant *and* version, so a simulator change invalidates every
+//! cached artifact). The job layer hashes exactly those inputs into a
+//! [`CacheKey`] and stores artifacts under it; anything that does not
+//! change results (pool width, wall-clock, output paths) stays out of the
+//! key.
+//!
+//! The hash is hand-rolled FNV-1a (the workspace is offline and std-only):
+//! two independent 64-bit FNV streams with different offset bases give a
+//! 128-bit key, which is far beyond accidental-collision range for a
+//! result cache (this is a cache key, not a cryptographic commitment).
+//! Fields are framed with separator bytes that cannot appear in UTF-8
+//! text, so `("ab", "c")` and `("a", "bc")` never collide.
+
+use std::fmt;
+
+/// The engine version folded into every cache key. Bump the suffix when a
+/// simulator change alters results without a workspace version bump —
+/// stale cached artifacts must never be served for a different engine.
+pub const ENGINE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+engine.1");
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_ALT: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 128-bit content-addressed key, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// The key as 32 hex digits (the store's index and URL token).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Incremental FNV-1a hasher producing a [`CacheKey`].
+///
+/// Feed named fields with [`KeyHasher::field`]; the name/value framing is
+/// injective, so differently-split inputs hash differently.
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    hi: u64,
+    lo: u64,
+}
+
+impl KeyHasher {
+    /// Starts a hasher seeded with [`ENGINE_VERSION`], so every key is
+    /// implicitly versioned. [`KeyHasher::with_engine_version`] exists for
+    /// tests that need to pin or vary the version explicitly.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_engine_version(ENGINE_VERSION)
+    }
+
+    /// Starts a hasher seeded with an explicit engine-version string.
+    #[must_use]
+    pub fn with_engine_version(version: &str) -> Self {
+        let mut h = Self {
+            hi: FNV_OFFSET,
+            lo: FNV_OFFSET_ALT,
+        };
+        h.field("engine-version", version);
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hi = (self.hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one named field into the key. `0xFF`/`0xFE` separators (never
+    /// valid UTF-8 bytes) frame the name and value unambiguously.
+    pub fn field(&mut self, name: &str, value: &str) -> &mut Self {
+        self.write(name.as_bytes());
+        self.write(&[0xFF]);
+        self.write(value.as_bytes());
+        self.write(&[0xFE]);
+        self
+    }
+
+    /// Finishes the hash.
+    #[must_use]
+    pub fn finish(&self) -> CacheKey {
+        CacheKey {
+            hi: self.hi,
+            lo: self.lo,
+        }
+    }
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of(fields: &[(&str, &str)]) -> CacheKey {
+        let mut h = KeyHasher::new();
+        for (name, value) in fields {
+            h.field(name, value);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        let a = key_of(&[("seed", "42"), ("bench", "compress")]);
+        let b = key_of(&[("seed", "42"), ("bench", "compress")]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_hex(), b.to_hex());
+        assert_eq!(a.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn any_field_change_bumps_the_key() {
+        let base = key_of(&[("seed", "42"), ("bench", "compress")]);
+        assert_ne!(base, key_of(&[("seed", "43"), ("bench", "compress")]));
+        assert_ne!(base, key_of(&[("seed", "42"), ("bench", "espresso")]));
+        assert_ne!(base, key_of(&[("seed", "42")]));
+    }
+
+    #[test]
+    fn field_framing_is_injective() {
+        let a = key_of(&[("ab", "c")]);
+        let b = key_of(&[("a", "bc")]);
+        assert_ne!(a, b);
+        let one = key_of(&[("k", "xy")]);
+        let two = key_of(&[("k", "x"), ("k", "y")]);
+        assert_ne!(one, two);
+    }
+
+    #[test]
+    fn engine_version_is_part_of_every_key() {
+        let current = KeyHasher::new().field("k", "v").finish();
+        let other = KeyHasher::with_engine_version("0.0.0+engine.0")
+            .field("k", "v")
+            .finish();
+        assert_ne!(current, other);
+        assert_eq!(
+            current,
+            KeyHasher::with_engine_version(ENGINE_VERSION)
+                .field("k", "v")
+                .finish()
+        );
+    }
+}

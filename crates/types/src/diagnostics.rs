@@ -143,25 +143,14 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
-/// Appends `"key":"value"` with minimal JSON string escaping (quotes,
-/// backslashes, and control characters — everything our messages contain).
+/// Appends `"key":"value"` using the workspace's shared JSON escaper
+/// ([`crate::json::escape`]), so diagnostics stay byte-identical with
+/// every other emitter.
 fn push_json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
-    out.push_str("\":\"");
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    out.push_str("\":");
+    out.push_str(&crate::json::escape(value));
 }
 
 /// True if any diagnostic in the slice is [`Severity::Error`].

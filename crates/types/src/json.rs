@@ -1,0 +1,507 @@
+//! Hand-rolled JSON support shared by every emitter and parser in the
+//! workspace.
+//!
+//! The workspace is offline and std-only (no serde), so each subsystem
+//! that speaks JSON used to carry its own tiny writer/parser: the event
+//! stream, the bench snapshot, the diagnostics emitter, and the merged
+//! check document. This module is the single shared copy: a strict
+//! document parser into a [`Json`] tree, a byte-stable [`escape`] used by
+//! every string emitter, and a compact [`Json::render`] writer.
+//!
+//! Numbers are kept as their **raw source token** ([`Json::Num`]) rather
+//! than eagerly converted: `u64` values round-trip exactly (no `f64`
+//! detour), and `f64` fields survive bit-identically because Rust's
+//! shortest-round-trip float formatting is re-parsed from the same text.
+//!
+//! The parser is strict where it matters for pinned formats: trailing
+//! commas are rejected, trailing bytes after the document are an error
+//! that names the byte offset, and truncated input never parses.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One parsed JSON value. Object fields keep their source order, so a
+/// walker can reject unknown keys with the key name and formats stay
+/// order-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source token (e.g. `"42"`, `"1.5e-3"`).
+    /// Convert with [`Json::as_u64`] / [`Json::as_f64`].
+    Num(String),
+    /// A string, with escapes already decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: `(key, value)` pairs in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a field of an object; `None` for missing keys and
+    /// non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The decoded string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, if this is a number token that is an
+    /// exact unsigned integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in source order, if this is an object.
+    #[must_use]
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Compact single-line serialization (no added whitespace). Strings
+    /// are escaped with [`escape`]; numbers re-emit their source token.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(tok) => out.push_str(tok),
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(k));
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders a JSON string literal (quotes included): `"` and `\` are
+/// backslash-escaped, `\n`/`\t`/`\r` use their named escapes, and any
+/// other control character becomes `\uXXXX`. This is the one escaper the
+/// whole workspace emits with, so pinned outputs stay byte-stable.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Why a document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn new(at: usize, msg: impl Into<String>) -> Self {
+        Self {
+            at,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document. Anything after the document (other
+/// than whitespace) is an error naming the byte offset — callers reading
+/// pinned single-document formats rely on this to reject concatenations.
+///
+/// # Errors
+///
+/// A [`ParseError`] with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError::new(p.pos, "trailing data"));
+    }
+    Ok(doc)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, msg)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(&c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError::new(start, "bad number"))?;
+        // Validate the token shape once; the raw text is what we keep.
+        if tok.parse::<f64>().is_err() {
+            return Err(ParseError::new(start, format!("bad number {tok:?}")));
+        }
+        Ok(Json::Num(tok.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "unsupported escape {:?}",
+                                other.map(|&c| c as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| ParseError::new(start, "invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected a quoted key"));
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Num("42".into()));
+        assert_eq!(parse("-1.5e3").unwrap(), Json::Num("-1.5e3".into()));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn numbers_keep_raw_tokens() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v = parse("0.1").unwrap();
+        assert_eq!(v.as_f64(), Some(0.1));
+        assert_eq!(v.as_u64(), None, "floats are not u64s");
+        assert_eq!(v.render(), "0.1");
+    }
+
+    #[test]
+    fn objects_keep_field_order() {
+        let v = parse(r#"{"b":1,"a":{"nested":[1,2,[]]},"c":null}"#).unwrap();
+        let keys: Vec<&str> = v
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["b", "a", "c"]);
+        assert_eq!(v.get("b").and_then(Json::as_u64), Some(1));
+        assert!(v.get("c").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn render_round_trips_compact_documents() {
+        for text in [
+            "null",
+            "[1,2,3]",
+            r#"{"a":"x","b":[true,false,null],"c":{"d":1.25}}"#,
+            r#"{"s":"quote \" slash \\ nl \n tab \t"}"#,
+        ] {
+            let v = parse(text).unwrap();
+            let rendered = v.render();
+            assert_eq!(parse(&rendered).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn escape_is_the_pinned_repo_escaper() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("tab\there"), "\"tab\\there\"");
+        assert_eq!(escape("cr\rhere"), "\"cr\\rhere\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let v = parse(r#""q\" b\\ s\/ nl\n cr\r tab\t bs\b ff\f u\u0041""#).unwrap();
+        assert_eq!(
+            v.as_str().unwrap(),
+            "q\" b\\ s/ nl\n cr\r tab\t bs\u{8} ff\u{c} uA"
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "not json",
+            r#"{"a":1,}"#,
+            r#"{"a" 1}"#,
+            r#"{1:2}"#,
+            r#""unterminated"#,
+            r#""bad \q escape""#,
+            r#""bad \u00zz escape""#,
+            "1.2.3",
+            "tru",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn trailing_data_is_rejected_with_offset() {
+        let err = parse("{} x").unwrap_err();
+        assert!(err.to_string().contains("trailing data at byte 3"), "{err}");
+        assert!(parse("{}{}").is_err());
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`diagnostics`] — structured lint findings ([`diagnostics::Diagnostic`])
 //!   shared by the file-config loader and the `wbsim-check` linter;
 //! * [`divergence`] — differential-oracle vocabulary: divergence reports
-//!   and deliberate fault injection.
+//!   and deliberate fault injection;
+//! * [`json`] — the one hand-rolled JSON parser/escaper shared by every
+//!   emitter in the workspace (events, snapshots, diagnostics, manifests);
+//! * [`cachekey`] — content-addressed cache keys for the job layer.
 //!
 //! The paper reproduced throughout this workspace is Kevin Skadron and
 //! Douglas W. Clark, *Design Issues and Tradeoffs for Write Buffers*,
@@ -42,10 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod cachekey;
 pub mod config;
 pub mod diagnostics;
 pub mod divergence;
 pub mod file_config;
+pub mod json;
 pub mod op;
 pub mod policy;
 pub mod stall;
@@ -53,6 +58,7 @@ pub mod stats;
 pub mod testutil;
 
 pub use addr::{Addr, Geometry, LineAddr, WordMask};
+pub use cachekey::{CacheKey, KeyHasher, ENGINE_VERSION};
 pub use config::{ConfigError, IcacheConfig, L1Config, L2Config, MachineConfig, WriteBufferConfig};
 pub use diagnostics::{Diagnostic, Severity};
 pub use divergence::{Divergence, FaultInjection, LoadSource};

@@ -19,7 +19,9 @@
 //! * [`check`] — the design-space linter and bounded exhaustive model
 //!   checker behind `wbsim check`;
 //! * [`experiments`] — runners for every table and figure;
-//! * [`analytic`] — a first-order queueing model of write-buffer stalls.
+//! * [`analytic`] — a first-order queueing model of write-buffer stalls;
+//! * [`jobs`] — the unified job layer: schema-validated manifests, a
+//!   content-addressed result store, and the `wbsim serve` daemon.
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@ pub use wbsim_bench as bench;
 pub use wbsim_check as check;
 pub use wbsim_core as core;
 pub use wbsim_experiments as experiments;
+pub use wbsim_jobs as jobs;
 pub use wbsim_mem as mem;
 pub use wbsim_oracle as oracle;
 pub use wbsim_sim as sim;

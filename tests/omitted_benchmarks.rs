@@ -15,6 +15,7 @@ fn the_omitted_four_barely_stall() {
         warmup: 15_000,
         seed: 42,
         check_data: true,
+        ..Harness::standard()
     };
     for m in BenchmarkModel::OMITTED {
         let stats = h.run(m, MachineConfig::baseline());

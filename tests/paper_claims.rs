@@ -19,6 +19,7 @@ fn h() -> Harness {
         warmup: 0,
         seed: 42,
         check_data: true,
+        ..Harness::standard()
     }
 }
 

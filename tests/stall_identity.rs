@@ -31,6 +31,7 @@ fn h() -> Harness {
         warmup: 0,
         seed: 11,
         check_data: true,
+        ..Harness::standard()
     }
 }
 

@@ -223,16 +223,23 @@ fn abstract_snapshot(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTracke
     }
 }
 
-/// The canonical abstract state of a snapshot over the two universe lines:
-/// the lexicographically smaller of the abstraction under the identity and
-/// under the line swap.
+/// The abstraction of a snapshot under both line permutations: the
+/// identity, and the line swap. The product checker needs both halves so
+/// its joint (machine, monitor) visited key can take the minimum over the
+/// *paired* permutations — independently minimizing each half could glue
+/// mismatched renamings together and unsoundly merge distinct product
+/// states.
 ///
 /// # Panics
 ///
 /// Panics if the snapshot does not cover exactly two lines, or if a
 /// write-buffer entry's block lies outside them.
 #[must_use]
-pub fn canonical_state(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTracker) -> AbsState {
+pub(crate) fn abstract_both(
+    g: &Geometry,
+    snap: &MachineSnapshot,
+    shadow: &ShadowTracker,
+) -> (AbsState, AbsState) {
     assert_eq!(snap.lines.len(), 2, "the bounded universe has two lines");
     let a = abstract_snapshot(g, snap, shadow);
     let mut b = a.clone();
@@ -252,6 +259,20 @@ pub fn canonical_state(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTrac
         .position(|m| m.countdown.is_some())
         .unwrap_or(b.mshrs.len());
     b.mshrs[first_issued..].sort_unstable();
+    (a, b)
+}
+
+/// The canonical abstract state of a snapshot over the two universe lines:
+/// the lexicographically smaller of the abstraction under the identity and
+/// under the line swap.
+///
+/// # Panics
+///
+/// Panics if the snapshot does not cover exactly two lines, or if a
+/// write-buffer entry's block lies outside them.
+#[must_use]
+pub fn canonical_state(g: &Geometry, snap: &MachineSnapshot, shadow: &ShadowTracker) -> AbsState {
+    let (a, b) = abstract_both(g, snap, shadow);
     a.min(b)
 }
 

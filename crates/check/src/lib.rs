@@ -22,6 +22,13 @@
 //!   time-shifted, line-renamed), proving the same invariants for op
 //!   sequences of arbitrary length, plus a drain-graph liveness analysis
 //!   that catches livelocks no bounded enumeration can see.
+//! * [`prop`] / [`prop_parse`] / [`prop_automaton`] / [`prop_product`] —
+//!   a declarative *temporal property language* (`.wbp` files) over the
+//!   event alphabet: user-defined safety and liveness specs compiled to
+//!   monitor automata and checked three ways — unboundedly via the
+//!   product with the abstract state graph, boundedly through the
+//!   sequence drivers, and at runtime over recorded JSONL traces. The
+//!   built-in library ([`builtin_library`]) encodes the paper's claims.
 //!
 //! The CLI front end is `wbsim check`; the experiments harness lints every
 //! sweep grid before running it.
@@ -50,19 +57,35 @@
 pub mod abstract_state;
 pub mod bounded;
 pub mod lint;
+pub mod prop;
+pub mod prop_automaton;
+pub mod prop_parse;
+pub mod prop_product;
 pub mod reach;
 
 pub use abstract_state::{
     canonical_state, AbsEntry, AbsLine, AbsMshr, AbsState, ShadowTracker, WordAbs,
 };
 pub use bounded::{
-    check_exhaustive, check_exhaustive_jobs, check_exhaustive_nonblocking,
+    bounded_configs, check_exhaustive, check_exhaustive_jobs, check_exhaustive_nonblocking,
     check_exhaustive_nonblocking_jobs, check_sequence, check_sequence_nonblocking, default_jobs,
     nonblocking_configs, run_indexed_earliest, CheckReport, Counterexample,
 };
 pub use lint::{
     config_error_diagnostic, lint_config, lint_grid, lint_nonblocking, parse_error_diagnostic,
     Rule, RULES,
+};
+pub use prop::{
+    builtin_library, builtin_library_text, check_props_sequence, check_props_sequence_nonblocking,
+    compile as compile_props, first_prop_violation, first_prop_violation_nonblocking, PropEnv,
+    PropRunner, PropViolation, SkippedProp, PROP_LIBRARY_VERSION,
+};
+pub use prop_automaton::Monitors;
+pub use prop_parse::{parse_props, PropSet};
+pub use prop_product::{
+    check_props_reach, check_props_reach_config, check_props_reach_config_nonblocking,
+    check_props_reach_jobs, check_props_reach_nonblocking, check_props_reach_nonblocking_jobs,
+    PropConfigStats, PropReport,
 };
 pub use reach::{
     check_liveness_sequence, check_liveness_sequence_nonblocking, check_reach, check_reach_config,

@@ -567,8 +567,24 @@ mod tests {
         }
         for code in documented.keys() {
             assert!(
-                RULES.iter().any(|r| r.code == code),
+                wbsim_types::diagnostics::registry_entry(code).is_some(),
                 "docs/static-analysis.md documents unknown code {code}"
+            );
+        }
+    }
+
+    /// Satellite: the per-crate [`RULES`] table is a projection of the
+    /// unified registry in `wbsim_types::diagnostics::REGISTRY` — same
+    /// codes, same one-line summaries.
+    #[test]
+    fn rules_agree_with_the_unified_registry() {
+        for rule in RULES {
+            let entry = wbsim_types::diagnostics::registry_entry(rule.code)
+                .unwrap_or_else(|| panic!("{} missing from the unified registry", rule.code));
+            assert_eq!(
+                entry.summary, rule.summary,
+                "{} summary drifted between RULES and REGISTRY",
+                rule.code
             );
         }
     }

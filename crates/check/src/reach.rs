@@ -60,11 +60,11 @@ pub const OP_CYCLE_BUDGET: u64 = 256;
 /// many further cycles watching for retirement progress; a window with no
 /// progress and a non-empty buffer is a livelock, not a slow op. Long
 /// enough to span any in-flight write transaction in the gated class.
-const STALL_PROBE_WINDOW: u64 = 32;
+pub(crate) const STALL_PROBE_WINDOW: u64 = 32;
 
 /// Defensive bound on a single drain walk; the drain graph of any gated
 /// configuration is orders of magnitude smaller.
-const DRAIN_WALK_BOUND: usize = 100_000;
+pub(crate) const DRAIN_WALK_BOUND: usize = 100_000;
 
 /// Per-configuration exploration statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,7 +90,7 @@ pub struct ReachViolation {
 }
 
 /// The two cache lines the bounded op universe touches.
-fn universe_lines(cfg: &MachineConfig) -> [LineAddr; 2] {
+pub(crate) fn universe_lines(cfg: &MachineConfig) -> [LineAddr; 2] {
     let g = &cfg.geometry;
     [
         g.line_of(Addr::new(0)),
@@ -100,14 +100,14 @@ fn universe_lines(cfg: &MachineConfig) -> [LineAddr; 2] {
 
 /// Why a configuration is outside the abstractable class.
 #[derive(Debug, Clone)]
-struct GateReject {
+pub(crate) struct GateReject {
     /// The offending configuration field.
-    field: String,
+    pub(crate) field: String,
     /// Why the abstraction is unsound for it.
-    why: String,
+    pub(crate) why: String,
     /// The nearest admissible value — rendered as the `RCH003`
     /// suggestion.
-    suggestion: String,
+    pub(crate) suggestion: String,
 }
 
 /// Checks whether `cfg` is inside the abstractable class.
@@ -119,7 +119,7 @@ struct GateReject {
 /// so block-tagged entries fit the shadow-map abstraction unchanged. The
 /// bounded grid satisfies all of this by construction; arbitrary
 /// configurations may not.
-fn gate(cfg: &MachineConfig) -> Result<(), GateReject> {
+pub(crate) fn gate(cfg: &MachineConfig) -> Result<(), GateReject> {
     let reject = |field: &str, why: &str, suggestion: &str| {
         Err(GateReject {
             field: field.into(),
@@ -662,7 +662,7 @@ fn liveness_trace_nonblocking(cfg: &MachineConfig, mshrs: usize, ops: &[Op]) -> 
     }
 }
 
-fn rch_diagnostic(code: &'static str, field_path: &str, msg: String) -> Diagnostic {
+pub(crate) fn rch_diagnostic(code: &'static str, field_path: &str, msg: String) -> Diagnostic {
     Diagnostic::new(code, Severity::Error, field_path.to_string()).with_message(msg)
 }
 

@@ -35,6 +35,10 @@ const BOOL_FLAGS: &[&str] = &[
 ];
 // note: --svg takes a directory value, so it is not listed here.
 
+/// Flags whose value is optional: given bare (or followed by another
+/// flag), the listed default value is recorded instead.
+const OPTIONAL_VALUE_FLAGS: &[(&str, &str)] = &[("prop", "builtin")];
+
 /// Splits `argv` into positionals, `--key value` options, and bare flags.
 pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
     let mut p = Parsed::default();
@@ -44,6 +48,13 @@ pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
         if let Some(key) = a.strip_prefix("--") {
             if BOOL_FLAGS.contains(&key) {
                 p.flags.push(key.to_string());
+                i += 1;
+            } else if let Some((_, default)) = OPTIONAL_VALUE_FLAGS
+                .iter()
+                .find(|(k, _)| *k == key)
+                .filter(|_| argv.get(i + 1).is_none_or(|v| v.starts_with("--")))
+            {
+                p.options.insert(key.to_string(), (*default).to_string());
                 i += 1;
             } else {
                 let value = argv
@@ -98,6 +109,19 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&v(&["run", "--bench"])).is_err());
+    }
+
+    #[test]
+    fn prop_takes_an_optional_value() {
+        // Bare, trailing, and followed by another flag → the built-in set.
+        let p = parse(&v(&["check", "--prop"])).unwrap();
+        assert_eq!(p.options["prop"], "builtin");
+        let p = parse(&v(&["check", "--prop", "--json"])).unwrap();
+        assert_eq!(p.options["prop"], "builtin");
+        assert!(p.has_flag("json"));
+        // With a value → the file path.
+        let p = parse(&v(&["check", "--prop", "my.wbp"])).unwrap();
+        assert_eq!(p.options["prop"], "my.wbp");
     }
 
     #[test]

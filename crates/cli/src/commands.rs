@@ -5,9 +5,10 @@ use std::fs::File;
 use std::io::{self, BufRead as _, BufReader, BufWriter};
 
 use wbsim_check::{
-    check_exhaustive_jobs, check_exhaustive_nonblocking_jobs, check_reach_jobs,
-    check_reach_nonblocking_jobs, default_jobs, lint_config, lint_nonblocking,
-    parse_error_diagnostic, Counterexample,
+    builtin_library, check_exhaustive_jobs, check_exhaustive_nonblocking_jobs,
+    check_props_reach_jobs, check_props_reach_nonblocking_jobs, check_reach_jobs,
+    check_reach_nonblocking_jobs, compile_props, default_jobs, lint_config, lint_nonblocking,
+    parse_error_diagnostic, parse_props, Counterexample, PropEnv, PropRunner, PropSet,
 };
 use wbsim_experiments::harness::{pool_cells_jobs, Harness};
 use wbsim_experiments::{ablations, figures, render, tables};
@@ -80,7 +81,12 @@ USAGE:
   wbsim trace run <FILE> [--depth N] [--retire-at N] [--hazard P] [--check-data]
   wbsim trace events --bench NAME [--out FILE] [--mshrs N] [config flags as for run]
         (emits the machine's structured event stream as JSON lines)
-  wbsim trace validate <FILE.jsonl | -> (`-` reads JSONL from stdin)
+  wbsim trace validate <FILE.jsonl | -> [--prop [FILE.wbp]] [--machine M] [--mshrs N]
+        [--depth N] [--hazard P]
+        (`-` reads JSONL from stdin; --prop additionally runs the stream
+         through the temporal property monitors — bare --prop uses the
+         built-in library, and --machine/--depth/--mshrs/--hazard bind the
+         environment symbols `where` clauses test)
   wbsim check [--config FILE.wbcfg] [--depth N] [--retire-at N] [--hazard P] [--json]
         (lint the configuration; exits non-zero on any error-severity finding)
   wbsim check --exhaustive [--machine blocking|nonblocking] [--mshrs N] [--max-ops N]
@@ -94,7 +100,13 @@ USAGE:
          livelock analysis; same counterexample plumbing as --exhaustive;
          --machine nonblocking verifies the MSHR machine, over miss-register
          counts 1-4 unless --mshrs pins one)
-        (--json always emits one document with linter/exhaustive/reach sections)
+  wbsim check --prop [FILE.wbp] [--machine blocking|nonblocking] [--mshrs N] [--fault F]
+        [--out FILE.jsonl] [--jobs N] [--json]
+        (verify temporal safety & liveness properties unboundedly over the
+         abstract-state / monitor product; bare --prop uses the built-in
+         library props/paper.wbp; same counterexample plumbing as --reach)
+        (--json always emits one document with linter/exhaustive/reach/properties
+         sections)
   wbsim bench [--samples N] [--instructions N] [--warmup N] [--seed S] [--json]
         [--out FILE.json] [--check BASELINE.json] [--tolerance PCT]
         (measure cells/sec of both engines over the table-7 grid; --json/--out
@@ -814,11 +826,19 @@ fn cmd_trace(p: &Parsed) -> CmdResult {
                 None => Box::new(io::stdout().lock()),
             };
             let mut w = JsonlWriter::new(sink);
-            let _stats = if mshrs > 0 {
-                wbsim_sim::NonBlockingMachine::new(cfg, mshrs)?.run_observed(ops, &mut w)
+            // Drain the buffer after the stream ends so the capture is a
+            // *complete* execution — every accepted store's retirement is
+            // on the record, which the liveness monitors of
+            // `trace validate --prop` require at end-of-stream.
+            if mshrs > 0 {
+                let mut m = wbsim_sim::NonBlockingMachine::new(cfg, mshrs)?;
+                m.run_observed(ops, &mut w);
+                while m.drain_step(&mut w) {}
             } else {
-                Machine::new(cfg)?.run_observed(ops, &mut w)
-            };
+                let mut m = Machine::new(cfg)?;
+                m.run_observed(ops, &mut w);
+                while m.drain_step(&mut w) {}
+            }
             let count = w.finish()?;
             if let Some(path) = p.options.get("out") {
                 println!("wrote {count} events to {path}");
@@ -829,6 +849,19 @@ fn cmd_trace(p: &Parsed) -> CmdResult {
             let path = p.positionals.get(2).ok_or_else(|| {
                 ArgError("trace validate: FILE (or `-` for stdin) required".into())
             })?;
+            // `--prop [FILE]` additionally runs the stream through the
+            // compiled property monitors: the same runtime semantics the
+            // model checkers use, applied to one concrete trace.
+            let mut runner = if p.options.contains_key("prop") {
+                let set = load_prop_set(p)?;
+                let (monitors, skipped) = compile_props(&set, &prop_env_from(p)?);
+                for s in &skipped {
+                    eprintln!("note: property '{}' skipped: {}", s.name, s.reason);
+                }
+                Some(PropRunner::new(monitors))
+            } else {
+                None
+            };
             // `-` reads from stdin, so counterexample traces pipe straight in.
             let (reader, display): (Box<dyn io::BufRead>, &str) = if path == "-" {
                 (Box::new(BufReader::new(io::stdin().lock())), "<stdin>")
@@ -848,11 +881,37 @@ fn cmd_trace(p: &Parsed) -> CmdResult {
                 if matches!(ev, Event::CycleEnd { .. }) {
                     cycles += 1;
                 }
+                if let Some(r) = runner.as_mut() {
+                    r.event(&ev);
+                }
             }
             if count == 0 {
                 return Err(ArgError(format!("{display}: no events")).into());
             }
-            println!("{display}: {count} events over {cycles} cycles, all valid");
+            if let Some(r) = &runner {
+                // End-of-stream verdict: a latched safety violation, else
+                // a liveness obligation the stream never discharged.
+                if let Some(v) = r.finish() {
+                    eprintln!("{}", v.diagnostic().render());
+                    return Err(ArgError(format!(
+                        "{display}: trace violates property {:?}",
+                        v.property
+                    ))
+                    .into());
+                }
+                println!(
+                    "{display}: {count} events over {cycles} cycles, all valid; \
+                     {} propert{} satisfied",
+                    r.monitors().props().len(),
+                    if r.monitors().props().len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                );
+            } else {
+                println!("{display}: {count} events over {cycles} cycles, all valid");
+            }
             Ok(())
         }
         other => Err(ArgError(format!("trace: unknown subcommand {other:?}")).into()),
@@ -938,6 +997,9 @@ fn cmd_check(p: &Parsed) -> CmdResult {
     }
     if p.has_flag("reach") {
         return cmd_check_reach(p);
+    }
+    if p.options.contains_key("prop") {
+        return cmd_check_prop(p);
     }
     let diags = lint_diagnostics(p)?;
     for d in &diags {
@@ -1061,7 +1123,8 @@ fn emit_counterexample_artifacts(
 
 /// `wbsim check --json`, routed through the job layer: every requested
 /// pass runs, and stdout carries exactly one top-level JSON document with
-/// `linter`, `exhaustive`, and `reach` sections. Counterexample traces
+/// `linter`, `exhaustive`, `reach`, and `properties` sections.
+/// Counterexample traces
 /// still go to `--out` (stdout with `--out -` would corrupt the document,
 /// so the trace defaults to a file) and the human report goes to stderr.
 fn cmd_check_json(p: &Parsed) -> CmdResult {
@@ -1082,6 +1145,13 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
         mshrs: check_mshrs_from(p)?,
         max_ops: p.get_or("max-ops", 5u32)?,
         fault: fault_from(p)?,
+        props: p.options.contains_key("prop"),
+        // The manifest carries the property file's *text* (like --config);
+        // the bare flag or `builtin` selects the built-in library.
+        props_file: match p.options.get("prop").map(String::as_str) {
+            Some(path) if path != "builtin" => Some(std::fs::read_to_string(path)?),
+            _ => None,
+        },
         config: check_config_from(p)?,
     };
     let outcome = run_job(&Manifest {
@@ -1089,7 +1159,7 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
         options: job_options(p)?,
     });
     // Counterexample side effects come first, as the direct path's did.
-    for section in ["exhaustive", "reach"] {
+    for section in ["exhaustive", "reach", "properties"] {
         let trace = outcome.artifact(&format!("counterexample-{section}.jsonl"));
         let meta = outcome.artifact_text(&format!("counterexample-{section}.meta.json"));
         if let (Some(trace), Some(meta)) = (trace, meta) {
@@ -1242,6 +1312,101 @@ fn cmd_check_reach(p: &Parsed) -> CmdResult {
                 report_counterexample(p, ce, &ce.violation)?;
             }
             Err(ArgError(format!("reachability check failed ({})", v.diagnostic.code)).into())
+        }
+    }
+}
+
+/// Resolves `--prop [FILE]` to a parsed property set: the bare flag (or
+/// the literal value `builtin`) selects the built-in paper library, a
+/// path loads and parses a `.wbp` file. Parse diagnostics render to
+/// stderr before the hard error.
+fn load_prop_set(p: &Parsed) -> Result<PropSet, Box<dyn Error>> {
+    match p.options.get("prop").map(String::as_str) {
+        None | Some("builtin") => Ok(builtin_library()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            match parse_props(&text) {
+                Ok(set) => Ok(set),
+                Err(diags) => {
+                    for d in &diags {
+                        eprintln!("{}", d.render());
+                    }
+                    Err(ArgError(format!(
+                        "{path}: property set has {} parse diagnostic(s)",
+                        diags.len()
+                    ))
+                    .into())
+                }
+            }
+        }
+    }
+}
+
+/// The property environment `trace validate --prop` compiles against:
+/// unbound by default (so `where`-gated properties whose symbols the
+/// invocation does not pin are skipped), with `--machine`, `--depth`,
+/// `--mshrs`, and `--hazard` binding symbols when given.
+fn prop_env_from(p: &Parsed) -> Result<PropEnv, Box<dyn Error>> {
+    let mut env = PropEnv::unbound();
+    if p.options.contains_key("machine") {
+        env.machine = Some(match check_machine_from(p)? {
+            CheckMachine::Blocking => "blocking",
+            CheckMachine::NonBlocking => "nonblocking",
+        });
+    }
+    if let Some(v) = p.options.get("depth") {
+        env.depth = Some(
+            v.parse()
+                .map_err(|_| ArgError(format!("bad --depth {v:?}")))?,
+        );
+    }
+    if let Some(m) = check_mshrs_from(p)? {
+        env.mshrs = Some(m as u64);
+    }
+    if let Some(v) = p.options.get("hazard") {
+        env.hazard = Some(match hazard_from(v)? {
+            LoadHazardPolicy::FlushFull => "flush-full",
+            LoadHazardPolicy::FlushPartial => "flush-partial",
+            LoadHazardPolicy::FlushItemOnly => "flush-item-only",
+            LoadHazardPolicy::ReadFromWb => "read-from-wb",
+        });
+    }
+    Ok(env)
+}
+
+fn cmd_check_prop(p: &Parsed) -> CmdResult {
+    let fault = fault_from(p)?;
+    let jobs = p.get_or("jobs", default_jobs())?;
+    let machine = check_machine_from(p)?;
+    let mshrs = check_mshrs_from(p)?;
+    let set = load_prop_set(p)?;
+    let result = match machine {
+        CheckMachine::Blocking => check_props_reach_jobs(&set, fault, jobs),
+        CheckMachine::NonBlocking => check_props_reach_nonblocking_jobs(&set, fault, mshrs, jobs),
+    };
+    match result {
+        Ok(report) => {
+            println!(
+                "property check clean ({}): {} properties over {} configurations, \
+                 {} product states, {} transitions in {} ms; every safety property \
+                 holds at every reachable state and every liveness obligation is \
+                 discharged",
+                machine_label(machine, mshrs),
+                report.properties,
+                report.configs,
+                report.states_explored,
+                report.edges,
+                report.wall_ms
+            );
+            Ok(())
+        }
+        Err(v) => {
+            // Stderr, same as --reach: `--out -` keeps stdout a clean pipe.
+            eprintln!("{}", v.diagnostic.render());
+            if let Some(ce) = &v.counterexample {
+                report_counterexample(p, ce, &ce.violation)?;
+            }
+            Err(ArgError(format!("property check failed ({})", v.diagnostic.code)).into())
         }
     }
 }
@@ -1679,16 +1844,17 @@ wb.retirement = retire-at-8
     }
 
     /// Satellite pin: `wbsim check --json` emits exactly one top-level
-    /// document with `linter`, `exhaustive`, and `reach` sections.
+    /// document with `linter`, `exhaustive`, `reach`, and `properties`
+    /// sections.
     #[test]
     fn merged_check_json_schema_is_pinned() {
         // No sections run: the skeleton with nulls.
         assert_eq!(
-            merged_check_json(&[], None, None),
+            merged_check_json(&[], None, None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":null,\"reach\":null}"
+             \"exhaustive\":null,\"reach\":null,\"properties\":null}"
         );
-        // One diagnostic plus both section payloads, spliced verbatim.
+        // One diagnostic plus three section payloads, spliced verbatim.
         let d = Diagnostic::new("LNT001", wbsim_types::diagnostics::Severity::Warning, "wb")
             .with_message("m");
         assert_eq!(
@@ -1696,18 +1862,20 @@ wb.retirement = retire-at-8
                 std::slice::from_ref(&d),
                 Some("{\"status\":\"clean\",\"report\":{}}"),
                 Some("{\"status\":\"violation\",\"diagnostic\":{}}"),
+                Some("{\"status\":\"invalid\",\"diagnostics\":[]}"),
             ),
             format!(
                 "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":false}},\
                  \"exhaustive\":{{\"status\":\"clean\",\"report\":{{}}}},\
-                 \"reach\":{{\"status\":\"violation\",\"diagnostic\":{{}}}}}}",
+                 \"reach\":{{\"status\":\"violation\",\"diagnostic\":{{}}}},\
+                 \"properties\":{{\"status\":\"invalid\",\"diagnostics\":[]}}}}",
                 d.to_json()
             )
         );
         // Error-severity findings flip the `errors` flag.
         let e = Diagnostic::new("CFG002", wbsim_types::diagnostics::Severity::Error, "wb")
             .with_message("m");
-        assert!(merged_check_json(&[e], None, None).contains("\"errors\":true"));
+        assert!(merged_check_json(&[e], None, None, None).contains("\"errors\":true"));
         // The shared escaper keeps violation messages valid JSON.
         assert_eq!(
             wbsim_types::json::escape("a\"b\\c\nd"),
@@ -1806,6 +1974,142 @@ wb.retirement = retire-at-8
         assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
         // Unknown faults are rejected up front.
         assert!(dispatch(&v(&["check", "--reach", "--fault", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn check_prop_library_is_clean_via_cli() {
+        assert!(dispatch(&v(&["check", "--prop", "--jobs", "2"])).is_ok());
+    }
+
+    #[test]
+    fn check_prop_starve_counterexample_replays_through_trace_validate() {
+        let dir = std::env::temp_dir().join("wbsim-prop-starve-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cex.jsonl");
+        let path_s = path.to_str().unwrap();
+        // Starved retirement violates the library's eventual-drain...
+        assert!(dispatch(&v(&[
+            "check",
+            "--prop",
+            "--fault",
+            "starve-retirement",
+            "--out",
+            path_s,
+            "--jobs",
+            "2"
+        ]))
+        .is_err());
+        // ...the trace is structurally valid, and replaying it through the
+        // property monitors exhibits the same violation at runtime.
+        assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
+        let err = dispatch(&v(&["trace", "validate", path_s, "--prop"])).unwrap_err();
+        assert!(err.to_string().contains("eventual-drain"), "{err}");
+    }
+
+    #[test]
+    fn check_prop_forwarding_counterexample_replays_through_trace_validate() {
+        let dir = std::env::temp_dir().join("wbsim-prop-fwd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cex.jsonl");
+        let path_s = path.to_str().unwrap();
+        // Skipped forwarding violates no-stale-forward somewhere on the grid.
+        assert!(dispatch(&v(&[
+            "check",
+            "--prop",
+            "--fault",
+            "skip-wb-forwarding",
+            "--out",
+            path_s,
+            "--jobs",
+            "2"
+        ]))
+        .is_err());
+        // The property is gated `where machine = blocking; where hazard =
+        // read-from-wb`, so the replay binds those symbols.
+        let err = dispatch(&v(&[
+            "trace",
+            "validate",
+            path_s,
+            "--prop",
+            "--machine",
+            "blocking",
+            "--hazard",
+            "read-from-wb",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no-stale-forward"), "{err}");
+    }
+
+    #[test]
+    fn trace_validate_prop_passes_a_healthy_stream() {
+        let dir = std::env::temp_dir().join("wbsim-prop-healthy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.jsonl");
+        let path_s = path.to_str().unwrap();
+        assert!(dispatch(&v(&[
+            "trace",
+            "events",
+            "--bench",
+            "compress",
+            "--out",
+            path_s,
+            "--instructions",
+            "600"
+        ]))
+        .is_ok());
+        // Unbound environment: the depth- and machine-gated properties are
+        // skipped, the rest hold on a healthy machine's stream.
+        assert!(dispatch(&v(&["trace", "validate", path_s, "--prop"])).is_ok());
+    }
+
+    #[test]
+    fn bad_prop_file_is_rejected_with_diagnostics() {
+        let dir = std::env::temp_dir().join("wbsim-prop-bad-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.wbp");
+        std::fs::write(&path, "prop broken {\n  always nonsense-tag;\n}\n").unwrap();
+        let path_s = path.to_str().unwrap();
+        let err = dispatch(&v(&["check", "--prop", path_s])).unwrap_err();
+        assert!(err.to_string().contains("parse diagnostic"), "{err}");
+        assert!(dispatch(&v(&["trace", "validate", "-", "--prop", path_s])).is_err());
+    }
+
+    #[test]
+    fn check_json_prop_section_and_file_round_trip() {
+        let dir = std::env::temp_dir().join("wbsim-prop-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cex = dir.join("cex.jsonl");
+        let cex_s = cex.to_str().unwrap();
+        // The built-in library through the merged JSON document, with a
+        // fault: the job fails and the document carries the violation.
+        assert!(dispatch(&v(&[
+            "check",
+            "--json",
+            "--prop",
+            "--fault",
+            "starve-retirement",
+            "--out",
+            cex_s,
+            "--jobs",
+            "2"
+        ]))
+        .is_err());
+        // A property file's text rides in the manifest like --config's.
+        let path = dir.join("lib.wbp");
+        std::fs::write(&path, wbsim_check::builtin_library_text()).unwrap();
+        assert!(dispatch(&v(&[
+            "check",
+            "--json",
+            "--prop",
+            path.to_str().unwrap(),
+            "--fault",
+            "starve-retirement",
+            "--out",
+            cex_s,
+            "--jobs",
+            "2"
+        ]))
+        .is_err());
     }
 
     #[test]

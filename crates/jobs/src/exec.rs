@@ -12,9 +12,10 @@
 use std::sync::Arc;
 
 use wbsim_check::{
-    check_exhaustive_jobs, check_exhaustive_nonblocking_jobs, check_reach_jobs,
+    builtin_library, check_exhaustive_jobs, check_exhaustive_nonblocking_jobs,
+    check_props_reach_jobs, check_props_reach_nonblocking_jobs, check_reach_jobs,
     check_reach_nonblocking_jobs, default_jobs, lint_config, lint_nonblocking,
-    parse_error_diagnostic, Counterexample,
+    parse_error_diagnostic, parse_props, Counterexample,
 };
 use wbsim_experiments::harness::FigureResult;
 use wbsim_experiments::{figures, render, tables};
@@ -86,14 +87,17 @@ pub fn merged_check_json(
     linter: &[Diagnostic],
     exhaustive: Option<&str>,
     reach: Option<&str>,
+    properties: Option<&str>,
 ) -> String {
     let diags: Vec<String> = linter.iter().map(Diagnostic::to_json).collect();
     format!(
-        "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":{}}},\"exhaustive\":{},\"reach\":{}}}",
+        "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":{}}},\"exhaustive\":{},\"reach\":{},\
+         \"properties\":{}}}",
         diags.join(","),
         any_errors(linter),
         exhaustive.unwrap_or("null"),
-        reach.unwrap_or("null")
+        reach.unwrap_or("null"),
+        properties.unwrap_or("null")
     )
 }
 
@@ -354,8 +358,25 @@ fn run_check(spec: &CheckSpec, opts: &Options) -> JobOutcome {
         None
     };
 
+    let properties = if spec.props {
+        Some(prop_section(
+            spec,
+            jobs,
+            &mut failed,
+            &mut cells,
+            &mut counterexamples,
+        ))
+    } else {
+        None
+    };
+
     // The CLI prints the document with `println!`.
-    let mut doc = merged_check_json(&diags, exhaustive.as_deref(), reach.as_deref());
+    let mut doc = merged_check_json(
+        &diags,
+        exhaustive.as_deref(),
+        reach.as_deref(),
+        properties.as_deref(),
+    );
     doc.push('\n');
     let mut artifacts = vec![text_artifact("check.json", doc)];
     artifacts.extend(counterexamples);
@@ -363,6 +384,56 @@ fn run_check(spec: &CheckSpec, opts: &Options) -> JobOutcome {
         artifacts,
         cells,
         failed: failed.then(|| "check found problems (see the JSON document)".to_string()),
+    }
+}
+
+/// The properties section of the merged check document: resolves the
+/// property set (a supplied `.wbp` text or the built-in library), runs the
+/// unbounded product over the fault grid, and renders the same
+/// clean/violation shape as the reach section. A set that fails to parse
+/// renders as `"invalid"` with the parser's structured diagnostics.
+fn prop_section(
+    spec: &CheckSpec,
+    jobs: usize,
+    failed: &mut bool,
+    cells: &mut u64,
+    counterexamples: &mut Vec<Artifact>,
+) -> String {
+    let set = match &spec.props_file {
+        Some(text) => match parse_props(text) {
+            Ok(set) => set,
+            Err(diags) => {
+                *failed = true;
+                let rendered: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+                return format!(
+                    "{{\"status\":\"invalid\",\"diagnostics\":[{}]}}",
+                    rendered.join(",")
+                );
+            }
+        },
+        None => builtin_library(),
+    };
+    let result = match spec.machine {
+        MachineSel::Blocking => check_props_reach_jobs(&set, spec.fault, jobs),
+        MachineSel::NonBlocking => {
+            check_props_reach_nonblocking_jobs(&set, spec.fault, spec.mshrs, jobs)
+        }
+    };
+    match result {
+        Ok(report) => {
+            *cells += report.configs;
+            format!("{{\"status\":\"clean\",\"report\":{}}}", report.to_json())
+        }
+        Err(v) => {
+            *failed = true;
+            if let Some(ce) = &v.counterexample {
+                push_counterexample(counterexamples, "properties", ce);
+            }
+            format!(
+                "{{\"status\":\"violation\",\"diagnostic\":{}}}",
+                v.diagnostic.to_json()
+            )
+        }
     }
 }
 
@@ -539,13 +610,19 @@ mod tests {
     #[test]
     fn merged_check_json_skeleton_is_pinned() {
         assert_eq!(
-            merged_check_json(&[], None, None),
-            "{\"linter\":{\"diagnostics\":[],\"errors\":false},\"exhaustive\":null,\"reach\":null}"
+            merged_check_json(&[], None, None, None),
+            "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
+             \"exhaustive\":null,\"reach\":null,\"properties\":null}"
         );
         assert_eq!(
-            merged_check_json(&[], Some("{\"status\":\"clean\"}"), None),
+            merged_check_json(&[], Some("{\"status\":\"clean\"}"), None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":{\"status\":\"clean\"},\"reach\":null}"
+             \"exhaustive\":{\"status\":\"clean\"},\"reach\":null,\"properties\":null}"
+        );
+        assert_eq!(
+            merged_check_json(&[], None, None, Some("{\"status\":\"clean\"}")),
+            "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
+             \"exhaustive\":null,\"reach\":null,\"properties\":{\"status\":\"clean\"}}"
         );
     }
 

@@ -149,6 +149,12 @@ pub struct CheckSpec {
     pub max_ops: u32,
     /// Deliberate fault injection, if any.
     pub fault: Option<FaultInjection>,
+    /// Run the temporal-property pass.
+    pub props: bool,
+    /// Full `.wbp` text of the property set; `None` uses the built-in
+    /// library (submitted as text, like [`CheckConfig::file`], so daemon
+    /// clients never depend on server-side paths).
+    pub props_file: Option<String>,
     /// The configuration under lint.
     pub config: CheckConfig,
 }
@@ -162,6 +168,8 @@ impl Default for CheckSpec {
             mshrs: None,
             max_ops: 5,
             fault: None,
+            props: false,
+            props_file: None,
             config: CheckConfig::default(),
         }
     }
@@ -332,7 +340,13 @@ impl Manifest {
                         &spec.mshrs.map_or("auto".to_string(), |m| m.to_string()),
                     )
                     .field("max_ops", &spec.max_ops.to_string())
-                    .field("fault", spec.fault.map_or("none", fault_name));
+                    .field("fault", spec.fault.map_or("none", fault_name))
+                    .field("props", if spec.props { "true" } else { "false" })
+                    .field(
+                        "props_file",
+                        spec.props_file.as_deref().unwrap_or("builtin"),
+                    )
+                    .field("prop_library_version", wbsim_check::PROP_LIBRARY_VERSION);
                 match &spec.config.file {
                     Some(text) => {
                         h.field("config", text);
@@ -484,7 +498,8 @@ impl Manifest {
                 let opt_num = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
                 format!(
                     "{{\"exhaustive\":{},\"reach\":{},\"machine\":{},\"mshrs\":{},\
-                     \"max_ops\":{},\"fault\":{},\"config\":{},\"depth\":{},\
+                     \"max_ops\":{},\"fault\":{},\"props\":{},\"props_file\":{},\
+                     \"config\":{},\"depth\":{},\
                      \"retire_at\":{},\"hazard\":{}}}",
                     spec.exhaustive,
                     spec.reach,
@@ -493,6 +508,10 @@ impl Manifest {
                     spec.max_ops,
                     spec.fault
                         .map_or("null".to_string(), |f| escape(fault_name(f))),
+                    spec.props,
+                    spec.props_file
+                        .as_deref()
+                        .map_or("null".to_string(), escape),
                     spec.config
                         .file
                         .as_deref()
@@ -661,6 +680,8 @@ fn parse_spec(tag: &str, spec: Option<&Json>, errs: &mut Vec<Diagnostic>) -> Opt
             "mshrs",
             "max_ops",
             "fault",
+            "props",
+            "props_file",
             "config",
             "depth",
             "retire_at",
@@ -763,6 +784,8 @@ fn parse_spec(tag: &str, spec: Option<&Json>, errs: &mut Vec<Diagnostic>) -> Opt
                     )),
                 }
             }
+            s.props = bool_of("props", errs);
+            s.props_file = str_of("props_file", errs);
             s.config.file = str_of("config", errs);
             s.config.depth = opt_usize(fields, "depth", "spec.depth", errs);
             s.config.retire_at = opt_usize(fields, "retire_at", "spec.retire_at", errs);

@@ -59,5 +59,5 @@ pub mod testutil;
 pub use event::{Event, EventParseError, PortUse};
 pub use machine::{Engine, LineSnapshot, Machine, MachineSnapshot, MshrSnapshot, WbEntrySnapshot};
 pub use nonblocking::NonBlockingMachine;
-pub use observer::{HistogramObserver, NullObserver, Observer};
+pub use observer::{HistogramObserver, NullObserver, Observer, Tee};
 pub use port::{L2Port, PortOwner};

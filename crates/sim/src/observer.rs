@@ -44,6 +44,29 @@ impl Observer for NullObserver {
     fn event(&mut self, _ev: &Event) {}
 }
 
+/// Fans one event stream out to two observers, first `a` then `b` per
+/// event. Lets a single run drive independent sinks — e.g. a trace
+/// recorder alongside a property monitor — without either knowing about
+/// the other. `IS_NOOP` propagates only when both halves are no-ops, so
+/// the event-driven engine's span replay stays exact for the pair.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Tee<A, B>(
+    /// The first sink (sees each event before the second).
+    pub A,
+    /// The second sink.
+    pub B,
+);
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    const IS_NOOP: bool = A::IS_NOOP && B::IS_NOOP;
+
+    #[inline]
+    fn event(&mut self, ev: &Event) {
+        self.0.event(ev);
+        self.1.event(ev);
+    }
+}
+
 /// Aggregates the event stream into occupancy, latency, and stall-burst
 /// distributions — the "how close to full does the buffer run" numbers
 /// the paper's depth-vs-headroom guidance turns on.
@@ -267,6 +290,19 @@ mod tests {
         assert_eq!(obs.retirements(), 2);
         assert_eq!(obs.max_retirement_latency(), 10);
         assert!((obs.mean_retirement_latency() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks_in_order_and_propagates_noop() {
+        let mut tee = Tee(HistogramObserver::new(4), HistogramObserver::new(4));
+        tee.event(&Event::CycleEnd {
+            now: 0,
+            occupancy: 2,
+        });
+        assert_eq!(tee.0.cycles(), 1);
+        assert_eq!(tee.1.cycles(), 1);
+        const { assert!(<Tee<NullObserver, NullObserver> as Observer>::IS_NOOP) };
+        const { assert!(!<Tee<NullObserver, HistogramObserver> as Observer>::IS_NOOP) };
     }
 
     #[test]

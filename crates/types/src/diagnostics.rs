@@ -159,6 +159,239 @@ pub fn any_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
+/// One entry in the unified diagnostic-code registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeEntry {
+    /// The stable machine-readable code (`CFG003`, `PRP101`, …).
+    pub code: &'static str,
+    /// Which subsystem emits it.
+    pub family: &'static str,
+    /// One-line summary of what the code means.
+    pub summary: &'static str,
+}
+
+/// Every stable diagnostic code any `wbsim` subsystem can emit, in code
+/// order — the single source of truth the per-crate tables (the linter's
+/// `RULES`, the property layer's `PRP…` emitters, the job layer's
+/// manifest validation) are pinned against by test. Convention: a
+/// three-letter uppercase family prefix plus three digits; the `x00`
+/// block of each family is reserved for findings *about checked
+/// artifacts* (grid-level lints, property verdicts) as opposed to
+/// problems with the input itself.
+pub static REGISTRY: &[CodeEntry] = &[
+    CodeEntry {
+        code: "CFG001",
+        family: "config",
+        summary: "a size that must be a power of two is not",
+    },
+    CodeEntry {
+        code: "CFG002",
+        family: "config",
+        summary: "a parameter is zero or out of range",
+    },
+    CodeEntry {
+        code: "CFG003",
+        family: "config",
+        summary: "retire-at mark exceeds the buffer depth",
+    },
+    CodeEntry {
+        code: "CFG004",
+        family: "config",
+        summary: "line/word geometry is inconsistent",
+    },
+    CodeEntry {
+        code: "CFG005",
+        family: "config",
+        summary: "a `.wbcfg` line failed to parse",
+    },
+    CodeEntry {
+        code: "JOB001",
+        family: "jobs",
+        summary: "manifest is not a JSON object",
+    },
+    CodeEntry {
+        code: "JOB002",
+        family: "jobs",
+        summary: "unknown manifest key",
+    },
+    CodeEntry {
+        code: "JOB003",
+        family: "jobs",
+        summary: "manifest schema missing or mismatched",
+    },
+    CodeEntry {
+        code: "JOB004",
+        family: "jobs",
+        summary: "job kind missing or unknown",
+    },
+    CodeEntry {
+        code: "JOB005",
+        family: "jobs",
+        summary: "malformed job spec field",
+    },
+    CodeEntry {
+        code: "JOB006",
+        family: "jobs",
+        summary: "malformed job options field",
+    },
+    CodeEntry {
+        code: "JOB010",
+        family: "jobs",
+        summary: "no such paper table",
+    },
+    CodeEntry {
+        code: "JOB011",
+        family: "jobs",
+        summary: "no such paper figure",
+    },
+    CodeEntry {
+        code: "JOB012",
+        family: "jobs",
+        summary: "config file and override fields are mutually exclusive",
+    },
+    CodeEntry {
+        code: "JOB013",
+        family: "jobs",
+        summary: "mshrs must be >= 1",
+    },
+    CodeEntry {
+        code: "JOB014",
+        family: "jobs",
+        summary: "bench samples must be >= 1",
+    },
+    CodeEntry {
+        code: "JOB015",
+        family: "jobs",
+        summary: "unknown benchmark model",
+    },
+    CodeEntry {
+        code: "JOB016",
+        family: "jobs",
+        summary: "trace job is missing its configuration text",
+    },
+    CodeEntry {
+        code: "JOB017",
+        family: "jobs",
+        summary: "instruction budget must be >= 1",
+    },
+    CodeEntry {
+        code: "LNT001",
+        family: "lint",
+        summary: "zero headroom: retire-at mark equals depth",
+    },
+    CodeEntry {
+        code: "LNT002",
+        family: "lint",
+        summary: "retire-at-1 defeats coalescing",
+    },
+    CodeEntry {
+        code: "LNT003",
+        family: "lint",
+        summary: "L2 latency ≤ L1 hit latency",
+    },
+    CodeEntry {
+        code: "LNT004",
+        family: "lint",
+        summary: "buffer depth beyond the paper's studied range",
+    },
+    CodeEntry {
+        code: "LNT005",
+        family: "lint",
+        summary: "write-priority threshold exceeds depth",
+    },
+    CodeEntry {
+        code: "LNT006",
+        family: "lint",
+        summary: "more MSHRs than write-buffer entries",
+    },
+    CodeEntry {
+        code: "LNT100",
+        family: "lint",
+        summary: "sweep grid collapses to a single point",
+    },
+    CodeEntry {
+        code: "LNT101",
+        family: "lint",
+        summary: "sweep mixes read-from-WB with flush policies",
+    },
+    CodeEntry {
+        code: "LNT102",
+        family: "lint",
+        summary: "duplicate configuration labels in a sweep",
+    },
+    CodeEntry {
+        code: "PRP001",
+        family: "props",
+        summary: "property syntax error",
+    },
+    CodeEntry {
+        code: "PRP002",
+        family: "props",
+        summary: "unknown event tag",
+    },
+    CodeEntry {
+        code: "PRP003",
+        family: "props",
+        summary: "unknown field for this event tag",
+    },
+    CodeEntry {
+        code: "PRP004",
+        family: "props",
+        summary: "type or operator mismatch in a constraint",
+    },
+    CodeEntry {
+        code: "PRP005",
+        family: "props",
+        summary: "duplicate property name",
+    },
+    CodeEntry {
+        code: "PRP006",
+        family: "props",
+        summary: "unknown token for a closed-set field",
+    },
+    CodeEntry {
+        code: "PRP007",
+        family: "props",
+        summary: "unbound parameter or unknown where-clause symbol",
+    },
+    CodeEntry {
+        code: "PRP008",
+        family: "props",
+        summary: "property has no body, or the file has no properties",
+    },
+    CodeEntry {
+        code: "PRP100",
+        family: "props",
+        summary: "safety property violated",
+    },
+    CodeEntry {
+        code: "PRP101",
+        family: "props",
+        summary: "liveness property violated (obligation never discharges)",
+    },
+    CodeEntry {
+        code: "RCH001",
+        family: "reach",
+        summary: "a safety invariant fails at a reachable state",
+    },
+    CodeEntry {
+        code: "RCH002",
+        family: "reach",
+        summary: "livelock: buffered stores can never all retire",
+    },
+    CodeEntry {
+        code: "RCH003",
+        family: "reach",
+        summary: "configuration outside the abstractable class",
+    },
+];
+
+/// Looks up a code in [`REGISTRY`].
+#[must_use]
+pub fn registry_entry(code: &str) -> Option<&'static CodeEntry> {
+    REGISTRY.iter().find(|e| e.code == code)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +435,43 @@ mod tests {
         assert!(tricky
             .to_json()
             .contains("got \\\"x\\\\y\\\"\\nand a\\ttab"));
+    }
+
+    #[test]
+    fn registry_codes_are_unique_sorted_and_follow_the_convention() {
+        for pair in REGISTRY.windows(2) {
+            assert!(
+                pair[0].code < pair[1].code,
+                "{} must sort before {}",
+                pair[0].code,
+                pair[1].code
+            );
+        }
+        let families = [
+            ("CFG", "config"),
+            ("LNT", "lint"),
+            ("RCH", "reach"),
+            ("JOB", "jobs"),
+            ("PRP", "props"),
+        ];
+        for e in REGISTRY {
+            let bytes = e.code.as_bytes();
+            assert_eq!(e.code.len(), 6, "{}", e.code);
+            assert!(
+                bytes[..3].iter().all(u8::is_ascii_uppercase)
+                    && bytes[3..].iter().all(u8::is_ascii_digit),
+                "{} must be three uppercase letters plus three digits",
+                e.code
+            );
+            let family = families
+                .iter()
+                .find(|(prefix, _)| e.code.starts_with(prefix))
+                .unwrap_or_else(|| panic!("{} has an unregistered prefix", e.code));
+            assert_eq!(e.family, family.1, "{}", e.code);
+            assert!(!e.summary.is_empty());
+        }
+        assert_eq!(registry_entry("RCH002").map(|e| e.family), Some("reach"));
+        assert_eq!(registry_entry("XXX999"), None);
     }
 
     #[test]

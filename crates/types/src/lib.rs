@@ -60,7 +60,7 @@ pub mod testutil;
 pub use addr::{Addr, Geometry, LineAddr, WordMask};
 pub use cachekey::{CacheKey, KeyHasher, ENGINE_VERSION};
 pub use config::{ConfigError, IcacheConfig, L1Config, L2Config, MachineConfig, WriteBufferConfig};
-pub use diagnostics::{Diagnostic, Severity};
+pub use diagnostics::{registry_entry, CodeEntry, Diagnostic, Severity, REGISTRY};
 pub use divergence::{Divergence, FaultInjection, LoadSource};
 pub use op::Op;
 pub use policy::{DatapathWidth, L2Priority, LoadHazardPolicy, RetirementOrder, RetirementPolicy};

@@ -185,6 +185,19 @@ fn check_spec_fields_are_in_the_key() {
         check(&|s| s.config.file = Some("# cfg\n".to_string())),
         "config file"
     );
+    assert_ne!(key, check(&|s| s.props = true), "props");
+    assert_ne!(
+        key,
+        check(&|s| s.props_file = Some("prop p { desc \"d\"; always cycle-end; }".to_string())),
+        "props file text"
+    );
+    // Two different property texts cache separately even with props off:
+    // the key hashes the text verbatim, like config.file.
+    assert_ne!(
+        check(&|s| s.props_file = Some("# a\n".to_string())),
+        check(&|s| s.props_file = Some("# b\n".to_string())),
+        "props file text verbatim"
+    );
 }
 
 /// Resubmitting an identical manifest is a 100% cache hit: the store's
@@ -307,6 +320,7 @@ fn check_artifact_matches_the_merged_document_modulo_timing() {
                 report.to_json()
             )),
             None,
+            None,
         )
     );
     assert_eq!(normalize_wall_ms(doc), normalize_wall_ms(&direct));
@@ -379,6 +393,14 @@ fn wire_round_trip_preserves_the_key() {
                 reach: true,
                 mshrs: Some(2),
                 machine: wbsim::jobs::MachineSel::NonBlocking,
+                ..CheckSpec::default()
+            }),
+            options: Options::default(),
+        },
+        Manifest {
+            kind: JobKind::Check(CheckSpec {
+                props: true,
+                props_file: Some("prop p { desc \"d\"; always cycle-end; }\n".to_string()),
                 ..CheckSpec::default()
             }),
             options: Options::default(),

@@ -25,9 +25,9 @@
 //! [`Counterexample`] carries a JSONL event trace replayable with
 //! `wbsim trace validate`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
+use wbsim_types::sync::atomic::AtomicUsize;
+use wbsim_types::sync::{Mutex, Ordering};
 
 use wbsim_oracle::{check_conservation, ArchModel};
 use wbsim_sim::{Event, Machine, NonBlockingMachine, Observer};
@@ -433,7 +433,7 @@ where
     let next = AtomicUsize::new(0);
     let earliest = AtomicUsize::new(usize::MAX);
     let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
+    wbsim_types::sync::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -448,7 +448,7 @@ where
                 if result.is_err() {
                     earliest.fetch_min(i, Ordering::Relaxed);
                 }
-                *slots[i].lock().expect("worker never panics holding it") = Some(result);
+                *slots[i].lock() = Some(result);
             });
         }
     });
@@ -456,7 +456,7 @@ where
     // follow a failed lower index, so the scan hits the failure first.
     let mut out = Vec::with_capacity(n);
     for (i, slot) in slots.into_iter().enumerate() {
-        match slot.into_inner().expect("workers joined") {
+        match slot.into_inner() {
             Some(Ok(t)) => out.push(t),
             Some(Err(e)) => return Err((i, e)),
             None => unreachable!("index {i} abandoned without an earlier failure"),

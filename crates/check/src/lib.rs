@@ -62,6 +62,7 @@ pub mod prop_automaton;
 pub mod prop_parse;
 pub mod prop_product;
 pub mod reach;
+pub mod sched;
 
 pub use abstract_state::{
     canonical_state, AbsEntry, AbsLine, AbsMshr, AbsState, ShadowTracker, WordAbs,
@@ -91,5 +92,9 @@ pub use reach::{
     check_liveness_sequence, check_liveness_sequence_nonblocking, check_reach, check_reach_config,
     check_reach_config_nonblocking, check_reach_jobs, check_reach_nonblocking,
     check_reach_nonblocking_jobs, ReachConfigStats, ReachViolation,
+};
+pub use sched::{
+    classify as classify_execution, explore, replay as replay_schedule, FnHarness, HarnessResult,
+    HarnessStats, ReplayOutcome, SchedChoice, SchedCounterexample, SchedHarness, SchedOptions,
 };
 pub use wbsim_types::diagnostics::{any_errors, Diagnostic, Severity};

@@ -31,6 +31,7 @@ const BOOL_FLAGS: &[&str] = &[
     "ideal",
     "exhaustive",
     "reach",
+    "sched",
     "json",
 ];
 // note: --svg takes a directory value, so it is not listed here.

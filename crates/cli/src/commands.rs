@@ -9,9 +9,11 @@ use wbsim_check::{
     check_props_reach_jobs, check_props_reach_nonblocking_jobs, check_reach_jobs,
     check_reach_nonblocking_jobs, compile_props, default_jobs, lint_config, lint_nonblocking,
     parse_error_diagnostic, parse_props, Counterexample, PropEnv, PropRunner, PropSet,
+    SchedOptions,
 };
 use wbsim_experiments::harness::{pool_cells_jobs, Harness};
 use wbsim_experiments::{ablations, figures, render, tables};
+use wbsim_jobs::sched::{replay_mismatch, replay_sched, run_sched, SchedFault};
 use wbsim_jobs::{
     CheckConfig, CheckSpec, Executor, FigureFormat, JobKind, MachineSel, Manifest,
     Options as JobOptions, Store,
@@ -105,8 +107,16 @@ USAGE:
         (verify temporal safety & liveness properties unboundedly over the
          abstract-state / monitor product; bare --prop uses the built-in
          library props/paper.wbp; same counterexample plumbing as --reach)
-        (--json always emits one document with linter/exhaustive/reach/properties
-         sections)
+  wbsim check --sched [--fault lost-wakeup|dup-execute] [--preemptions N]
+        [--replay FILE] [--out FILE.jsonl] [--json]
+        (controlled-scheduler model check of the host serve/jobs/pool
+         concurrency: explores all interleavings of small fixed-thread
+         harnesses under a preemption bound; a violation writes a
+         minimized JSONL schedule that --replay re-executes
+         deterministically; --fault injects a known concurrency bug to
+         prove the checker catches it — see docs/static-analysis.md)
+        (--json always emits one document with
+         linter/exhaustive/reach/properties/sched sections)
   wbsim bench [--samples N] [--instructions N] [--warmup N] [--seed S] [--json]
         [--out FILE.json] [--check BASELINE.json] [--tolerance PCT]
         (measure cells/sec of both engines over the table-7 grid; --json/--out
@@ -992,6 +1002,9 @@ fn cmd_check(p: &Parsed) -> CmdResult {
     if p.has_flag("json") {
         return cmd_check_json(p);
     }
+    if p.has_flag("sched") {
+        return cmd_check_sched(p);
+    }
     if p.has_flag("exhaustive") {
         return cmd_check_exhaustive(p);
     }
@@ -1015,6 +1028,108 @@ fn cmd_check(p: &Parsed) -> CmdResult {
         } else {
             diags.len().to_string()
         }
+    );
+    Ok(())
+}
+
+/// The sched pass's exploration knobs from this invocation's flags.
+fn sched_options_from(p: &Parsed) -> Result<SchedOptions, ArgError> {
+    let mut opts = SchedOptions::default();
+    if let Some(v) = p.options.get("preemptions") {
+        opts.preemption_bound = v
+            .parse()
+            .map_err(|_| ArgError(format!("bad --preemptions {v:?} (need a count)")))?;
+    }
+    Ok(opts)
+}
+
+/// The injected sched fault named by `--fault`, when `--sched` is active.
+fn sched_fault_from(p: &Parsed) -> Result<Option<SchedFault>, ArgError> {
+    match p.options.get("fault") {
+        None => Ok(None),
+        Some(v) => SchedFault::from_name(v).map(Some).ok_or_else(|| {
+            ArgError(format!(
+                "bad --fault {v:?} under --sched (lost-wakeup | dup-execute)"
+            ))
+        }),
+    }
+}
+
+/// `wbsim check --sched`: explore the host-concurrency harnesses with the
+/// controlled scheduler, or `--replay FILE` a recorded schedule. A
+/// violating schedule is minimized and written to `--out` (default
+/// `wbsim-sched-counterexample.jsonl`; `-` streams it to stdout).
+fn cmd_check_sched(p: &Parsed) -> CmdResult {
+    use std::io::Write as _;
+    let opts = sched_options_from(p)?;
+    if let Some(path) = p.options.get("replay") {
+        let text = std::fs::read_to_string(path)?;
+        let (cex, outcome) = match replay_sched(&text, &opts) {
+            Ok(r) => r,
+            Err(d) => {
+                eprintln!("{}", d.render());
+                return Err(ArgError(format!("cannot replay {path}: {}", d.message)).into());
+            }
+        };
+        if outcome.matches(&cex) {
+            println!(
+                "replay ok: {} reproduces {} on {} ({} steps, forcing prefix {})",
+                path,
+                cex.code,
+                cex.harness,
+                cex.schedule.len(),
+                cex.prefix
+            );
+            return Ok(());
+        }
+        let d = replay_mismatch(&cex, &outcome);
+        eprintln!("{}", d.render());
+        return Err(ArgError("schedule did not reproduce its recorded verdict".into()).into());
+    }
+    let report = run_sched(sched_fault_from(p)?, &opts);
+    for r in &report.results {
+        println!(
+            "sched {}: {} ({} schedules, max depth {})",
+            r.stats.harness, r.stats.verdict, r.stats.schedules, r.stats.max_depth
+        );
+    }
+    if let Some(cex) = report.counterexample() {
+        let out = p
+            .options
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "wbsim-sched-counterexample.jsonl".into());
+        if out == "-" {
+            print!("{}", cex.to_jsonl());
+        } else {
+            let mut w = BufWriter::new(File::create(&out)?);
+            w.write_all(cex.to_jsonl().as_bytes())?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            eprintln!(
+                "schedule: {out} ({} steps, forcing prefix {}) — replay with \
+                 `wbsim check --sched --replay {out}`",
+                cex.schedule.len(),
+                cex.prefix
+            );
+        }
+        return Err(ArgError(format!("{}: {}", cex.code, cex.detail)).into());
+    }
+    if !report.ok() {
+        let msg = match report.fault {
+            Some(f) => format!(
+                "injected fault {} was not caught (expected {})",
+                f.name(),
+                f.expected_code()
+            ),
+            None => {
+                "sched exploration exhausted its budget before covering the state space".to_string()
+            }
+        };
+        return Err(ArgError(msg).into());
+    }
+    println!(
+        "ok: all interleavings clean (preemption bound {})",
+        opts.preemption_bound
     );
     Ok(())
 }
@@ -1135,6 +1250,17 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
         .into());
     }
     let machine = check_machine_from(p)?;
+    // Under --sched, --fault names a host-concurrency fault; otherwise it
+    // names a machine fault injection as always.
+    let sched = p.has_flag("sched");
+    let (fault, sched_fault) = if sched {
+        match sched_fault_from(p) {
+            Ok(sf) => (None, sf),
+            Err(_) => (fault_from(p)?, None),
+        }
+    } else {
+        (fault_from(p)?, None)
+    };
     let spec = CheckSpec {
         exhaustive: p.has_flag("exhaustive"),
         reach: p.has_flag("reach"),
@@ -1144,13 +1270,22 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
         },
         mshrs: check_mshrs_from(p)?,
         max_ops: p.get_or("max-ops", 5u32)?,
-        fault: fault_from(p)?,
+        fault,
         props: p.options.contains_key("prop"),
         // The manifest carries the property file's *text* (like --config);
         // the bare flag or `builtin` selects the built-in library.
         props_file: match p.options.get("prop").map(String::as_str) {
             Some(path) if path != "builtin" => Some(std::fs::read_to_string(path)?),
             _ => None,
+        },
+        sched,
+        sched_fault,
+        sched_preemptions: match p.options.get("preemptions") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| ArgError(format!("bad --preemptions {v:?} (need a count)")))?,
+            ),
         },
         config: check_config_from(p)?,
     };
@@ -1165,6 +1300,24 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
         if let (Some(trace), Some(meta)) = (trace, meta) {
             emit_counterexample_artifacts(p, trace, meta)?;
         }
+    }
+    // Sched schedules have no meta pair: the JSONL header line already
+    // carries the harness/fault/code context that replay needs.
+    if let Some(trace) = outcome.artifact("counterexample-sched.jsonl") {
+        use std::io::Write as _;
+        let out = p
+            .options
+            .get("out")
+            .cloned()
+            .unwrap_or_else(|| "wbsim-sched-counterexample.jsonl".into());
+        let mut w = BufWriter::new(File::create(&out)?);
+        w.write_all(&trace.bytes)?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        let mut human = io::stderr().lock();
+        writeln!(
+            human,
+            "sched schedule: {out} — replay with `wbsim check --sched --replay {out}`"
+        )?;
     }
     print!("{}", outcome.artifact_text("check.json").unwrap_or(""));
     if let Some(msg) = &outcome.failed {
@@ -1844,17 +1997,17 @@ wb.retirement = retire-at-8
     }
 
     /// Satellite pin: `wbsim check --json` emits exactly one top-level
-    /// document with `linter`, `exhaustive`, `reach`, and `properties`
-    /// sections.
+    /// document with `linter`, `exhaustive`, `reach`, `properties`, and
+    /// `sched` sections.
     #[test]
     fn merged_check_json_schema_is_pinned() {
         // No sections run: the skeleton with nulls.
         assert_eq!(
-            merged_check_json(&[], None, None, None),
+            merged_check_json(&[], None, None, None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":null,\"reach\":null,\"properties\":null}"
+             \"exhaustive\":null,\"reach\":null,\"properties\":null,\"sched\":null}"
         );
-        // One diagnostic plus three section payloads, spliced verbatim.
+        // One diagnostic plus four section payloads, spliced verbatim.
         let d = Diagnostic::new("LNT001", wbsim_types::diagnostics::Severity::Warning, "wb")
             .with_message("m");
         assert_eq!(
@@ -1863,19 +2016,21 @@ wb.retirement = retire-at-8
                 Some("{\"status\":\"clean\",\"report\":{}}"),
                 Some("{\"status\":\"violation\",\"diagnostic\":{}}"),
                 Some("{\"status\":\"invalid\",\"diagnostics\":[]}"),
+                Some("{\"harnesses\":[],\"clean\":true}"),
             ),
             format!(
                 "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":false}},\
                  \"exhaustive\":{{\"status\":\"clean\",\"report\":{{}}}},\
                  \"reach\":{{\"status\":\"violation\",\"diagnostic\":{{}}}},\
-                 \"properties\":{{\"status\":\"invalid\",\"diagnostics\":[]}}}}",
+                 \"properties\":{{\"status\":\"invalid\",\"diagnostics\":[]}},\
+                 \"sched\":{{\"harnesses\":[],\"clean\":true}}}}",
                 d.to_json()
             )
         );
         // Error-severity findings flip the `errors` flag.
         let e = Diagnostic::new("CFG002", wbsim_types::diagnostics::Severity::Error, "wb")
             .with_message("m");
-        assert!(merged_check_json(&[e], None, None, None).contains("\"errors\":true"));
+        assert!(merged_check_json(&[e], None, None, None, None).contains("\"errors\":true"));
         // The shared escaper keeps violation messages valid JSON.
         assert_eq!(
             wbsim_types::json::escape("a\"b\\c\nd"),

@@ -25,12 +25,18 @@ impl Drop for Daemon {
 }
 
 fn spawn_daemon() -> Daemon {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_wbsim"))
-        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+    spawn_daemon_with(&[])
+}
+
+fn spawn_daemon_with(env: &[(&str, &str)]) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_wbsim"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
         .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn wbsim serve");
+        .stderr(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn wbsim serve");
     // The daemon announces its bound address on stdout; with port 0 that
     // line is the only way to learn the real port.
     let stdout = child.stdout.take().expect("piped stdout");
@@ -113,17 +119,24 @@ fn id_of(body: &str) -> u64 {
 }
 
 fn poll_done(port: u16, id: u64) -> String {
+    let body = poll_terminal(port, id);
+    assert!(
+        body.contains("\"status\":\"done\""),
+        "job {id} failed: {body}"
+    );
+    body
+}
+
+/// Polls until the job reaches either terminal state (`done` or
+/// `failed`) and returns the status document.
+fn poll_terminal(port: u16, id: u64) -> String {
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
         let (code, body) = http_text(port, "GET", &format!("/v1/jobs/{id}"), "");
         assert_eq!(code, 200, "{body}");
-        if body.contains("\"status\":\"done\"") {
+        if body.contains("\"status\":\"done\"") || body.contains("\"status\":\"failed\"") {
             return body;
         }
-        assert!(
-            !body.contains("\"status\":\"failed\""),
-            "job {id} failed: {body}"
-        );
         assert!(Instant::now() < deadline, "job {id} stuck: {body}");
         std::thread::sleep(Duration::from_millis(25));
     }
@@ -300,4 +313,90 @@ fn jsonl_artifacts_stream_chunked() {
         "every chunked line is one JSON event"
     );
     // The drop guard kills this daemon; clean shutdown is pinned above.
+}
+
+/// A panicking job is marked failed with a structured `JOB020` and the
+/// worker survives to run later jobs (docs/serving.md's recovery
+/// contract). `WBSIM_TEST_PANIC_KIND=table` makes every table job panic
+/// inside the executor; three distinct panics on a two-worker pool
+/// guarantee at least one worker recovers from more than one.
+#[test]
+fn worker_panics_fail_with_job020_and_the_pool_survives() {
+    let mut daemon = spawn_daemon_with(&[("WBSIM_TEST_PANIC_KIND", "table")]);
+    let port = daemon.port;
+
+    for instructions in [1000, 1500, 2000] {
+        let manifest = format!(
+            "{{\"schema\":\"wbsim-job/1\",\"kind\":\"table\",\
+             \"spec\":{{\"which\":\"6\"}},\
+             \"options\":{{\"instructions\":{instructions},\"warmup\":500}}}}"
+        );
+        let (code, resp) = http_text(port, "POST", "/v1/jobs", &manifest);
+        assert_eq!(code, 202, "{resp}");
+        let status = poll_terminal(port, id_of(&resp));
+        assert!(status.contains("\"status\":\"failed\""), "{status}");
+        assert!(status.contains("JOB020"), "{status}");
+        assert!(status.contains("worker recovered"), "{status}");
+    }
+
+    // Panicked outcomes never enter the result store: resubmitting the
+    // identical manifest re-executes (and re-panics) instead of serving
+    // a cached failure.
+    let manifest = "{\"schema\":\"wbsim-job/1\",\"kind\":\"table\",\
+         \"spec\":{\"which\":\"6\"},\
+         \"options\":{\"instructions\":1000,\"warmup\":500}}";
+    let (code, resubmit) = http_text(port, "POST", "/v1/jobs", manifest);
+    assert_eq!(code, 202, "{resubmit}");
+    assert!(resubmit.contains("\"cached\":false"), "{resubmit}");
+    poll_terminal(port, id_of(&resubmit));
+
+    // The pool is still alive: a job of a different kind completes.
+    let (code, resp) = http_text(port, "POST", "/v1/jobs", CHECK_MANIFEST);
+    assert_eq!(code, 202, "{resp}");
+    let status = poll_done(port, id_of(&resp));
+    assert!(status.contains("\"check.json\""), "{status}");
+
+    // And shutdown is still clean after all those recoveries.
+    let (code, bye) = http_text(port, "POST", "/v1/shutdown", "");
+    assert_eq!((code, bye.as_str()), (200, "{\"ok\":true}"));
+    let status = daemon.child.wait().expect("daemon exit");
+    assert!(status.success(), "clean exit, got {status:?}");
+}
+
+/// Shutdown with work still queued terminates cleanly: four submissions
+/// race two workers, so at least two jobs sit in the queue when the
+/// shutdown request lands. The workers must drain and join — the
+/// original daemon had a lost-wakeup here (the shutdown flag was stored
+/// without the queue mutex, so a worker between its shutdown check and
+/// its park missed the notification and the process hung; found by
+/// `wbsim check --sched` and pinned in-process by
+/// `queue_core_drains_before_honoring_shutdown`).
+#[test]
+fn shutdown_with_queued_jobs_drains_and_exits_cleanly() {
+    let mut daemon = spawn_daemon();
+    let port = daemon.port;
+
+    for instructions in [2000, 2500, 3000, 3500] {
+        let manifest = format!(
+            "{{\"schema\":\"wbsim-job/1\",\"kind\":\"table\",\
+             \"spec\":{{\"which\":\"6\"}},\
+             \"options\":{{\"instructions\":{instructions},\"warmup\":500}}}}"
+        );
+        let (code, resp) = http_text(port, "POST", "/v1/jobs", &manifest);
+        assert_eq!(code, 202, "{resp}");
+    }
+    let (code, bye) = http_text(port, "POST", "/v1/shutdown", "");
+    assert_eq!((code, bye.as_str()), (200, "{\"ok\":true}"));
+
+    // A hang (lost wakeup) shows up as this deadline expiring, not as a
+    // wedged CI job.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let status = loop {
+        if let Some(status) = daemon.child.try_wait().expect("poll daemon") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon hung after shutdown");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(status.success(), "clean exit, got {status:?}");
 }

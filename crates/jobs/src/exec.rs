@@ -56,24 +56,16 @@ impl<'a> Executor<'a> {
     }
 
     /// Submits one manifest: a store hit answers without executing any
-    /// cell, a miss executes and caches. Two racing submissions of the
-    /// same manifest may both execute; they produce identical outcomes,
-    /// so the race costs time, never correctness.
+    /// cell, a miss executes and caches. Racing submissions of the same
+    /// manifest execute exactly once — [`Store::execute_memoized`] makes
+    /// the check-or-claim atomic and parks the losers until the winner
+    /// publishes (pinned by the `store-race` sched harness).
     pub fn run(&self, m: &Manifest) -> JobResult {
         let key = m.cache_key();
-        if let Some(outcome) = self.store.get(key) {
-            self.store.record_hit();
-            return JobResult {
-                key,
-                cached: true,
-                outcome,
-            };
-        }
-        let outcome = Arc::new(execute(m));
-        self.store.insert(key, Arc::clone(&outcome));
+        let (outcome, cached) = self.store.execute_memoized(key, || execute(m));
         JobResult {
             key,
-            cached: false,
+            cached,
             outcome,
         }
     }
@@ -88,16 +80,18 @@ pub fn merged_check_json(
     exhaustive: Option<&str>,
     reach: Option<&str>,
     properties: Option<&str>,
+    sched: Option<&str>,
 ) -> String {
     let diags: Vec<String> = linter.iter().map(Diagnostic::to_json).collect();
     format!(
         "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":{}}},\"exhaustive\":{},\"reach\":{},\
-         \"properties\":{}}}",
+         \"properties\":{},\"sched\":{}}}",
         diags.join(","),
         any_errors(linter),
         exhaustive.unwrap_or("null"),
         reach.unwrap_or("null"),
-        properties.unwrap_or("null")
+        properties.unwrap_or("null"),
+        sched.unwrap_or("null")
     )
 }
 
@@ -370,12 +364,32 @@ fn run_check(spec: &CheckSpec, opts: &Options) -> JobOutcome {
         None
     };
 
+    let sched = if spec.sched {
+        let mut sched_opts = wbsim_check::SchedOptions::default();
+        if let Some(p) = spec.sched_preemptions {
+            sched_opts.preemption_bound = p;
+        }
+        let report = crate::sched::run_sched(spec.sched_fault, &sched_opts);
+        if let Some(cex) = report.counterexample() {
+            counterexamples.push(text_artifact("counterexample-sched.jsonl", cex.to_jsonl()));
+        }
+        // A violating schedule fails the check; so does a fault run that
+        // did not catch its injected fault (the checker itself is broken).
+        if report.counterexample().is_some() || !report.ok() {
+            failed = true;
+        }
+        Some(report.to_json())
+    } else {
+        None
+    };
+
     // The CLI prints the document with `println!`.
     let mut doc = merged_check_json(
         &diags,
         exhaustive.as_deref(),
         reach.as_deref(),
         properties.as_deref(),
+        sched.as_deref(),
     );
     doc.push('\n');
     let mut artifacts = vec![text_artifact("check.json", doc)];
@@ -550,6 +564,42 @@ mod tests {
     }
 
     #[test]
+    fn check_job_with_sched_runs_the_harnesses() {
+        let clean = execute(&Manifest {
+            kind: JobKind::Check(CheckSpec {
+                sched: true,
+                ..CheckSpec::default()
+            }),
+            options: Options::default(),
+        });
+        assert_eq!(clean.failed, None);
+        let doc = clean.artifact_text("check.json").expect("check.json");
+        assert!(doc.contains("\"sched\":{\"harnesses\":["), "{doc}");
+        assert!(doc.contains("\"clean\":true"), "{doc}");
+        assert!(doc.contains("\"harness\":\"serve-drain\""), "{doc}");
+
+        let faulty = execute(&Manifest {
+            kind: JobKind::Check(CheckSpec {
+                sched: true,
+                sched_fault: crate::sched::SchedFault::from_name("dup-execute"),
+                ..CheckSpec::default()
+            }),
+            options: Options::default(),
+        });
+        assert!(faulty.failed.is_some());
+        let doc = faulty.artifact_text("check.json").expect("check.json");
+        assert!(doc.contains("\"verdict\":\"SCH100\""), "{doc}");
+        let sched = faulty
+            .artifact_text("counterexample-sched.jsonl")
+            .expect("schedule artifact");
+        assert!(
+            sched.starts_with("{\"schema\":\"wbsim-sched/1\""),
+            "{sched}"
+        );
+        assert!(sched.contains("\"fault\":\"dup-execute\""), "{sched}");
+    }
+
+    #[test]
     fn trace_job_captures_an_event_stream() {
         let m = Manifest {
             kind: JobKind::Trace {
@@ -610,19 +660,27 @@ mod tests {
     #[test]
     fn merged_check_json_skeleton_is_pinned() {
         assert_eq!(
-            merged_check_json(&[], None, None, None),
+            merged_check_json(&[], None, None, None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":null,\"reach\":null,\"properties\":null}"
+             \"exhaustive\":null,\"reach\":null,\"properties\":null,\"sched\":null}"
         );
         assert_eq!(
-            merged_check_json(&[], Some("{\"status\":\"clean\"}"), None, None),
+            merged_check_json(&[], Some("{\"status\":\"clean\"}"), None, None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":{\"status\":\"clean\"},\"reach\":null,\"properties\":null}"
+             \"exhaustive\":{\"status\":\"clean\"},\"reach\":null,\"properties\":null,\
+             \"sched\":null}"
         );
         assert_eq!(
-            merged_check_json(&[], None, None, Some("{\"status\":\"clean\"}")),
+            merged_check_json(&[], None, None, Some("{\"status\":\"clean\"}"), None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":null,\"reach\":null,\"properties\":{\"status\":\"clean\"}}"
+             \"exhaustive\":null,\"reach\":null,\"properties\":{\"status\":\"clean\"},\
+             \"sched\":null}"
+        );
+        assert_eq!(
+            merged_check_json(&[], None, None, None, Some("{\"clean\":true}")),
+            "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
+             \"exhaustive\":null,\"reach\":null,\"properties\":null,\
+             \"sched\":{\"clean\":true}}"
         );
     }
 

@@ -18,9 +18,15 @@
 //!   the output and a cache hit re-runs zero cells.
 //!
 //! [`mod@serve`] wraps the three in a dependency-free HTTP/1.1 daemon.
+//!
+//! The layer's host-level concurrency (store memoization, the serve
+//! queue, the worker pool) is written against the [`wbsim_types::sync`]
+//! shim and model-checked by the [`sched`] harnesses under
+//! `wbsim check --sched`.
 
 pub mod exec;
 pub mod manifest;
+pub mod sched;
 pub mod serve;
 pub mod store;
 
@@ -28,5 +34,6 @@ pub use exec::{execute, merged_check_json, Executor, JobResult};
 pub use manifest::{
     CheckConfig, CheckSpec, FigureFormat, JobKind, MachineSel, Manifest, Options, SCHEMA,
 };
-pub use serve::{serve, DEFAULT_ADDR, DEFAULT_WORKERS};
+pub use sched::{replay_sched, run_sched, SchedFault, SchedReport};
+pub use serve::{serve, DEFAULT_ADDR, DEFAULT_WORKERS, TEST_PANIC_ENV};
 pub use store::{Artifact, JobOutcome, Store, StoreStats};

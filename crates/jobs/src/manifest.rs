@@ -23,6 +23,8 @@ use wbsim_types::{CacheKey, KeyHasher};
 
 use wbsim_sim::Engine;
 
+use crate::sched::SchedFault;
+
 /// Schema tag of the manifest wire format. Bump on any field change.
 pub const SCHEMA: &str = "wbsim-job/1";
 
@@ -155,6 +157,13 @@ pub struct CheckSpec {
     /// library (submitted as text, like [`CheckConfig::file`], so daemon
     /// clients never depend on server-side paths).
     pub props_file: Option<String>,
+    /// Run the host concurrency model-check pass (`wbsim check --sched`).
+    pub sched: bool,
+    /// Injected host-concurrency fault, if any (`lost-wakeup` /
+    /// `dup-execute`); only meaningful with `sched`.
+    pub sched_fault: Option<SchedFault>,
+    /// Preemption bound override for the sched pass (`None` = default).
+    pub sched_preemptions: Option<usize>,
     /// The configuration under lint.
     pub config: CheckConfig,
 }
@@ -170,6 +179,9 @@ impl Default for CheckSpec {
             fault: None,
             props: false,
             props_file: None,
+            sched: false,
+            sched_fault: None,
+            sched_preemptions: None,
             config: CheckConfig::default(),
         }
     }
@@ -346,7 +358,19 @@ impl Manifest {
                         "props_file",
                         spec.props_file.as_deref().unwrap_or("builtin"),
                     )
-                    .field("prop_library_version", wbsim_check::PROP_LIBRARY_VERSION);
+                    .field("prop_library_version", wbsim_check::PROP_LIBRARY_VERSION)
+                    .field("sched", if spec.sched { "true" } else { "false" })
+                    .field(
+                        "sched_fault",
+                        spec.sched_fault.map_or("none", SchedFault::name),
+                    )
+                    .field(
+                        "sched_preemptions",
+                        &spec
+                            .sched_preemptions
+                            .map_or("default".to_string(), |p| p.to_string()),
+                    )
+                    .field("sched_schema", wbsim_check::sched::SCHED_SCHEMA);
                 match &spec.config.file {
                     Some(text) => {
                         h.field("config", text);
@@ -499,6 +523,7 @@ impl Manifest {
                 format!(
                     "{{\"exhaustive\":{},\"reach\":{},\"machine\":{},\"mshrs\":{},\
                      \"max_ops\":{},\"fault\":{},\"props\":{},\"props_file\":{},\
+                     \"sched\":{},\"sched_fault\":{},\"sched_preemptions\":{},\
                      \"config\":{},\"depth\":{},\
                      \"retire_at\":{},\"hazard\":{}}}",
                     spec.exhaustive,
@@ -512,6 +537,10 @@ impl Manifest {
                     spec.props_file
                         .as_deref()
                         .map_or("null".to_string(), escape),
+                    spec.sched,
+                    spec.sched_fault
+                        .map_or("null".to_string(), |f| escape(f.name())),
+                    opt_num(spec.sched_preemptions),
                     spec.config
                         .file
                         .as_deref()
@@ -682,6 +711,9 @@ fn parse_spec(tag: &str, spec: Option<&Json>, errs: &mut Vec<Diagnostic>) -> Opt
             "fault",
             "props",
             "props_file",
+            "sched",
+            "sched_fault",
+            "sched_preemptions",
             "config",
             "depth",
             "retire_at",
@@ -786,6 +818,19 @@ fn parse_spec(tag: &str, spec: Option<&Json>, errs: &mut Vec<Diagnostic>) -> Opt
             }
             s.props = bool_of("props", errs);
             s.props_file = str_of("props_file", errs);
+            s.sched = bool_of("sched", errs);
+            if let Some(f) = str_of("sched_fault", errs) {
+                match SchedFault::from_name(&f) {
+                    Some(sf) => s.sched_fault = Some(sf),
+                    None => errs.push(diag(
+                        "JOB005",
+                        "spec.sched_fault",
+                        format!("unknown sched fault {f:?} (try lost-wakeup or dup-execute)"),
+                    )),
+                }
+            }
+            s.sched_preemptions =
+                opt_usize(fields, "sched_preemptions", "spec.sched_preemptions", errs);
             s.config.file = str_of("config", errs);
             s.config.depth = opt_usize(fields, "depth", "spec.depth", errs);
             s.config.retire_at = opt_usize(fields, "retire_at", "spec.retire_at", errs);
@@ -919,6 +964,9 @@ mod tests {
                     mshrs: Some(2),
                     max_ops: 3,
                     fault: Some(FaultInjection::StarveRetirement),
+                    sched: true,
+                    sched_fault: Some(SchedFault::LostWakeup),
+                    sched_preemptions: Some(3),
                     config: CheckConfig {
                         depth: Some(6),
                         hazard: Some(LoadHazardPolicy::ReadFromWb),

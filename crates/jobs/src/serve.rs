@@ -26,15 +26,23 @@ use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 use std::time::Duration;
 
+use wbsim_types::diagnostics::{Diagnostic, Severity};
 use wbsim_types::json::escape;
+use wbsim_types::sync::atomic::{AtomicBool, AtomicU64};
+use wbsim_types::sync::{Condvar, Mutex, Ordering};
 
-use crate::exec::Executor;
+use crate::exec::{Executor, JobResult};
 use crate::manifest::Manifest;
-use crate::store::Store;
+use crate::store::{Artifact, JobOutcome, Store};
+
+/// Set this environment variable to a job-kind tag (`table`, `check`, …)
+/// to make workers panic at the start of every job of that kind — the
+/// test hook behind the worker-panic e2e coverage.
+pub const TEST_PANIC_ENV: &str = "WBSIM_TEST_PANIC_KIND";
 
 /// Largest accepted request body (a manifest, possibly carrying a config
 /// file's text).
@@ -74,16 +82,99 @@ struct Job {
     manifest: Manifest,
     status: Status,
     cached: bool,
-    result: Option<crate::exec::JobResult>,
+    result: Option<JobResult>,
+}
+
+/// The daemon's queue/shutdown kernel: everything the accept thread and
+/// the worker pool synchronize on, and nothing else — small enough that
+/// the `serve-drain` sched harness model-checks exactly this type under
+/// `wbsim check --sched`.
+///
+/// The drain contract: a worker pops until the queue is empty *and*
+/// shutdown is flagged, so every job submitted before `begin_shutdown`
+/// still reaches a terminal state.
+pub(crate) struct QueueCore {
+    queue: Mutex<VecDeque<u64>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Injected fault: `begin_shutdown` wakes only one parked worker.
+    lost_wakeup_fault: bool,
+}
+
+impl QueueCore {
+    pub(crate) fn new() -> Self {
+        QueueCore {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            lost_wakeup_fault: false,
+        }
+    }
+
+    /// A kernel with the `lost-wakeup` fault injected: shutdown signals
+    /// `notify_one`, stranding all but one parked worker. Only the sched
+    /// harnesses construct this.
+    pub(crate) fn with_lost_wakeup_fault() -> Self {
+        QueueCore {
+            lost_wakeup_fault: true,
+            ..QueueCore::new()
+        }
+    }
+
+    /// Enqueues a job id and wakes one worker to take it.
+    pub(crate) fn push(&self, id: u64) {
+        self.queue.lock().push_back(id);
+        self.wake.notify_one();
+    }
+
+    /// Pops the next job id, parking until one arrives. Returns `None`
+    /// only when the queue is drained *and* shutdown has begun.
+    pub(crate) fn pop_or_park(&self) -> Option<u64> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(id) = q.pop_front() {
+                return Some(id);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.wake.wait(q);
+        }
+    }
+
+    /// Flags shutdown and wakes every parked worker so the pool can
+    /// drain and join.
+    ///
+    /// The flag is stored *while holding the queue mutex*. A naked
+    /// `store` + `notify_all` loses the race against a worker that has
+    /// checked the flag under the mutex but not yet parked: the notify
+    /// fires before the worker reaches the condvar and the worker sleeps
+    /// forever. Holding the mutex forces the store to happen either
+    /// before the worker's check or after the worker is parked — the
+    /// `serve-drain` sched harness found exactly this ordering and pins
+    /// the fix.
+    pub(crate) fn begin_shutdown(&self) {
+        {
+            let _q = self.queue.lock();
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        if self.lost_wakeup_fault {
+            self.wake.notify_one();
+        } else {
+            self.wake.notify_all();
+        }
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
 }
 
 struct Daemon {
     store: Store,
     jobs: Mutex<HashMap<u64, Job>>,
     next_id: AtomicU64,
-    queue: Mutex<VecDeque<u64>>,
-    wake: Condvar,
-    shutdown: AtomicBool,
+    core: QueueCore,
 }
 
 /// One parsed HTTP request.
@@ -166,15 +257,41 @@ fn error_body(message: &str) -> Vec<u8> {
     format!("{{\"error\":{}}}", escape(message)).into_bytes()
 }
 
+/// The failure result recorded for a job whose execution panicked. The
+/// outcome carries the structured `JOB020` diagnostic (in the `failed`
+/// message and as a `diagnostics.json` artifact) and is deliberately
+/// *not* inserted into the store: a panic says nothing about what a
+/// healthy execution of the same key would produce.
+fn panicked_job_result(manifest: &Manifest, payload: &(dyn std::any::Any + Send)) -> JobResult {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    let diag = Diagnostic::new("JOB020", Severity::Error, "job".to_string())
+        .with_message(format!("job execution panicked; worker recovered: {msg}"));
+    let failed = format!("JOB020: job execution panicked; worker recovered: {msg}");
+    JobResult {
+        key: manifest.cache_key(),
+        cached: false,
+        outcome: Arc::new(JobOutcome {
+            artifacts: vec![Artifact {
+                name: "diagnostics.json".to_string(),
+                bytes: format!("{{\"diagnostics\":[{}]}}", diag.to_json()).into_bytes(),
+            }],
+            cells: 0,
+            failed: Some(failed),
+        }),
+    }
+}
+
 impl Daemon {
     fn new() -> Self {
         Daemon {
             store: Store::new(),
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
-            queue: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            core: QueueCore::new(),
         }
     }
 
@@ -220,10 +337,9 @@ impl Daemon {
             job.result = Some(result);
         }
         let status = job.status;
-        self.jobs.lock().expect("jobs poisoned").insert(id, job);
+        self.jobs.lock().insert(id, job);
         if !hit {
-            self.queue.lock().expect("queue poisoned").push_back(id);
-            self.wake.notify_one();
+            self.core.push(id);
         }
         let body = format!(
             "{{\"id\":{id},\"status\":{},\"cached\":{},\"key\":{}}}",
@@ -236,7 +352,7 @@ impl Daemon {
 
     /// `GET /v1/jobs/<id>`.
     fn job_status(&self, id: u64) -> (u16, &'static str, Vec<u8>) {
-        let jobs = self.jobs.lock().expect("jobs poisoned");
+        let jobs = self.jobs.lock();
         let Some(job) = jobs.get(&id) else {
             return (404, "Not Found", error_body(&format!("no job {id}")));
         };
@@ -276,7 +392,7 @@ impl Daemon {
     /// `GET /v1/jobs/<id>/artifacts/<name>` — the artifact bytes, or an
     /// error body. The bool says "stream as chunked JSONL".
     fn artifact(&self, id: u64, name: &str) -> Result<(Vec<u8>, bool), (u16, Vec<u8>)> {
-        let jobs = self.jobs.lock().expect("jobs poisoned");
+        let jobs = self.jobs.lock();
         let Some(job) = jobs.get(&id) else {
             return Err((404, error_body(&format!("no job {id}"))));
         };
@@ -304,29 +420,29 @@ impl Daemon {
         .into_bytes()
     }
 
-    /// One worker: drain the queue until shutdown.
+    /// One worker: drain the queue until shutdown. A panicking job is
+    /// caught and recorded as a failure ([`Diagnostic`] `JOB020`) — the
+    /// worker survives to take the next job, so one bad job never shrinks
+    /// the pool.
     fn work(&self) {
-        loop {
-            let id = {
-                let mut q = self.queue.lock().expect("queue poisoned");
-                loop {
-                    if let Some(id) = q.pop_front() {
-                        break id;
-                    }
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    q = self.wake.wait(q).expect("queue poisoned");
-                }
-            };
+        while let Some(id) = self.core.pop_or_park() {
             let manifest = {
-                let mut jobs = self.jobs.lock().expect("jobs poisoned");
+                let mut jobs = self.jobs.lock();
                 let job = jobs.get_mut(&id).expect("queued job exists");
                 job.status = Status::Running;
                 job.manifest.clone()
             };
-            let result = Executor::new(&self.store).run(&manifest);
-            let mut jobs = self.jobs.lock().expect("jobs poisoned");
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if std::env::var(TEST_PANIC_ENV).is_ok_and(|k| k == manifest.kind.tag()) {
+                    panic!(
+                        "injected test panic ({TEST_PANIC_ENV}={})",
+                        manifest.kind.tag()
+                    );
+                }
+                Executor::new(&self.store).run(&manifest)
+            }))
+            .unwrap_or_else(|payload| panicked_job_result(&manifest, payload.as_ref()));
+            let mut jobs = self.jobs.lock();
             let job = jobs.get_mut(&id).expect("running job exists");
             job.status = if result.outcome.failed.is_some() {
                 Status::Failed
@@ -385,8 +501,7 @@ impl Daemon {
                 ),
             },
             ("POST", ["v1", "shutdown"]) => {
-                self.shutdown.store(true, Ordering::SeqCst);
-                self.wake.notify_all();
+                self.core.begin_shutdown();
                 respond(stream, 200, "OK", b"{\"ok\":true}")
             }
             _ => respond(
@@ -398,7 +513,7 @@ impl Daemon {
         };
         // A client that vanished mid-response is its own problem.
         let _ = outcome;
-        self.shutdown.load(Ordering::SeqCst)
+        self.core.is_shutdown()
     }
 }
 
@@ -425,8 +540,7 @@ pub fn serve(addr: &str, workers: usize) -> Result<(), Box<dyn Error>> {
             }
         }
         // Unblock any worker parked on the condvar so the scope can join.
-        daemon.shutdown.store(true, Ordering::SeqCst);
-        daemon.wake.notify_all();
+        daemon.core.begin_shutdown();
     });
     // The farewell is best-effort: the launcher may have closed our
     // stdout long ago, and EPIPE must not turn a clean shutdown into a
@@ -480,11 +594,11 @@ mod tests {
         assert!(text.contains("\"id\":1"), "{text}");
         assert!(text.contains("\"cached\":false"), "{text}");
         // Drain the queue inline, exactly as a worker would.
-        let id = d.queue.lock().unwrap().pop_front().unwrap();
-        let manifest = d.jobs.lock().unwrap().get(&id).unwrap().manifest.clone();
+        let id = d.core.pop_or_park().unwrap();
+        let manifest = d.jobs.lock().get(&id).unwrap().manifest.clone();
         let result = Executor::new(&d.store).run(&manifest);
         {
-            let mut jobs = d.jobs.lock().unwrap();
+            let mut jobs = d.jobs.lock();
             let job = jobs.get_mut(&id).unwrap();
             job.status = Status::Done;
             job.result = Some(result);
@@ -501,6 +615,54 @@ mod tests {
         assert!(text.contains("\"cached\":true"), "{text}");
         assert!(text.contains("\"status\":\"done\""), "{text}");
         assert_eq!(d.store.stats().hits, 1);
+    }
+
+    #[test]
+    fn queue_core_drains_before_honoring_shutdown() {
+        let core = QueueCore::new();
+        core.push(7);
+        core.push(8);
+        core.begin_shutdown();
+        // Jobs enqueued before shutdown still come out, in order.
+        assert_eq!(core.pop_or_park(), Some(7));
+        assert_eq!(core.pop_or_park(), Some(8));
+        assert_eq!(core.pop_or_park(), None);
+        assert!(core.is_shutdown());
+    }
+
+    #[test]
+    fn a_panicking_job_fails_with_job020_and_the_worker_survives() {
+        let d = Daemon::new();
+        let manifest =
+            b"{\"schema\":\"wbsim-job/1\",\"kind\":\"table\",\"spec\":{\"which\":\"3\"}}";
+        let (code, _, _) = d.submit(manifest);
+        assert_eq!(code, 202);
+        // Simulate the panic a worker would catch.
+        let m = d.jobs.lock().get(&1).unwrap().manifest.clone();
+        let payload: Box<dyn std::any::Any + Send> = Box::new("cell exploded".to_string());
+        let result = panicked_job_result(&m, payload.as_ref());
+        {
+            let mut jobs = d.jobs.lock();
+            let job = jobs.get_mut(&1).unwrap();
+            job.status = Status::Failed;
+            job.result = Some(result);
+        }
+        let (code, _, body) = d.job_status(1);
+        assert_eq!(code, 200);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"status\":\"failed\""), "{text}");
+        assert!(text.contains("JOB020"), "{text}");
+        assert!(text.contains("cell exploded"), "{text}");
+        // The diagnostics artifact carries the structured form.
+        let (bytes, _) = d.artifact(1, "diagnostics.json").unwrap();
+        let doc = wbsim_types::json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let diags = doc.get("diagnostics").and_then(|d| d.as_array()).unwrap();
+        assert_eq!(
+            diags[0].get("code").and_then(|c| c.as_str()),
+            Some("JOB020")
+        );
+        // The panicked outcome never enters the store.
+        assert_eq!(d.store.stats().entries, 0);
     }
 
     #[test]

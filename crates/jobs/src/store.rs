@@ -6,11 +6,22 @@
 //! store keeps honest books: hit/miss counters and a monotonic count of
 //! simulation cells actually executed, which the cache tests pin to prove
 //! a hit re-runs nothing.
+//!
+//! Concurrency: the store's synchronization comes from [`wbsim_types::sync`]
+//! (plain `std::sync` in production, the `wbsim-sched` controlled scheduler
+//! under `wbsim check --sched`). [`Store::execute_memoized`] is the one
+//! atomic check-or-claim path: of any number of racing submissions of the
+//! same key, exactly one executes while the rest park on a condvar and are
+//! answered from the published entry — so `cells_executed` counts each
+//! distinct cell once. The `store-race` sched harness pins this, and the
+//! injected `dup-execute` fault (the claim widened back to an unlocked
+//! check-then-insert) proves the harness has teeth.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
+use wbsim_types::sync::atomic::AtomicU64;
+use wbsim_types::sync::{Condvar, Mutex, Ordering};
 use wbsim_types::CacheKey;
 
 /// One named result blob (exact CLI stdout bytes, a counterexample trace,
@@ -64,15 +75,44 @@ pub struct StoreStats {
     pub entries: u64,
 }
 
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: HashMap<CacheKey, Arc<JobOutcome>>,
+    /// Keys some thread has claimed and is executing right now.
+    pending: HashSet<CacheKey>,
+}
+
 /// The in-memory content-addressed store. `Sync` throughout: the daemon
 /// shares one store across its worker pool, the CLI makes a fresh one per
 /// invocation.
 #[derive(Debug, Default)]
 pub struct Store {
-    entries: Mutex<HashMap<CacheKey, Arc<JobOutcome>>>,
+    state: Mutex<StoreInner>,
+    /// Signaled whenever a pending key publishes (or is abandoned).
+    published: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
     cells_executed: AtomicU64,
+    /// Injected fault: widen the atomic check-or-claim back to an unlocked
+    /// check-then-insert (the pre-`execute_memoized` behavior).
+    dup_execute_fault: bool,
+}
+
+/// Removes the claim on panic so waiters are not stranded; defused on the
+/// normal publish path.
+struct PendingGuard<'a> {
+    store: &'a Store,
+    key: CacheKey,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.store.state.lock().pending.remove(&self.key);
+            self.store.published.notify_all();
+        }
+    }
 }
 
 impl Store {
@@ -82,15 +122,22 @@ impl Store {
         Self::default()
     }
 
+    /// A store with the `dup-execute` concurrency fault injected: racing
+    /// submissions of the same key may both execute. Only the sched
+    /// harnesses construct this.
+    #[must_use]
+    pub(crate) fn with_dup_execute_fault() -> Self {
+        Store {
+            dup_execute_fault: true,
+            ..Store::default()
+        }
+    }
+
     /// The cached outcome for `key`, if any. Pure lookup — the executor
     /// does the hit/miss accounting so probes stay free.
     #[must_use]
     pub fn get(&self, key: CacheKey) -> Option<Arc<JobOutcome>> {
-        self.entries
-            .lock()
-            .expect("store poisoned")
-            .get(&key)
-            .cloned()
+        self.state.lock().entries.get(&key).cloned()
     }
 
     /// Records a cache hit.
@@ -103,10 +150,63 @@ impl Store {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.cells_executed
             .fetch_add(outcome.cells, Ordering::Relaxed);
-        self.entries
-            .lock()
-            .expect("store poisoned")
-            .insert(key, outcome);
+        self.state.lock().entries.insert(key, outcome);
+    }
+
+    /// Memoized execution: answers `key` from the cache, or runs `f` —
+    /// exactly once per key, no matter how many submissions race. The
+    /// check-or-claim is atomic (entry probe and pending-set claim under
+    /// one lock); losers park until the winner publishes and are answered
+    /// from its entry. If the winner panics, its claim is released and a
+    /// parked loser takes over, so no submission is stranded.
+    ///
+    /// Returns the outcome and whether it was served from the cache.
+    pub fn execute_memoized(
+        &self,
+        key: CacheKey,
+        f: impl FnOnce() -> JobOutcome,
+    ) -> (Arc<JobOutcome>, bool) {
+        if self.dup_execute_fault {
+            // Injected fault: the probe and the insert are separate
+            // critical sections, so two racing misses both execute.
+            if let Some(outcome) = self.get(key) {
+                self.record_hit();
+                return (outcome, true);
+            }
+            let outcome = Arc::new(f());
+            self.insert(key, Arc::clone(&outcome));
+            return (outcome, false);
+        }
+        let mut st = self.state.lock();
+        loop {
+            if let Some(outcome) = st.entries.get(&key) {
+                let outcome = Arc::clone(outcome);
+                drop(st);
+                self.record_hit();
+                return (outcome, true);
+            }
+            if st.pending.insert(key) {
+                break; // claimed: this thread executes
+            }
+            st = self.published.wait(st);
+        }
+        drop(st);
+        let mut guard = PendingGuard {
+            store: self,
+            key,
+            armed: true,
+        };
+        let outcome = Arc::new(f());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cells_executed
+            .fetch_add(outcome.cells, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        st.entries.insert(key, Arc::clone(&outcome));
+        st.pending.remove(&key);
+        guard.armed = false;
+        drop(st);
+        self.published.notify_all();
+        (outcome, false)
     }
 
     /// Counters snapshot.
@@ -116,7 +216,7 @@ impl Store {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             cells_executed: self.cells_executed.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("store poisoned").len() as u64,
+            entries: self.state.lock().entries.len() as u64,
         }
     }
 }
@@ -151,5 +251,51 @@ mod tests {
             (s.hits, s.misses, s.cells_executed, s.entries),
             (1, 1, 7, 1)
         );
+    }
+
+    #[test]
+    fn execute_memoized_runs_once_and_then_hits() {
+        let store = Store::new();
+        let key = KeyHasher::new().field("k", "memo").finish();
+        let mut runs = 0;
+        let (first, cached) = store.execute_memoized(key, || {
+            runs += 1;
+            JobOutcome {
+                cells: 3,
+                ..JobOutcome::default()
+            }
+        });
+        assert!(!cached);
+        assert_eq!(first.cells, 3);
+        let (second, cached) = store.execute_memoized(key, || {
+            runs += 1;
+            JobOutcome::default()
+        });
+        assert!(cached);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(runs, 1);
+        let s = store.stats();
+        assert_eq!(
+            (s.hits, s.misses, s.cells_executed, s.entries),
+            (1, 1, 3, 1)
+        );
+    }
+
+    #[test]
+    fn panicking_execution_releases_its_claim() {
+        let store = Store::new();
+        let key = KeyHasher::new().field("k", "boom").finish();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.execute_memoized(key, || panic!("cell exploded"));
+        }));
+        assert!(res.is_err());
+        // The claim is gone: a retry executes normally.
+        let (outcome, cached) = store.execute_memoized(key, || JobOutcome {
+            cells: 1,
+            ..JobOutcome::default()
+        });
+        assert!(!cached);
+        assert_eq!(outcome.cells, 1);
+        assert!(store.state.lock().pending.is_empty());
     }
 }

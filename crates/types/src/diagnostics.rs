@@ -275,6 +275,11 @@ pub static REGISTRY: &[CodeEntry] = &[
         summary: "instruction budget must be >= 1",
     },
     CodeEntry {
+        code: "JOB020",
+        family: "jobs",
+        summary: "job execution panicked; worker recovered",
+    },
+    CodeEntry {
         code: "LNT001",
         family: "lint",
         summary: "zero headroom: retire-at mark equals depth",
@@ -384,6 +389,41 @@ pub static REGISTRY: &[CodeEntry] = &[
         family: "reach",
         summary: "configuration outside the abstractable class",
     },
+    CodeEntry {
+        code: "SCH001",
+        family: "sched",
+        summary: "schedule file line is malformed",
+    },
+    CodeEntry {
+        code: "SCH002",
+        family: "sched",
+        summary: "schedule header names an unknown harness or fault",
+    },
+    CodeEntry {
+        code: "SCH003",
+        family: "sched",
+        summary: "schedule does not replay to its recorded verdict",
+    },
+    CodeEntry {
+        code: "SCH004",
+        family: "sched",
+        summary: "interleaving exploration budget exceeded",
+    },
+    CodeEntry {
+        code: "SCH100",
+        family: "sched",
+        summary: "safety invariant violated under some interleaving",
+    },
+    CodeEntry {
+        code: "SCH101",
+        family: "sched",
+        summary: "deadlock: no thread can make progress",
+    },
+    CodeEntry {
+        code: "SCH102",
+        family: "sched",
+        summary: "liveness violated: lost wakeup or job never terminal",
+    },
 ];
 
 /// Looks up a code in [`REGISTRY`].
@@ -453,6 +493,7 @@ mod tests {
             ("RCH", "reach"),
             ("JOB", "jobs"),
             ("PRP", "props"),
+            ("SCH", "sched"),
         ];
         for e in REGISTRY {
             let bytes = e.code.as_bytes();

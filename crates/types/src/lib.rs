@@ -55,6 +55,7 @@ pub mod op;
 pub mod policy;
 pub mod stall;
 pub mod stats;
+pub mod sync;
 pub mod testutil;
 
 pub use addr::{Addr, Geometry, LineAddr, WordMask};

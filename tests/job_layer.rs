@@ -198,6 +198,17 @@ fn check_spec_fields_are_in_the_key() {
         check(&|s| s.props_file = Some("# b\n".to_string())),
         "props file text verbatim"
     );
+    assert_ne!(key, check(&|s| s.sched = true), "sched");
+    assert_ne!(
+        key,
+        check(&|s| s.sched_fault = wbsim::jobs::SchedFault::from_name("lost-wakeup")),
+        "sched fault"
+    );
+    assert_ne!(
+        key,
+        check(&|s| s.sched_preemptions = Some(1)),
+        "sched preemptions"
+    );
 }
 
 /// Resubmitting an identical manifest is a 100% cache hit: the store's
@@ -319,6 +330,7 @@ fn check_artifact_matches_the_merged_document_modulo_timing() {
                 "{{\"status\":\"clean\",\"report\":{}}}",
                 report.to_json()
             )),
+            None,
             None,
             None,
         )

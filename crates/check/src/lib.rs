@@ -29,6 +29,12 @@
 //!   product with the abstract state graph, boundedly through the
 //!   sequence drivers, and at runtime over recorded JSONL traces. The
 //!   built-in library ([`builtin_library`]) encodes the paper's claims.
+//! * [`refine`] — *cross-engine refinement*: a lockstep product BFS of
+//!   (event-driven, reference) machine pairs over the same abstract
+//!   quotient, proving the fast engine's claimed skip spans and event
+//!   stream cycle-exact for op sequences of arbitrary length, with
+//!   span-classified divergences (`REF100`–`REF102`) minimized into
+//!   replayable counterexamples.
 //!
 //! The CLI front end is `wbsim check`; the experiments harness lints every
 //! sweep grid before running it.
@@ -62,6 +68,7 @@ pub mod prop_automaton;
 pub mod prop_parse;
 pub mod prop_product;
 pub mod reach;
+pub mod refine;
 pub mod sched;
 
 pub use abstract_state::{
@@ -92,6 +99,11 @@ pub use reach::{
     check_liveness_sequence, check_liveness_sequence_nonblocking, check_reach, check_reach_config,
     check_reach_config_nonblocking, check_reach_jobs, check_reach_nonblocking,
     check_reach_nonblocking_jobs, ReachConfigStats, ReachViolation,
+};
+pub use refine::{
+    check_refine, check_refine_config, check_refine_config_nonblocking, check_refine_jobs,
+    check_refine_nonblocking, check_refine_nonblocking_jobs, first_divergence, read_event_stream,
+    refine_universe, RefineConfigStats, RefineViolation,
 };
 pub use sched::{
     classify as classify_execution, explore, replay as replay_schedule, FnHarness, HarnessResult,

@@ -23,6 +23,7 @@
 //! | LNT004 | info     | buffer depth beyond the paper's studied range |
 //! | LNT005 | warning  | write-priority threshold exceeds depth |
 //! | LNT006 | info     | more MSHRs than write-buffer entries |
+//! | LNT007 | info     | statistical icache silently disables the fast-engine op lane |
 //! | LNT100 | warning  | sweep grid collapses to a single point |
 //! | LNT101 | info     | sweep mixes read-from-WB with flush policies |
 //! | LNT102 | warning  | duplicate configuration labels in a sweep |
@@ -33,7 +34,7 @@
 //! The machine-readable version of this table is [`RULES`]; a test pins
 //! `docs/static-analysis.md` against it so the rendered docs cannot drift.
 
-use wbsim_types::config::{ConfigError, MachineConfig};
+use wbsim_types::config::{ConfigError, IcacheConfig, MachineConfig};
 use wbsim_types::diagnostics::{Diagnostic, Severity};
 use wbsim_types::file_config::ConfigParseError;
 use wbsim_types::policy::{L2Priority, LoadHazardPolicy, RetirementPolicy};
@@ -107,6 +108,11 @@ pub static RULES: &[Rule] = &[
         code: "LNT006",
         severity: Severity::Info,
         summary: "more MSHRs than write-buffer entries",
+    },
+    Rule {
+        code: "LNT007",
+        severity: Severity::Info,
+        summary: "statistical icache silently disables the fast-engine op lane",
     },
     Rule {
         code: "LNT100",
@@ -252,6 +258,21 @@ pub fn lint_config(cfg: &MachineConfig) -> Vec<Diagnostic> {
                  results out here extrapolate rather than reproduce",
                 wb.depth
             )),
+        );
+    }
+    if let IcacheConfig::MissEvery { interval } = cfg.icache {
+        out.push(
+            Diagnostic::new("LNT007", Severity::Info, "icache")
+                .with_message(format!(
+                    "statistical icache (miss every ~{interval}) silently disables the \
+                     event-driven engine's op-grained fast lane: every instruction \
+                     fetch must be modeled, so runs fall back to per-cycle stepping \
+                     between events",
+                ))
+                .with_suggestion(
+                    "use icache=perfect when fast-lane throughput matters; the \
+                     wait-span skips still apply either way",
+                ),
         );
     }
     if let L2Priority::WritePriorityAbove(th) = wb.priority {
@@ -476,6 +497,36 @@ mod tests {
         // An invalid configuration reports only its CFG error.
         let bad = with_wb(|wb| wb.depth = 0);
         assert_eq!(codes(&lint_nonblocking(&bad, 8)), ["CFG002"]);
+    }
+
+    #[test]
+    fn lnt006_does_not_fire_at_the_depth_boundary() {
+        // Non-firing exactly at mshrs == depth, across depths: the rule
+        // is strictly "more MSHRs than entries", not "at least as many".
+        for depth in [1usize, 2, 4, 8] {
+            let m = with_wb(|wb| {
+                wb.depth = depth;
+                wb.retirement = RetirementPolicy::RetireAt(1.max(depth / 2));
+            });
+            assert!(
+                !codes(&lint_nonblocking(&m, depth)).contains(&"LNT006"),
+                "LNT006 fired at the mshrs == depth == {depth} boundary"
+            );
+            assert!(codes(&lint_nonblocking(&m, depth + 1)).contains(&"LNT006"));
+        }
+    }
+
+    #[test]
+    fn lnt007_statistical_icache_disables_the_fast_lane() {
+        let mut m = MachineConfig::baseline();
+        m.icache = wbsim_types::config::IcacheConfig::MissEvery { interval: 100 };
+        let ds = lint_config(&m);
+        let d = ds.iter().find(|d| d.code == "LNT007").expect("LNT007 fires");
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.field_path, "icache");
+        assert!(d.suggestion.is_some());
+        // Non-firing: the baseline's perfect icache keeps the lane armed.
+        assert!(!codes(&lint_config(&MachineConfig::baseline())).contains(&"LNT007"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ const BOOL_FLAGS: &[&str] = &[
     "ideal",
     "exhaustive",
     "reach",
+    "refine",
     "sched",
     "json",
 ];

@@ -7,9 +7,9 @@ use std::io::{self, BufRead as _, BufReader, BufWriter};
 use wbsim_check::{
     builtin_library, check_exhaustive_jobs, check_exhaustive_nonblocking_jobs,
     check_props_reach_jobs, check_props_reach_nonblocking_jobs, check_reach_jobs,
-    check_reach_nonblocking_jobs, compile_props, default_jobs, lint_config, lint_nonblocking,
-    parse_error_diagnostic, parse_props, Counterexample, PropEnv, PropRunner, PropSet,
-    SchedOptions,
+    check_reach_nonblocking_jobs, check_refine_jobs, check_refine_nonblocking_jobs, compile_props,
+    default_jobs, first_divergence, lint_config, lint_nonblocking, parse_error_diagnostic,
+    parse_props, read_event_stream, Counterexample, PropEnv, PropRunner, PropSet, SchedOptions,
 };
 use wbsim_experiments::harness::{pool_cells_jobs, Harness};
 use wbsim_experiments::{ablations, figures, render, tables};
@@ -80,6 +80,9 @@ USAGE:
         [--seq F] [--burst N] [--revisit F] [--hazard-loads F] [--region-kb N]
         [--instructions N] [--seed S] [--binary]
   wbsim trace stats <FILE>
+  wbsim trace diff <A.jsonl | -> <B.jsonl | -> (at most one side may be -)
+        (compare two recorded event streams; reports the first divergent
+         event index with both events, exits non-zero on divergence)
   wbsim trace run <FILE> [--depth N] [--retire-at N] [--hazard P] [--check-data]
   wbsim trace events --bench NAME [--out FILE] [--mshrs N] [config flags as for run]
         (emits the machine's structured event stream as JSON lines)
@@ -107,6 +110,13 @@ USAGE:
         (verify temporal safety & liveness properties unboundedly over the
          abstract-state / monitor product; bare --prop uses the built-in
          library props/paper.wbp; same counterexample plumbing as --reach)
+  wbsim check --refine [--machine blocking|nonblocking] [--mshrs N] [--fault F]
+        [--out FILE.jsonl] [--jobs N] [--json]
+        (cross-engine refinement: product-explore event-driven vs reference
+         engine pairs over the abstract state graph, proving identical event
+         streams and clock advances for op sequences of any length; a
+         divergence writes a minimized reference-engine trace replayable
+         with `wbsim trace validate` — try --fault overshoot-skip)
   wbsim check --sched [--fault lost-wakeup|dup-execute] [--preemptions N]
         [--replay FILE] [--out FILE.jsonl] [--json]
         (controlled-scheduler model check of the host serve/jobs/pool
@@ -116,7 +126,7 @@ USAGE:
          deterministically; --fault injects a known concurrency bug to
          prove the checker catches it — see docs/static-analysis.md)
         (--json always emits one document with
-         linter/exhaustive/reach/properties/sched sections)
+         linter/exhaustive/reach/properties/refine/sched sections)
   wbsim bench [--samples N] [--instructions N] [--warmup N] [--seed S] [--json]
         [--out FILE.json] [--check BASELINE.json] [--tolerance PCT]
         (measure cells/sec of both engines over the table-7 grid; --json/--out
@@ -131,10 +141,10 @@ USAGE:
   wbsim list
 
   Grid-running subcommands (figure, table, ablation, sweep, grid, report,
-  check --exhaustive/--reach, bench) accept --jobs N to bound the worker
+  check --exhaustive/--reach/--refine, bench) accept --jobs N to bound the worker
   pool; the default 0 auto-sizes to the machine.
 
-FAULTS (--fault): skip-wb-forwarding | starve-retirement
+FAULTS (--fault): skip-wb-forwarding | starve-retirement | overshoot-skip
 
 HAZARD POLICIES: flush-full | flush-partial | flush-item-only | read-from-wb
 ABLATIONS: a1 retirement, a2 max-age, a3 coalescing, a4 write-cache,
@@ -730,7 +740,9 @@ fn cmd_trace(p: &Parsed) -> CmdResult {
     let sub = p
         .positionals
         .get(1)
-        .ok_or_else(|| ArgError("trace: gen | synth | stats | run | events | validate".into()))?;
+        .ok_or_else(|| {
+            ArgError("trace: gen | synth | stats | run | events | validate | diff".into())
+        })?;
     match sub.as_str() {
         "gen" => {
             let bench_name = p
@@ -924,6 +936,55 @@ fn cmd_trace(p: &Parsed) -> CmdResult {
             }
             Ok(())
         }
+        "diff" => {
+            let a = p
+                .positionals
+                .get(2)
+                .ok_or_else(|| ArgError("trace diff: two files required (one may be `-`)".into()))?;
+            let b = p
+                .positionals
+                .get(3)
+                .ok_or_else(|| ArgError("trace diff: two files required (one may be `-`)".into()))?;
+            if a == "-" && b == "-" {
+                return Err(ArgError("trace diff: at most one side may be `-`".into()).into());
+            }
+            let read_side = |path: &str| -> Result<(Vec<Event>, String), Box<dyn Error>> {
+                let (text, display) = if path == "-" {
+                    let mut s = String::new();
+                    use std::io::Read as _;
+                    io::stdin().lock().read_to_string(&mut s)?;
+                    (s, "<stdin>".to_string())
+                } else {
+                    (std::fs::read_to_string(path)?, path.to_string())
+                };
+                // The hardened reader: junk lines come back as REF001/REF002
+                // diagnostics, never a panic.
+                match read_event_stream(&display, &text) {
+                    Ok(events) => Ok((events, display)),
+                    Err(d) => {
+                        eprintln!("{}", d.render());
+                        Err(ArgError(format!("{display}: undecodable event stream")).into())
+                    }
+                }
+            };
+            let (ea, da) = read_side(a)?;
+            let (eb, db) = read_side(b)?;
+            match first_divergence(&ea, &eb) {
+                None => {
+                    println!("streams identical ({} events)", ea.len());
+                    Ok(())
+                }
+                Some((i, x, y)) => {
+                    let show = |e: Option<Event>| {
+                        e.map_or_else(|| "end of stream".to_string(), |ev| ev.to_json())
+                    };
+                    println!("streams diverge at event #{i}:");
+                    println!("  {da}: {}", show(x));
+                    println!("  {db}: {}", show(y));
+                    Err(ArgError(format!("event streams diverge at event #{i}")).into())
+                }
+            }
+        }
         other => Err(ArgError(format!("trace: unknown subcommand {other:?}")).into()),
     }
 }
@@ -1010,6 +1071,9 @@ fn cmd_check(p: &Parsed) -> CmdResult {
     }
     if p.has_flag("reach") {
         return cmd_check_reach(p);
+    }
+    if p.has_flag("refine") {
+        return cmd_check_refine(p);
     }
     if p.options.contains_key("prop") {
         return cmd_check_prop(p);
@@ -1238,8 +1302,8 @@ fn emit_counterexample_artifacts(
 
 /// `wbsim check --json`, routed through the job layer: every requested
 /// pass runs, and stdout carries exactly one top-level JSON document with
-/// `linter`, `exhaustive`, `reach`, and `properties` sections.
-/// Counterexample traces
+/// `linter`, `exhaustive`, `reach`, `properties`, `refine`, and `sched`
+/// sections. Counterexample traces
 /// still go to `--out` (stdout with `--out -` would corrupt the document,
 /// so the trace defaults to a file) and the human report goes to stderr.
 fn cmd_check_json(p: &Parsed) -> CmdResult {
@@ -1264,6 +1328,7 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
     let spec = CheckSpec {
         exhaustive: p.has_flag("exhaustive"),
         reach: p.has_flag("reach"),
+        refine: p.has_flag("refine"),
         machine: match machine {
             CheckMachine::Blocking => MachineSel::Blocking,
             CheckMachine::NonBlocking => MachineSel::NonBlocking,
@@ -1294,7 +1359,7 @@ fn cmd_check_json(p: &Parsed) -> CmdResult {
         options: job_options(p)?,
     });
     // Counterexample side effects come first, as the direct path's did.
-    for section in ["exhaustive", "reach", "properties"] {
+    for section in ["exhaustive", "reach", "properties", "refine"] {
         let trace = outcome.artifact(&format!("counterexample-{section}.jsonl"));
         let meta = outcome.artifact_text(&format!("counterexample-{section}.meta.json"));
         if let (Some(trace), Some(meta)) = (trace, meta) {
@@ -1331,8 +1396,10 @@ fn fault_from(p: &Parsed) -> Result<Option<FaultInjection>, ArgError> {
         None => Ok(None),
         Some("skip-wb-forwarding") => Ok(Some(FaultInjection::SkipWbForwarding)),
         Some("starve-retirement") => Ok(Some(FaultInjection::StarveRetirement)),
+        Some("overshoot-skip") => Ok(Some(FaultInjection::OvershootSkip)),
         Some(other) => Err(ArgError(format!(
-            "unknown fault {other:?} (try skip-wb-forwarding or starve-retirement)"
+            "unknown fault {other:?} (try skip-wb-forwarding, starve-retirement, \
+             or overshoot-skip)"
         ))),
     }
 }
@@ -1465,6 +1532,42 @@ fn cmd_check_reach(p: &Parsed) -> CmdResult {
                 report_counterexample(p, ce, &ce.violation)?;
             }
             Err(ArgError(format!("reachability check failed ({})", v.diagnostic.code)).into())
+        }
+    }
+}
+
+fn cmd_check_refine(p: &Parsed) -> CmdResult {
+    let fault = fault_from(p)?;
+    let jobs = p.get_or("jobs", default_jobs())?;
+    let machine = check_machine_from(p)?;
+    let mshrs = check_mshrs_from(p)?;
+    let result = match machine {
+        CheckMachine::Blocking => check_refine_jobs(fault, jobs),
+        CheckMachine::NonBlocking => check_refine_nonblocking_jobs(fault, mshrs, jobs),
+    };
+    match result {
+        Ok(report) => {
+            println!(
+                "refinement check clean ({}): {} configurations, {} abstract pair-states, \
+                 {} product transitions in {} ms; the event-driven and reference engines \
+                 produce identical event streams and clock advances at every reachable \
+                 state, for op sequences of any length",
+                machine_label(machine, mshrs),
+                report.configs,
+                report.states_explored,
+                report.edges,
+                report.wall_ms
+            );
+            Ok(())
+        }
+        Err(v) => {
+            // Stderr for the diagnostic, same as --reach: `--out -` keeps
+            // stdout as a clean trace pipe.
+            eprintln!("{}", v.diagnostic.render());
+            if let Some(ce) = &v.counterexample {
+                report_counterexample(p, ce, &ce.violation)?;
+            }
+            Err(ArgError(format!("refinement check failed ({})", v.diagnostic.code)).into())
         }
     }
 }
@@ -1997,17 +2100,18 @@ wb.retirement = retire-at-8
     }
 
     /// Satellite pin: `wbsim check --json` emits exactly one top-level
-    /// document with `linter`, `exhaustive`, `reach`, `properties`, and
-    /// `sched` sections.
+    /// document with `linter`, `exhaustive`, `reach`, `properties`,
+    /// `refine`, and `sched` sections.
     #[test]
     fn merged_check_json_schema_is_pinned() {
         // No sections run: the skeleton with nulls.
         assert_eq!(
-            merged_check_json(&[], None, None, None, None),
+            merged_check_json(&[], None, None, None, None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":null,\"reach\":null,\"properties\":null,\"sched\":null}"
+             \"exhaustive\":null,\"reach\":null,\"properties\":null,\"refine\":null,\
+             \"sched\":null}"
         );
-        // One diagnostic plus four section payloads, spliced verbatim.
+        // One diagnostic plus five section payloads, spliced verbatim.
         let d = Diagnostic::new("LNT001", wbsim_types::diagnostics::Severity::Warning, "wb")
             .with_message("m");
         assert_eq!(
@@ -2016,6 +2120,7 @@ wb.retirement = retire-at-8
                 Some("{\"status\":\"clean\",\"report\":{}}"),
                 Some("{\"status\":\"violation\",\"diagnostic\":{}}"),
                 Some("{\"status\":\"invalid\",\"diagnostics\":[]}"),
+                Some("{\"status\":\"clean\",\"report\":{}}"),
                 Some("{\"harnesses\":[],\"clean\":true}"),
             ),
             format!(
@@ -2023,6 +2128,7 @@ wb.retirement = retire-at-8
                  \"exhaustive\":{{\"status\":\"clean\",\"report\":{{}}}},\
                  \"reach\":{{\"status\":\"violation\",\"diagnostic\":{{}}}},\
                  \"properties\":{{\"status\":\"invalid\",\"diagnostics\":[]}},\
+                 \"refine\":{{\"status\":\"clean\",\"report\":{{}}}},\
                  \"sched\":{{\"harnesses\":[],\"clean\":true}}}}",
                 d.to_json()
             )
@@ -2030,7 +2136,7 @@ wb.retirement = retire-at-8
         // Error-severity findings flip the `errors` flag.
         let e = Diagnostic::new("CFG002", wbsim_types::diagnostics::Severity::Error, "wb")
             .with_message("m");
-        assert!(merged_check_json(&[e], None, None, None, None).contains("\"errors\":true"));
+        assert!(merged_check_json(&[e], None, None, None, None, None).contains("\"errors\":true"));
         // The shared escaper keeps violation messages valid JSON.
         assert_eq!(
             wbsim_types::json::escape("a\"b\\c\nd"),
@@ -2052,6 +2158,7 @@ wb.retirement = retire-at-8
         .is_ok());
         // --out - would corrupt the single JSON document.
         assert!(dispatch(&v(&["check", "--json", "--exhaustive", "--out", "-"])).is_err());
+        assert!(dispatch(&v(&["check", "--json", "--refine", "--out", "-"])).is_err());
     }
 
     #[test]
@@ -2129,6 +2236,63 @@ wb.retirement = retire-at-8
         assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
         // Unknown faults are rejected up front.
         assert!(dispatch(&v(&["check", "--reach", "--fault", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn check_refine_fault_writes_replayable_counterexample() {
+        let dir = std::env::temp_dir().join("wbsim-refine-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cex.jsonl");
+        let path_s = path.to_str().unwrap();
+        // An overshooting skip horizon is invisible to the single-stepping
+        // checkers; the refinement pass catches it and leaves a reference
+        // trace that `trace validate` accepts.
+        assert!(dispatch(&v(&[
+            "check",
+            "--refine",
+            "--fault",
+            "overshoot-skip",
+            "--out",
+            path_s,
+            "--jobs",
+            "2"
+        ]))
+        .is_err());
+        assert!(dispatch(&v(&["trace", "validate", path_s])).is_ok());
+    }
+
+    #[test]
+    fn trace_diff_reports_first_divergence() {
+        let dir = std::env::temp_dir().join("wbsim-trace-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        let a_s = a.to_str().unwrap();
+        let b_s = b.to_str().unwrap();
+        assert!(dispatch(&v(&[
+            "trace",
+            "events",
+            "--bench",
+            "compress",
+            "--out",
+            a_s,
+            "--instructions",
+            "300"
+        ]))
+        .is_ok());
+        std::fs::copy(&a, &b).unwrap();
+        assert!(dispatch(&v(&["trace", "diff", a_s, b_s])).is_ok());
+        // Truncating one side is an end-of-stream divergence.
+        let text = std::fs::read_to_string(&a).unwrap();
+        let shorter: String = text.lines().take(50).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&b, shorter).unwrap();
+        assert!(dispatch(&v(&["trace", "diff", a_s, b_s])).is_err());
+        // Both sides from stdin, a missing side, and junk input are all
+        // structured errors, never a panic.
+        assert!(dispatch(&v(&["trace", "diff", "-", "-"])).is_err());
+        assert!(dispatch(&v(&["trace", "diff", a_s])).is_err());
+        std::fs::write(&b, "not json\n").unwrap();
+        assert!(dispatch(&v(&["trace", "diff", a_s, b_s])).is_err());
     }
 
     #[test]

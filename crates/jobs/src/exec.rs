@@ -14,7 +14,8 @@ use std::sync::Arc;
 use wbsim_check::{
     builtin_library, check_exhaustive_jobs, check_exhaustive_nonblocking_jobs,
     check_props_reach_jobs, check_props_reach_nonblocking_jobs, check_reach_jobs,
-    check_reach_nonblocking_jobs, default_jobs, lint_config, lint_nonblocking,
+    check_reach_nonblocking_jobs, check_refine_jobs, check_refine_nonblocking_jobs, default_jobs,
+    lint_config, lint_nonblocking,
     parse_error_diagnostic, parse_props, Counterexample,
 };
 use wbsim_experiments::harness::FigureResult;
@@ -80,17 +81,19 @@ pub fn merged_check_json(
     exhaustive: Option<&str>,
     reach: Option<&str>,
     properties: Option<&str>,
+    refine: Option<&str>,
     sched: Option<&str>,
 ) -> String {
     let diags: Vec<String> = linter.iter().map(Diagnostic::to_json).collect();
     format!(
         "{{\"linter\":{{\"diagnostics\":[{}],\"errors\":{}}},\"exhaustive\":{},\"reach\":{},\
-         \"properties\":{},\"sched\":{}}}",
+         \"properties\":{},\"refine\":{},\"sched\":{}}}",
         diags.join(","),
         any_errors(linter),
         exhaustive.unwrap_or("null"),
         reach.unwrap_or("null"),
         properties.unwrap_or("null"),
+        refine.unwrap_or("null"),
         sched.unwrap_or("null")
     )
 }
@@ -364,6 +367,33 @@ fn run_check(spec: &CheckSpec, opts: &Options) -> JobOutcome {
         None
     };
 
+    let refine = if spec.refine {
+        let result = match spec.machine {
+            MachineSel::Blocking => check_refine_jobs(spec.fault, jobs),
+            MachineSel::NonBlocking => {
+                check_refine_nonblocking_jobs(spec.fault, spec.mshrs, jobs)
+            }
+        };
+        Some(match result {
+            Ok(report) => {
+                cells += report.configs;
+                format!("{{\"status\":\"clean\",\"report\":{}}}", report.to_json())
+            }
+            Err(v) => {
+                failed = true;
+                if let Some(ce) = &v.counterexample {
+                    push_counterexample(&mut counterexamples, "refine", ce);
+                }
+                format!(
+                    "{{\"status\":\"violation\",\"diagnostic\":{}}}",
+                    v.diagnostic.to_json()
+                )
+            }
+        })
+    } else {
+        None
+    };
+
     let sched = if spec.sched {
         let mut sched_opts = wbsim_check::SchedOptions::default();
         if let Some(p) = spec.sched_preemptions {
@@ -389,6 +419,7 @@ fn run_check(spec: &CheckSpec, opts: &Options) -> JobOutcome {
         exhaustive.as_deref(),
         reach.as_deref(),
         properties.as_deref(),
+        refine.as_deref(),
         sched.as_deref(),
     );
     doc.push('\n');
@@ -660,26 +691,33 @@ mod tests {
     #[test]
     fn merged_check_json_skeleton_is_pinned() {
         assert_eq!(
-            merged_check_json(&[], None, None, None, None),
+            merged_check_json(&[], None, None, None, None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
-             \"exhaustive\":null,\"reach\":null,\"properties\":null,\"sched\":null}"
+             \"exhaustive\":null,\"reach\":null,\"properties\":null,\"refine\":null,\
+             \"sched\":null}"
         );
         assert_eq!(
-            merged_check_json(&[], Some("{\"status\":\"clean\"}"), None, None, None),
+            merged_check_json(&[], Some("{\"status\":\"clean\"}"), None, None, None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
              \"exhaustive\":{\"status\":\"clean\"},\"reach\":null,\"properties\":null,\
-             \"sched\":null}"
+             \"refine\":null,\"sched\":null}"
         );
         assert_eq!(
-            merged_check_json(&[], None, None, Some("{\"status\":\"clean\"}"), None),
+            merged_check_json(&[], None, None, Some("{\"status\":\"clean\"}"), None, None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
              \"exhaustive\":null,\"reach\":null,\"properties\":{\"status\":\"clean\"},\
-             \"sched\":null}"
+             \"refine\":null,\"sched\":null}"
         );
         assert_eq!(
-            merged_check_json(&[], None, None, None, Some("{\"clean\":true}")),
+            merged_check_json(&[], None, None, None, Some("{\"status\":\"clean\"}"), None),
             "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
              \"exhaustive\":null,\"reach\":null,\"properties\":null,\
+             \"refine\":{\"status\":\"clean\"},\"sched\":null}"
+        );
+        assert_eq!(
+            merged_check_json(&[], None, None, None, None, Some("{\"clean\":true}")),
+            "{\"linter\":{\"diagnostics\":[],\"errors\":false},\
+             \"exhaustive\":null,\"reach\":null,\"properties\":null,\"refine\":null,\
              \"sched\":{\"clean\":true}}"
         );
     }

@@ -83,6 +83,7 @@ pub fn fault_name(f: FaultInjection) -> &'static str {
     match f {
         FaultInjection::SkipWbForwarding => "skip-wb-forwarding",
         FaultInjection::StarveRetirement => "starve-retirement",
+        FaultInjection::OvershootSkip => "overshoot-skip",
     }
 }
 
@@ -92,6 +93,7 @@ pub fn fault_from_name(s: &str) -> Option<FaultInjection> {
     match s {
         "skip-wb-forwarding" => Some(FaultInjection::SkipWbForwarding),
         "starve-retirement" => Some(FaultInjection::StarveRetirement),
+        "overshoot-skip" => Some(FaultInjection::OvershootSkip),
         _ => None,
     }
 }
@@ -143,6 +145,8 @@ pub struct CheckSpec {
     pub exhaustive: bool,
     /// Run the unbounded reachability pass.
     pub reach: bool,
+    /// Run the cross-engine refinement pass.
+    pub refine: bool,
     /// Which machine the model checkers drive.
     pub machine: MachineSel,
     /// Pinned MSHR count for the non-blocking machine (`None` = 1..4).
@@ -173,6 +177,7 @@ impl Default for CheckSpec {
         CheckSpec {
             exhaustive: false,
             reach: false,
+            refine: false,
             machine: MachineSel::Blocking,
             mshrs: None,
             max_ops: 5,
@@ -346,6 +351,7 @@ impl Manifest {
             JobKind::Check(spec) => {
                 h.field("exhaustive", if spec.exhaustive { "true" } else { "false" })
                     .field("reach", if spec.reach { "true" } else { "false" })
+                    .field("refine", if spec.refine { "true" } else { "false" })
                     .field("machine", spec.machine.name())
                     .field(
                         "mshrs",
@@ -521,13 +527,15 @@ impl Manifest {
             JobKind::Check(spec) => {
                 let opt_num = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
                 format!(
-                    "{{\"exhaustive\":{},\"reach\":{},\"machine\":{},\"mshrs\":{},\
+                    "{{\"exhaustive\":{},\"reach\":{},\"refine\":{},\"machine\":{},\
+                     \"mshrs\":{},\
                      \"max_ops\":{},\"fault\":{},\"props\":{},\"props_file\":{},\
                      \"sched\":{},\"sched_fault\":{},\"sched_preemptions\":{},\
                      \"config\":{},\"depth\":{},\
                      \"retire_at\":{},\"hazard\":{}}}",
                     spec.exhaustive,
                     spec.reach,
+                    spec.refine,
                     escape(spec.machine.name()),
                     opt_num(spec.mshrs),
                     spec.max_ops,
@@ -705,6 +713,7 @@ fn parse_spec(tag: &str, spec: Option<&Json>, errs: &mut Vec<Diagnostic>) -> Opt
         "check" => &[
             "exhaustive",
             "reach",
+            "refine",
             "machine",
             "mshrs",
             "max_ops",
@@ -788,6 +797,7 @@ fn parse_spec(tag: &str, spec: Option<&Json>, errs: &mut Vec<Diagnostic>) -> Opt
             let mut s = CheckSpec {
                 exhaustive: bool_of("exhaustive", errs),
                 reach: bool_of("reach", errs),
+                refine: bool_of("refine", errs),
                 ..CheckSpec::default()
             };
             if let Some(m) = str_of("machine", errs) {
@@ -811,7 +821,8 @@ fn parse_spec(tag: &str, spec: Option<&Json>, errs: &mut Vec<Diagnostic>) -> Opt
                         "JOB005",
                         "spec.fault",
                         format!(
-                            "unknown fault {f:?} (try skip-wb-forwarding or starve-retirement)"
+                            "unknown fault {f:?} (try skip-wb-forwarding, \
+                             starve-retirement, or overshoot-skip)"
                         ),
                     )),
                 }
@@ -960,10 +971,11 @@ mod tests {
             Manifest {
                 kind: JobKind::Check(CheckSpec {
                     exhaustive: true,
+                    refine: true,
                     machine: MachineSel::NonBlocking,
                     mshrs: Some(2),
                     max_ops: 3,
-                    fault: Some(FaultInjection::StarveRetirement),
+                    fault: Some(FaultInjection::OvershootSkip),
                     sched: true,
                     sched_fault: Some(SchedFault::LostWakeup),
                     sched_preemptions: Some(3),

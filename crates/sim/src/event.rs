@@ -228,6 +228,24 @@ fn port_use_from(token: &str) -> Option<PortUse> {
 }
 
 impl Event {
+    /// The cycle the event was emitted on (every variant carries one).
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        match *self {
+            Event::StoreAccepted { now, .. }
+            | Event::RetireStart { now, .. }
+            | Event::RetireComplete { now, .. }
+            | Event::HazardTriggered { now, .. }
+            | Event::StallCycle { now, .. }
+            | Event::FillInstalled { now, .. }
+            | Event::VictimWriteback { now, .. }
+            | Event::PortGranted { now, .. }
+            | Event::LoadResolved { now, .. }
+            | Event::LoadMiss { now, .. }
+            | Event::CycleEnd { now, .. } => now,
+        }
+    }
+
     /// Serializes the event as a single-line JSON object. The `"event"`
     /// key identifies the variant; the remaining keys are its fields.
     #[must_use]

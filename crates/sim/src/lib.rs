@@ -57,7 +57,9 @@ pub mod port;
 pub mod testutil;
 
 pub use event::{Event, EventParseError, PortUse};
-pub use machine::{Engine, LineSnapshot, Machine, MachineSnapshot, MshrSnapshot, WbEntrySnapshot};
+pub use machine::{
+    Engine, LineSnapshot, Machine, MachineSnapshot, MshrSnapshot, SkipSpan, WbEntrySnapshot,
+};
 pub use nonblocking::NonBlockingMachine;
 pub use observer::{HistogramObserver, NullObserver, Observer, Tee};
 pub use port::{L2Port, PortOwner};

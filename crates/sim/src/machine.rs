@@ -39,6 +39,7 @@ use wbsim_core::entry::EntryId;
 use wbsim_mem::Icache;
 use wbsim_types::addr::{Addr, LineAddr};
 use wbsim_types::config::{ConfigError, MachineConfig};
+use wbsim_types::divergence::FaultInjection;
 use wbsim_types::op::Op;
 use wbsim_types::policy::{L1WritePolicy, L2Priority, LoadHazardPolicy};
 use wbsim_types::stats::SimStats;
@@ -85,6 +86,25 @@ pub(crate) enum SkipTick {
     IFetchStall,
     /// `mshr_stall_cycles` (the non-blocking machine out of MSHRs).
     MshrStall,
+}
+
+/// One claimed time jump of the event-driven engine: the half-open cycle
+/// range `[from, to)` the engine asserted nothing observable could happen
+/// in, either as a pure-wait span skip (`lane == false`) or as a fast-lane
+/// compute batch between retirement events (`lane == true`).
+///
+/// Recording is off by default; the cross-engine refinement checker
+/// (`wbsim check --refine`) switches it on
+/// ([`Machine::set_record_skips`]) to cross-validate every claimed
+/// horizon against the reference engine's event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipSpan {
+    /// First skipped cycle.
+    pub from: Cycle,
+    /// First cycle *not* covered by the claim (the landing timestamp).
+    pub to: Cycle,
+    /// `true` for a fast-lane compute batch, `false` for a wait-span skip.
+    pub lane: bool,
 }
 
 /// A one-slot pushback wrapper over the op stream: the fast lane pops an
@@ -175,6 +195,8 @@ pub struct Machine {
     icache: Icache,
     cpu: CpuState,
     engine: Engine,
+    record_skips: bool,
+    skip_log: Vec<SkipSpan>,
 }
 
 /// One write-buffer entry in a [`MachineSnapshot`]: the block tag plus the
@@ -319,6 +341,8 @@ impl Machine {
             icache,
             cpu: CpuState::NeedOp,
             engine: Engine::default(),
+            record_skips: false,
+            skip_log: Vec::new(),
         })
     }
 
@@ -331,6 +355,19 @@ impl Machine {
     #[must_use]
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Switches recording of the event-driven engine's claimed time jumps
+    /// ([`SkipSpan`]s) on or off. Off by default; the refinement checker
+    /// enables it to audit every claimed horizon.
+    pub fn set_record_skips(&mut self, record: bool) {
+        self.record_skips = record;
+    }
+
+    /// Drains and returns the [`SkipSpan`]s recorded since the last call
+    /// (empty unless [`Machine::set_record_skips`] enabled recording).
+    pub fn take_skips(&mut self) -> Vec<SkipSpan> {
+        std::mem::take(&mut self.skip_log)
     }
 
     /// Runs the reference stream to completion and returns the statistics.
@@ -560,6 +597,13 @@ impl Machine {
                                     Some(t) => cycles_left.min(t - self.hier.now),
                                     None => cycles_left,
                                 };
+                                if self.record_skips {
+                                    self.skip_log.push(SkipSpan {
+                                        from: self.hier.now,
+                                        to: self.hier.now + k,
+                                        lane: true,
+                                    });
+                                }
                                 left = left.saturating_sub(k * w);
                                 let occ = self.hier.wb.occupancy();
                                 self.hier.stats.wb_detail.record_occupancy_span(occ, k);
@@ -764,6 +808,21 @@ impl Machine {
         if bound == u64::MAX || bound <= now {
             return;
         }
+        // Injected off-by-one in the skip horizon: the jump lands one
+        // cycle past the earliest pending event. Invisible to every
+        // single-stepping checker; exists to prove `check --refine` fires.
+        let bound = if self.hier.cfg.fault == Some(FaultInjection::OvershootSkip) {
+            bound + 1
+        } else {
+            bound
+        };
+        if self.record_skips {
+            self.skip_log.push(SkipSpan {
+                from: now,
+                to: bound,
+                lane: false,
+            });
+        }
         let k = bound - now;
         match tick {
             SkipTick::Nothing => {}
@@ -903,6 +962,85 @@ impl Machine {
             }
         }
         Some(self.hier.now)
+    }
+
+    /// [`Machine::run_op_bounded`] driven through the *engine-selected*
+    /// run loop: under [`Engine::EventDriven`] the op executes with
+    /// span-skipping and the op-grained fast lane exactly as a continuous
+    /// [`Machine::run_observed`] would execute it, while under
+    /// [`Engine::Reference`] this is identical to `run_op_bounded`. The
+    /// refinement checker drives one machine of each engine through this
+    /// pair of entry points and compares the event streams.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the machine is at an op boundary.
+    pub fn run_op_skipping<O: Observer>(
+        &mut self,
+        op: Op,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Option<u64> {
+        debug_assert!(self.at_op_boundary(), "run_op_skipping mid-op");
+        if matches!(self.cpu, CpuState::Finished) {
+            self.cpu = CpuState::NeedOp;
+        }
+        let deadline = self.hier.now + max_cycles;
+        let fast = self.engine == Engine::EventDriven;
+        let lane = fast && self.icache.is_perfect();
+        let mut inner = std::iter::empty();
+        let mut it = PushBack {
+            slot: Some(op),
+            inner: &mut inner,
+        };
+        // No warmup in per-op mode: `warm` starts true, so the lane's
+        // warm-check is a no-op and `cycle_base` is never read.
+        let (mut warm, mut cycle_base) = (true, 0);
+        loop {
+            if fast {
+                self.try_skip(obs);
+                if lane && matches!(self.cpu, CpuState::NeedOp) {
+                    self.fast_ops(&mut it, 0, &mut warm, &mut cycle_base, obs);
+                    if !matches!(self.cpu, CpuState::NeedOp) {
+                        if self.hier.now >= deadline {
+                            return None;
+                        }
+                        continue;
+                    }
+                }
+            }
+            if !self.step(&mut it, obs) {
+                return Some(self.hier.now);
+            }
+            if self.hier.now >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Runs the end-of-stream tail from the current state under the
+    /// engine-selected loop with no further ops, giving up after
+    /// `max_cycles` additional cycles. The blocking machine stops at the
+    /// op boundary (buffered entries stay resident, as in a full
+    /// [`Machine::run_observed`]), so this returns immediately — it exists
+    /// for signature symmetry with the non-blocking machine, whose
+    /// end-of-stream drain is a real skippable span the refinement checker
+    /// must cover.
+    pub fn run_to_end_bounded<O: Observer>(&mut self, max_cycles: u64, obs: &mut O) -> Option<u64> {
+        let deadline = self.hier.now + max_cycles;
+        let fast = self.engine == Engine::EventDriven;
+        let mut iter = std::iter::empty();
+        loop {
+            if fast {
+                self.try_skip(obs);
+            }
+            if !self.step(&mut iter, obs) {
+                return Some(self.hier.now);
+            }
+            if self.hier.now >= deadline {
+                return None;
+            }
+        }
     }
 
     /// Advances one cycle of a forced drain: retirement runs at the

@@ -34,6 +34,7 @@
 
 use wbsim_types::addr::{Addr, LineAddr};
 use wbsim_types::config::{ConfigError, MachineConfig};
+use wbsim_types::divergence::FaultInjection;
 use wbsim_types::op::Op;
 use wbsim_types::policy::LoadHazardPolicy;
 use wbsim_types::stall::StallKind;
@@ -42,7 +43,7 @@ use wbsim_types::Cycle;
 
 use crate::event::{Event, PortUse};
 use crate::hierarchy::Hierarchy;
-use crate::machine::{Engine, SkipTick};
+use crate::machine::{Engine, SkipSpan, SkipTick};
 use crate::observer::{NullObserver, Observer};
 use crate::port::PortOwner;
 
@@ -88,6 +89,8 @@ pub struct NonBlockingMachine {
     mshr_seq: u64,
     cpu: CpuState,
     engine: Engine,
+    record_skips: bool,
+    skip_log: Vec<SkipSpan>,
 }
 
 impl NonBlockingMachine {
@@ -119,6 +122,8 @@ impl NonBlockingMachine {
             mshr_seq: 0,
             cpu: CpuState::NeedOp,
             engine: Engine::default(),
+            record_skips: false,
+            skip_log: Vec::new(),
         })
     }
 
@@ -132,6 +137,17 @@ impl NonBlockingMachine {
     #[must_use]
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Switches recording of claimed [`SkipSpan`]s on or off; see
+    /// [`crate::Machine::set_record_skips`].
+    pub fn set_record_skips(&mut self, record: bool) {
+        self.record_skips = record;
+    }
+
+    /// Drains and returns the [`SkipSpan`]s recorded since the last call.
+    pub fn take_skips(&mut self) -> Vec<SkipSpan> {
+        std::mem::take(&mut self.skip_log)
     }
 
     /// Runs the stream to completion (including draining outstanding
@@ -236,6 +252,21 @@ impl NonBlockingMachine {
         }
         if bound == u64::MAX || bound <= now {
             return;
+        }
+        // Injected off-by-one in the skip horizon (see the blocking
+        // machine's `try_skip`): the jump lands one cycle past the
+        // earliest pending event.
+        let bound = if self.hier.cfg.fault == Some(FaultInjection::OvershootSkip) {
+            bound + 1
+        } else {
+            bound
+        };
+        if self.record_skips {
+            self.skip_log.push(SkipSpan {
+                from: now,
+                to: bound,
+                lane: false,
+            });
         }
         let k = bound - now;
         // The overlapped contention charge is constant across the span:
@@ -396,6 +427,83 @@ impl NonBlockingMachine {
                 occupancy: occupancy as u64,
             });
             self.hier.now += 1;
+            if self.hier.now >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// [`NonBlockingMachine::run_op_bounded`] driven through the
+    /// *engine-selected* run loop: under [`Engine::EventDriven`] the op
+    /// executes with span-skipping exactly as a continuous
+    /// [`NonBlockingMachine::run_observed`] would execute it, while under
+    /// [`Engine::Reference`] this is identical to `run_op_bounded`. The
+    /// refinement checker drives one machine of each engine through this
+    /// pair of entry points and compares the event streams.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the machine is at an op boundary.
+    pub fn run_op_skipping<O: Observer>(
+        &mut self,
+        op: Op,
+        max_cycles: u64,
+        obs: &mut O,
+    ) -> Option<u64> {
+        debug_assert!(self.at_op_boundary(), "run_op_skipping mid-op");
+        if matches!(self.cpu, CpuState::Finished) {
+            self.cpu = CpuState::NeedOp;
+        }
+        let deadline = self.hier.now + max_cycles;
+        let skip = self.engine == Engine::EventDriven;
+        let mut iter = std::iter::once(op);
+        loop {
+            if skip {
+                self.try_skip(obs);
+            }
+            self.complete_mshrs(obs);
+            self.hier.complete_retirement(obs);
+            if !self.cpu_step(&mut iter, obs) {
+                // Front end idle again; see `run_op_bounded`.
+                return Some(self.hier.now);
+            }
+            self.issue_reads(obs);
+            self.wb_try_retire(obs);
+            if self.hier.port.busy_with_write(self.hier.now)
+                && self.mshrs.iter().any(|m| m.done_at.is_none())
+            {
+                self.hier.stall(StallKind::L2ReadAccess, obs);
+            }
+            let occupancy = self.hier.wb.occupancy();
+            self.hier.stats.wb_detail.record_occupancy(occupancy);
+            obs.event(&Event::CycleEnd {
+                now: self.hier.now,
+                occupancy: occupancy as u64,
+            });
+            self.hier.now += 1;
+            if self.hier.now >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Runs the end-of-stream tail from the current state under the
+    /// engine-selected loop with no further ops: outstanding fills and
+    /// retirements land (the [`Engine::EventDriven`] loop may skip across
+    /// the waits), exactly as the tail of a full
+    /// [`NonBlockingMachine::run_observed`]. Gives up (`None`) after
+    /// `max_cycles` additional cycles.
+    pub fn run_to_end_bounded<O: Observer>(&mut self, max_cycles: u64, obs: &mut O) -> Option<u64> {
+        let deadline = self.hier.now + max_cycles;
+        let skip = self.engine == Engine::EventDriven;
+        let mut iter = std::iter::empty();
+        loop {
+            if skip {
+                self.try_skip(obs);
+            }
+            if !self.step(&mut iter, obs) {
+                return Some(self.hier.now);
+            }
             if self.hier.now >= deadline {
                 return None;
             }

@@ -310,6 +310,11 @@ pub static REGISTRY: &[CodeEntry] = &[
         summary: "more MSHRs than write-buffer entries",
     },
     CodeEntry {
+        code: "LNT007",
+        family: "lint",
+        summary: "statistical icache silently disables the fast-engine op lane",
+    },
+    CodeEntry {
         code: "LNT100",
         family: "lint",
         summary: "sweep grid collapses to a single point",
@@ -388,6 +393,31 @@ pub static REGISTRY: &[CodeEntry] = &[
         code: "RCH003",
         family: "reach",
         summary: "configuration outside the abstractable class",
+    },
+    CodeEntry {
+        code: "REF001",
+        family: "refine",
+        summary: "counterexample stream line is not a JSON object",
+    },
+    CodeEntry {
+        code: "REF002",
+        family: "refine",
+        summary: "counterexample stream line is not a decodable event",
+    },
+    CodeEntry {
+        code: "REF100",
+        family: "refine",
+        summary: "claimed skip horizon overshoots a pending event",
+    },
+    CodeEntry {
+        code: "REF101",
+        family: "refine",
+        summary: "fast lane batches across a retirement boundary",
+    },
+    CodeEntry {
+        code: "REF102",
+        family: "refine",
+        summary: "engines diverge outside any claimed skip span",
     },
     CodeEntry {
         code: "SCH001",
@@ -491,6 +521,7 @@ mod tests {
             ("CFG", "config"),
             ("LNT", "lint"),
             ("RCH", "reach"),
+            ("REF", "refine"),
             ("JOB", "jobs"),
             ("PRP", "props"),
             ("SCH", "sched"),

@@ -31,6 +31,13 @@ pub enum FaultInjection {
     /// out. A liveness bug — the safety invariants all still hold — used
     /// to prove the reachability checker's livelock detection fires.
     StarveRetirement,
+    /// The event-driven engine's span-skip horizon is computed one cycle
+    /// too far: the skip lands *past* the earliest pending event instead
+    /// of on it. Only the fast engine is affected — the reference engine
+    /// never skips — so the bug is invisible to every single-stepping
+    /// checker and exists to prove the cross-engine refinement checker
+    /// (`wbsim check --refine`) fires.
+    OvershootSkip,
 }
 
 impl fmt::Display for FaultInjection {
@@ -38,6 +45,7 @@ impl fmt::Display for FaultInjection {
         match self {
             Self::SkipWbForwarding => f.write_str("skip-wb-forwarding"),
             Self::StarveRetirement => f.write_str("starve-retirement"),
+            Self::OvershootSkip => f.write_str("overshoot-skip"),
         }
     }
 }
@@ -299,6 +307,7 @@ mod tests {
             FaultInjection::StarveRetirement.to_string(),
             "starve-retirement"
         );
+        assert_eq!(FaultInjection::OvershootSkip.to_string(), "overshoot-skip");
         assert_eq!(LoadSource::WriteBuffer.to_string(), "write-buffer forward");
     }
 }

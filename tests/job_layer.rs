@@ -333,6 +333,7 @@ fn check_artifact_matches_the_merged_document_modulo_timing() {
             None,
             None,
             None,
+            None,
         )
     );
     assert_eq!(normalize_wall_ms(doc), normalize_wall_ms(&direct));
